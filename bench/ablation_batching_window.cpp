@@ -1,0 +1,39 @@
+// Continuous-time ablation: the batching-window trade-off. With Poisson
+// arrivals, serving every `w` time units means each request waits ~w/2
+// for its batch, but a bigger batch gives the knapsack more aggregation —
+// duplicate requests for hot objects collapse into one download, so the
+// same per-time-unit bandwidth buys more score. The tick model the paper
+// (and figures 2-6) uses is the w = 1 row.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/event_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobi;
+  const util::Flags flags(argc, argv);
+
+  util::Table table({"window w", "avg score", "mean delay", "max delay",
+                     "units downloaded", "units/time"});
+  for (double window : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    exp::EventSimConfig config;
+    config.seed = std::uint64_t(flags.get_int("seed", 42));
+    config.batching_window = window;
+    // Keep per-time bandwidth constant: budget scales with the window.
+    config.budget_per_batch = object::Units(12.0 * window);
+    const auto result = exp::run_event_sim(config);
+    const double measured_time = config.horizon - config.warmup;
+    table.add_row({window, result.average_score, result.mean_service_delay,
+                   result.max_service_delay,
+                   (long long)(result.units_downloaded),
+                   double(result.units_downloaded) / measured_time});
+  }
+  bench::emit(flags,
+              "Ablation: batching window under Poisson arrivals "
+              "(bandwidth held at 12 units/time)",
+              "ablation_batching", table);
+  std::cout << "Read: score rises with w (aggregation collapses duplicate "
+               "hot requests) while delay grows ~w/2 — the tick model's "
+               "w = 1 sits at one point of a real trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation for the paper's stated limitation (§2: the knapsack mapping
+// "does not model network latency"): with a per-fetch fixed overhead, the
+// plain size-cost knapsack overpacks tiny objects whose true time cost is
+// dominated by round trips. We charge both policies the same *time*
+// budget (overhead + size per fetch must fit) and compare delivered
+// scores. The latency-aware mapping should win, and the gap should grow
+// with the overhead.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "cache/decay.hpp"
+#include "core/base_station.hpp"
+#include "core/latency_aware.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+#include "workload/trace.hpp"
+#include "workload/updates.hpp"
+
+namespace {
+
+using namespace mobi;
+
+/// Runs a sim where fetched objects cost (overhead + size) against the
+/// per-tick time budget; the naive policy plans with size only and its
+/// selection is truncated when real costs exceed the budget.
+double run(const workload::Trace& trace, const object::Catalog& catalog,
+           object::Units overhead, object::Units time_budget, bool aware,
+           sim::Tick ticks) {
+  server::ServerPool servers(catalog, 1);
+  cache::Cache cache(catalog.size(), cache::make_harmonic_decay());
+  core::ReciprocalScorer scorer;
+  std::unique_ptr<core::DownloadPolicy> policy;
+  if (aware) {
+    policy = std::make_unique<core::OnDemandLatencyAwarePolicy>(overhead);
+  } else {
+    policy = std::make_unique<core::OnDemandKnapsackPolicy>();
+  }
+  auto updates = workload::make_periodic_staggered(catalog.size(), 3);
+
+  double score = 0.0;
+  std::size_t requests = 0;
+  for (sim::Tick t = 0; t < ticks; ++t) {
+    updates->for_each_updated(t, [&](object::ObjectId id) {
+      servers.apply_update(id, t);
+      cache.on_server_update(id);
+    });
+    const auto batch = trace.batch_at(t);
+    core::PolicyContext ctx;
+    ctx.catalog = &catalog;
+    ctx.cache = &cache;
+    ctx.servers = &servers;
+    ctx.scorer = &scorer;
+    ctx.now = t;
+    ctx.budget = time_budget;
+    // Real execution: each fetch costs overhead + size in time units;
+    // whatever exceeds the tick's time budget is dropped (the naive
+    // policy planned without the overhead, so it loses tail selections).
+    object::Units left = time_budget;
+    for (object::ObjectId id : policy->select(batch, ctx)) {
+      const object::Units cost = catalog.object_size(id) + overhead;
+      if (cost > left) continue;
+      left -= cost;
+      cache.refresh(id, servers.fetch(id), t);
+    }
+    for (const auto& request : batch) {
+      score += scorer.score(cache.recency_or_zero(request.object),
+                            request.target_recency);
+      ++requests;
+    }
+  }
+  return requests ? score / double(requests) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  util::Rng rng(std::uint64_t(flags.get_int("seed", 42)));
+  const sim::Tick ticks = 150;
+  const object::Catalog catalog = object::make_random_catalog(150, 1, 6, rng);
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(catalog.size(), 1.0),
+      workload::ConstantTarget{1.0}, 60, rng.split());
+  const workload::Trace trace = workload::generate_trace(generator, ticks);
+
+  util::Table table({"per-fetch overhead", "time budget", "naive avg score",
+                     "latency-aware avg score", "gain"});
+  for (object::Units overhead : {0, 1, 2, 4, 8}) {
+    const object::Units budget = 80;
+    const double naive = run(trace, catalog, overhead, budget, false, ticks);
+    const double aware = run(trace, catalog, overhead, budget, true, ticks);
+    table.add_row({(long long)(overhead), (long long)(budget), naive, aware,
+                   aware - naive});
+  }
+  mobi::bench::emit(flags,
+                    "Ablation: latency-aware knapsack mapping vs the paper's "
+                    "size-only mapping under per-fetch overhead",
+                    "ablation_latency", table);
+  std::cout << "Read: at overhead 0 the mappings coincide; as round trips "
+               "dominate small transfers the latency-aware mapping keeps "
+               "its whole plan feasible and wins.\n";
+  return 0;
+}

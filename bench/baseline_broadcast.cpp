@@ -1,0 +1,87 @@
+// Related-work baseline (paper §5): broadcast disks with a pull
+// backchannel (Acharya et al. [6], "most similar to ours"). Compares, on
+// a shared zipf workload:
+//   * flat broadcast (push only),
+//   * two-disk broadcast (hot objects air 4x as often),
+//   * hybrid push/pull at several thresholds,
+// reporting mean delivery latency in slots — the currency of the
+// dissemination line of work. The final section contrasts the paradigms:
+// broadcast delivers *fresh* data after a wait, the paper's base-station
+// cache delivers *immediately* at a recency cost; the same bandwidth knob
+// (pull/download budget) governs both.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "broadcast/hybrid.hpp"
+#include "exp/policy_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobi;
+  const util::Flags flags(argc, argv);
+  const std::size_t n = std::size_t(flags.get_int("objects", 200));
+  const auto seed = std::uint64_t(flags.get_int("seed", 42));
+
+  const auto access = workload::make_zipf_access(n, 1.0);
+  std::vector<double> probs(n);
+  for (object::ObjectId id = 0; id < n; ++id) probs[id] = access->probability(id);
+
+  broadcast::FlatSchedule flat(n);
+  const auto two_disk = broadcast::make_two_disk_schedule(n, 0.2, 4);
+  const auto sqrt_rule =
+      broadcast::make_sqrt_rule_schedule(probs, two_disk->period());
+
+  util::Table analytic({"schedule", "period", "mean expected wait (slots)",
+                        "wait per cycle slot"});
+  for (const broadcast::BroadcastSchedule* schedule :
+       {static_cast<const broadcast::BroadcastSchedule*>(&flat),
+        static_cast<const broadcast::BroadcastSchedule*>(two_disk.get()),
+        static_cast<const broadcast::BroadcastSchedule*>(sqrt_rule.get())}) {
+    const double wait = broadcast::mean_expected_wait(*schedule, probs);
+    analytic.add_row({std::string(schedule->name()),
+                      (long long)(schedule->period()), wait,
+                      wait / double(schedule->period())});
+  }
+  bench::emit(flags, "Analytic expected waits under zipf access",
+              "broadcast_analytic", analytic);
+
+  util::Table table({"schedule", "pull threshold", "mean latency",
+                     "broadcast fraction", "pulls", "max pull queue"});
+  for (const broadcast::BroadcastSchedule* schedule :
+       {static_cast<const broadcast::BroadcastSchedule*>(&flat),
+        static_cast<const broadcast::BroadcastSchedule*>(two_disk.get())}) {
+    for (std::size_t threshold :
+         {std::size_t(0), n / 8, n / 2, schedule->period()}) {
+      broadcast::HybridConfig config;
+      config.pull_threshold = threshold;
+      config.pull_bandwidth = 8;
+      config.requests_per_slot = 20;
+      config.slots = 4000;
+      config.seed = seed;
+      const auto result =
+          broadcast::simulate_hybrid(*schedule, *access, config);
+      table.add_row({std::string(schedule->name()), (long long)(threshold),
+                     result.mean_latency, result.broadcast_fraction,
+                     (long long)(result.pulls),
+                     (long long)(result.max_pull_queue)});
+    }
+  }
+  bench::emit(flags, "Hybrid push/pull simulation (zipf, 20 req/slot)",
+              "broadcast_hybrid", table);
+
+  // Paradigm contrast at matched bandwidth: on-demand caching serves at
+  // once from a possibly-stale cache.
+  exp::PolicySimConfig sim;
+  sim.object_count = n;
+  sim.access = exp::AccessPattern::kZipf;
+  sim.budget = 8;  // same units/tick as the backchannel above
+  sim.size_lo = sim.size_hi = 1;
+  sim.seed = seed;
+  const auto cached = exp::run_policy_sim(sim);
+  std::cout << "Contrast: the paper's on-demand cache at the same pull "
+               "bandwidth serves instantly (latency 0 slots) with average "
+               "recency "
+            << cached.average_recency << " and average client score "
+            << cached.average_score
+            << "; broadcast trades that staleness for waiting.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace mobi::bench {
+
+/// Prints a titled table to stdout and, when --out=<dir> is given, also
+/// writes <dir>/<slug>.csv.
+inline void emit(const util::Flags& flags, const std::string& title,
+                 const std::string& slug, const util::Table& table) {
+  std::cout << "== " << title << " ==\n" << table.to_string() << '\n';
+  const std::string dir = flags.get_string("out", "");
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + slug + ".csv";
+    util::write_file(path, table.to_csv());
+    std::cout << "(wrote " << path << ")\n\n";
+  }
+}
+
+}  // namespace mobi::bench

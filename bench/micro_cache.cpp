@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks for the cache layer: unbounded cache
+// operations, bounded-cache admission under each replacement policy, and
+// invalidation report generation/application.
+#include <benchmark/benchmark.h>
+
+#include "cache/invalidation.hpp"
+#include "cache/replacement.hpp"
+#include "object/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mobi;
+
+void BM_CacheRefresh(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  cache::Cache store(n, cache::make_harmonic_decay());
+  const server::FetchResult fetched{1, 0, 1};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.refresh(object::ObjectId(i++ % n), fetched, 0);
+  }
+}
+BENCHMARK(BM_CacheRefresh)->Range(256, 16384);
+
+void BM_CacheRecencyLookup(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  cache::Cache store(n, cache::make_harmonic_decay());
+  for (object::ObjectId id = 0; id < n; id += 2) {
+    store.refresh(id, server::FetchResult{1, 0, 1}, 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.recency_or_zero(object::ObjectId(i++ % n)));
+  }
+}
+BENCHMARK(BM_CacheRecencyLookup)->Range(256, 16384);
+
+void BM_BoundedCacheAdmit(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto catalog = object::make_random_catalog(2048, 1, 8, rng);
+  const cache::ReplacementPolicy policies[] = {
+      cache::lru_policy(), cache::lfu_policy(), cache::size_aware_policy(),
+      cache::recency_profit_policy()};
+  const auto& policy = policies[std::size_t(state.range(0))];
+  cache::BoundedCache store(catalog, cache::make_harmonic_decay(), 512,
+                            policy);
+  const server::FetchResult fetched{1, 0, 1};
+  std::size_t i = 0;
+  sim::Tick t = 0;
+  for (auto _ : state) {
+    store.admit(object::ObjectId((i += 37) % 2048), fetched, t++);
+  }
+  state.SetLabel(policy.name);
+}
+BENCHMARK(BM_BoundedCacheAdmit)->DenseRange(0, 3);
+
+void BM_InvalidationReport(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  cache::InvalidationLog log(n);
+  for (sim::Tick t = 0; t < 100; ++t) {
+    for (object::ObjectId id = 0; id < n; id += 5) {
+      log.record_update(id, t);
+    }
+  }
+  sim::Tick from = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.make_report(from % 90, from % 90 + 10));
+    ++from;
+  }
+}
+BENCHMARK(BM_InvalidationReport)->Range(256, 8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks for the knapsack solvers — the inner
+// loop of the on-demand policy, executed once per request batch. DP cost
+// scales as O(n * capacity); greedy as O(n log n).
+#include <benchmark/benchmark.h>
+
+#include "core/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mobi::core::KnapsackItem;
+using mobi::object::Units;
+
+std::vector<KnapsackItem> make_items(std::size_t n, std::uint64_t seed = 42) {
+  mobi::util::Rng rng(seed);
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.size = rng.uniform_int(1, 20);
+    item.profit = rng.uniform(0.0, 20.0);
+  }
+  return items;
+}
+
+void BM_KnapsackDp(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto items = make_items(n);
+  const Units capacity = Units(n) * 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobi::core::solve_dp(items, capacity));
+  }
+  state.SetComplexityN(int64_t(n));
+}
+BENCHMARK(BM_KnapsackDp)->Range(32, 512)->Complexity();
+
+void BM_KnapsackProfile(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto items = make_items(n);
+  const Units capacity = Units(n) * 10;
+  for (auto _ : state) {
+    mobi::core::KnapsackProfile profile(items, capacity);
+    benchmark::DoNotOptimize(profile.value_at(capacity));
+  }
+}
+BENCHMARK(BM_KnapsackProfile)->Range(32, 512);
+
+void BM_KnapsackGreedy(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto items = make_items(n);
+  const Units capacity = Units(n) * 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobi::core::solve_greedy(items, capacity));
+  }
+}
+BENCHMARK(BM_KnapsackGreedy)->Range(32, 4096);
+
+void BM_KnapsackFptas(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto items = make_items(n);
+  const Units capacity = Units(n) * 5;
+  const double epsilon = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobi::core::solve_fptas(items, capacity, epsilon));
+  }
+}
+BENCHMARK(BM_KnapsackFptas)->Range(32, 128);
+
+void BM_KnapsackBranchAndBound(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto items = make_items(n);
+  const Units capacity = Units(n) * 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobi::core::solve_branch_and_bound(items, capacity));
+  }
+}
+BENCHMARK(BM_KnapsackBranchAndBound)->Range(32, 256);
+
+void BM_ProfileReconstruction(benchmark::State& state) {
+  const auto items = make_items(256);
+  const Units capacity = 2560;
+  const mobi::core::KnapsackProfile profile(items, capacity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.solution_at(capacity));
+  }
+}
+BENCHMARK(BM_ProfileReconstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks for the simulation substrate: access
+// sampling, cache decay, base-station tick processing, and the event
+// kernel — the per-tick costs that bound how large a scenario the
+// simulator can run.
+#include <benchmark/benchmark.h>
+
+#include "cache/decay.hpp"
+#include "core/base_station.hpp"
+#include "object/builders.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace {
+
+using namespace mobi;
+
+void BM_ZipfSampling(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto access = workload::make_zipf_access(n, 1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(access->sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampling)->Range(64, 65536);
+
+void BM_CacheDecaySweep(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  cache::Cache cache(n, cache::make_harmonic_decay());
+  for (object::ObjectId id = 0; id < n; ++id) {
+    cache.refresh(id, server::FetchResult{1, 0, 1}, 0);
+  }
+  for (auto _ : state) {
+    for (object::ObjectId id = 0; id < n; ++id) cache.on_server_update(id);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_CacheDecaySweep)->Range(128, 8192);
+
+void BM_BaseStationTick(benchmark::State& state) {
+  const auto objects = std::size_t(state.range(0));
+  util::Rng rng(1);
+  const auto catalog = object::make_random_catalog(objects, 1, 10, rng);
+  server::ServerPool servers(catalog, 1);
+  core::BaseStationConfig config;
+  config.download_budget = object::Units(objects) / 4;
+  core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
+                            std::make_unique<core::ReciprocalScorer>(),
+                            core::make_policy("on-demand-knapsack"), config);
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(objects, 1.0), workload::ConstantTarget{1.0},
+      objects / 2, rng.split());
+  sim::Tick t = 0;
+  for (auto _ : state) {
+    station.process_batch(generator.next_batch(), t++);
+  }
+}
+BENCHMARK(BM_BaseStationTick)->Range(64, 1024);
+
+void BM_EventKernel(benchmark::State& state) {
+  const auto events = std::size_t(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (std::size_t i = 0; i < events; ++i) {
+      simulator.schedule_at(double(i % 97), [] {});
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(events));
+}
+BENCHMARK(BM_EventKernel)->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Hybrid push/pull dissemination (Acharya, Franklin & Zdonik, SIGMOD '97 —
+// the related-work system the paper calls "most similar to ours": clients
+// either wait for an object to air on the broadcast channel or explicitly
+// request it over a limited pull backchannel).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "broadcast/schedule.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::broadcast {
+
+struct HybridConfig {
+  /// Client requests arriving per broadcast slot.
+  std::size_t requests_per_slot = 10;
+  /// A request whose wait until its object airs exceeds this many slots
+  /// goes to the pull backchannel instead. 0 = pull everything;
+  /// >= schedule period = pure broadcast (never pull).
+  std::size_t pull_threshold = 10;
+  /// Pull requests the backchannel can serve per slot.
+  std::size_t pull_bandwidth = 5;
+  /// Simulated slots.
+  std::size_t slots = 2000;
+  std::uint64_t seed = 42;
+};
+
+struct HybridResult {
+  double mean_latency = 0.0;          // slots, over all requests
+  double mean_broadcast_latency = 0.0;
+  double mean_pull_latency = 0.0;
+  double broadcast_fraction = 0.0;    // requests served off the air
+  std::size_t pulls = 0;
+  std::size_t max_pull_queue = 0;
+};
+
+/// Slot-by-slot simulation: each slot, new requests arrive and choose
+/// broadcast or pull by the threshold rule; the backchannel serves FIFO at
+/// its bandwidth. Latency = slots until the object is delivered.
+HybridResult simulate_hybrid(const BroadcastSchedule& schedule,
+                             const workload::AccessDistribution& access,
+                             const HybridConfig& config);
+
+}  // namespace mobi::broadcast

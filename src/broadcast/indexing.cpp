@@ -1,0 +1,71 @@
+#include "broadcast/indexing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobi::broadcast {
+
+namespace {
+void validate(const IndexedBroadcastConfig& config) {
+  if (config.data_slots == 0 || config.index_slots == 0 ||
+      config.index_copies == 0) {
+    throw std::invalid_argument("IndexedBroadcast: all sizes must be > 0");
+  }
+  if (config.index_copies > config.data_slots) {
+    throw std::invalid_argument(
+        "IndexedBroadcast: more index copies than data slots");
+  }
+}
+}  // namespace
+
+std::size_t cycle_length(const IndexedBroadcastConfig& config) {
+  validate(config);
+  return config.data_slots + config.index_copies * config.index_slots;
+}
+
+double expected_access_latency(const IndexedBroadcastConfig& config) {
+  validate(config);
+  const double d = double(config.data_slots);
+  const double i = double(config.index_slots);
+  const double m = double(config.index_copies);
+  const double probe = 1.0;
+  const double wait_for_index = (d / m + i) / 2.0;
+  const double read_index = i;
+  const double wait_for_object = (d + m * i) / 2.0;  // half the cycle
+  return probe + wait_for_index + read_index + wait_for_object +
+         double(config.object_slots);
+}
+
+double expected_tuning_time(const IndexedBroadcastConfig& config) {
+  validate(config);
+  return 1.0 + double(config.index_slots) + double(config.object_slots);
+}
+
+std::size_t optimal_index_copies(std::size_t data_slots,
+                                 std::size_t index_slots) {
+  if (data_slots == 0 || index_slots == 0) {
+    throw std::invalid_argument("optimal_index_copies: sizes must be > 0");
+  }
+  const double ideal = std::sqrt(double(data_slots) / double(index_slots));
+  // Compare the two integer neighbors under the true latency formula.
+  const auto lo = std::size_t(std::max(1.0, std::floor(ideal)));
+  const auto hi = lo + 1;
+  auto latency = [&](std::size_t m) {
+    IndexedBroadcastConfig config;
+    config.data_slots = data_slots;
+    config.index_slots = index_slots;
+    config.index_copies = std::min(m, data_slots);
+    return expected_access_latency(config);
+  };
+  return latency(lo) <= latency(hi) ? lo : std::min(hi, data_slots);
+}
+
+double unindexed_access_latency(std::size_t data_slots,
+                                std::size_t object_slots) {
+  if (data_slots == 0) {
+    throw std::invalid_argument("unindexed_access_latency: no data");
+  }
+  return double(data_slots) / 2.0 + double(object_slots);
+}
+
+}  // namespace mobi::broadcast

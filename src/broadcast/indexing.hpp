@@ -1,0 +1,55 @@
+// (1, m) broadcast indexing — "energy efficient indexing on air"
+// (Imielinski, Viswanathan & Badrinath; the paper's [2] co-author line of
+// work on mobile wireless data).
+//
+// Broadcasting data without an index forces clients to listen
+// continuously (tuning time = access latency = expensive in battery).
+// The (1, m) scheme interleaves m copies of an index (I slots each) with
+// the data (D slots, split into m equal segments):
+//
+//   [index][D/m data][index][D/m data] ... (m times) — cycle L = D + m*I
+//
+// A client: probes one slot (every slot carries the offset of the next
+// index copy), dozes to that index, reads it (I slots), dozes to its
+// object's segment, and reads the object. Access latency spans the whole
+// wait; tuning time — the energy currency — is just probe + index + data.
+#pragma once
+
+#include <cstddef>
+
+namespace mobi::broadcast {
+
+struct IndexedBroadcastConfig {
+  std::size_t data_slots = 1000;  // D: total data slots per cycle (> 0)
+  std::size_t index_slots = 10;   // I: size of one index copy (> 0)
+  std::size_t index_copies = 10;  // m: copies per cycle (> 0, <= D)
+  std::size_t object_slots = 1;   // size of the requested object
+};
+
+/// Cycle length L = D + m*I.
+std::size_t cycle_length(const IndexedBroadcastConfig& config);
+
+/// Expected access latency in slots for a random tune-in and a uniformly
+/// placed object: probe(1) + E[wait to next index] + I + E[doze to the
+/// object, spanning interleaved index copies] + object read
+///   = 1 + (D/m + I)/2 + I + (D + m*I)/2 + object_slots
+/// (next-index spacing is L/m = D/m + I; the object doze averages half
+/// the full cycle L = D + m*I). Minimized at m* = sqrt(D/I).
+double expected_access_latency(const IndexedBroadcastConfig& config);
+
+/// Expected tuning (listening) time: probe + one index + the object.
+double expected_tuning_time(const IndexedBroadcastConfig& config);
+
+/// The m minimizing expected access latency: m* = sqrt(D / I) (rounded to
+/// the better neighbor, at least 1).
+std::size_t optimal_index_copies(std::size_t data_slots,
+                                 std::size_t index_slots);
+
+/// Latency of broadcasting with no index at all (client listens from
+/// tune-in until the object passes: L'/2 + object on average, with
+/// L' = D) — and tuning time equal to that latency. The baseline (1, m)
+/// improves on.
+double unindexed_access_latency(std::size_t data_slots,
+                                std::size_t object_slots);
+
+}  // namespace mobi::broadcast

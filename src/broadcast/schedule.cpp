@@ -1,0 +1,244 @@
+#include "broadcast/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace mobi::broadcast {
+
+std::size_t BroadcastSchedule::frequency(object::ObjectId id) const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < period(); ++s) {
+    if (at_slot(s) == id) ++count;
+  }
+  return count;
+}
+
+double BroadcastSchedule::expected_wait(object::ObjectId id) const {
+  const std::size_t p = period();
+  // dist[s] = slots from s to the next occurrence at or after s (0 when
+  // the object airs in slot s itself). Two backward passes handle the
+  // cyclic wrap.
+  std::vector<std::size_t> dist(p, std::numeric_limits<std::size_t>::max());
+  bool seen = false;
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = p; i-- > 0;) {
+      if (at_slot(i) == id) {
+        dist[i] = 0;
+        seen = true;
+      } else if (i + 1 < p && dist[i + 1] != std::numeric_limits<std::size_t>::max()) {
+        dist[i] = dist[i + 1] + 1;
+      } else if (i + 1 == p && dist[0] != std::numeric_limits<std::size_t>::max()) {
+        dist[i] = dist[0] + 1;
+      }
+    }
+  }
+  if (!seen) {
+    throw std::invalid_argument("expected_wait: object never broadcast");
+  }
+  double total = 0.0;
+  for (std::size_t d : dist) total += double(d);
+  return total / double(p);
+}
+
+std::size_t BroadcastSchedule::worst_wait(object::ObjectId id) const {
+  std::size_t worst = 0;
+  for (std::size_t s = 0; s < period(); ++s) {
+    worst = std::max(worst, wait_from(id, s));
+  }
+  return worst;
+}
+
+std::size_t BroadcastSchedule::wait_from(object::ObjectId id,
+                                         std::size_t slot) const {
+  const std::size_t p = period();
+  for (std::size_t w = 0; w < p; ++w) {
+    if (at_slot((slot + w) % p) == id) return w;
+  }
+  throw std::invalid_argument("wait_from: object never broadcast");
+}
+
+FlatSchedule::FlatSchedule(std::size_t object_count)
+    : object_count_(object_count) {
+  if (object_count == 0) {
+    throw std::invalid_argument("FlatSchedule: need >= 1 object");
+  }
+}
+
+object::ObjectId FlatSchedule::at_slot(std::size_t slot) const {
+  return object::ObjectId(slot % object_count_);
+}
+
+MultiDiskSchedule::MultiDiskSchedule(
+    std::vector<std::vector<object::ObjectId>> disks,
+    std::vector<std::size_t> frequencies)
+    : frequencies_(std::move(frequencies)) {
+  if (disks.empty() || disks.size() != frequencies_.size()) {
+    throw std::invalid_argument("MultiDiskSchedule: disks/frequencies mismatch");
+  }
+  std::size_t max_freq = 0;
+  for (std::size_t f : frequencies_) {
+    if (f == 0) throw std::invalid_argument("MultiDiskSchedule: zero frequency");
+    max_freq = std::max(max_freq, f);
+  }
+  for (std::size_t f : frequencies_) {
+    if (max_freq % f != 0) {
+      throw std::invalid_argument(
+          "MultiDiskSchedule: every frequency must divide the maximum");
+    }
+  }
+  for (const auto& disk : disks) {
+    if (disk.empty()) {
+      throw std::invalid_argument("MultiDiskSchedule: empty disk");
+    }
+    disk_sizes_.push_back(disk.size());
+  }
+
+  // Acharya's interleaving: disk d is split into (max_freq / f_d) chunks;
+  // minor cycle i carries chunk (i mod chunks_d) of every disk. Each
+  // object on disk d then airs exactly f_d times per period.
+  std::vector<std::size_t> chunk_counts(disks.size());
+  for (std::size_t d = 0; d < disks.size(); ++d) {
+    chunk_counts[d] = max_freq / frequencies_[d];
+    if (chunk_counts[d] > disks[d].size()) {
+      throw std::invalid_argument(
+          "MultiDiskSchedule: disk too small for its chunk count");
+    }
+  }
+  for (std::size_t cycle = 0; cycle < max_freq; ++cycle) {
+    for (std::size_t d = 0; d < disks.size(); ++d) {
+      const std::size_t chunks = chunk_counts[d];
+      const std::size_t chunk = cycle % chunks;
+      // Chunk boundaries split the disk as evenly as possible.
+      const std::size_t begin = disks[d].size() * chunk / chunks;
+      const std::size_t end = disks[d].size() * (chunk + 1) / chunks;
+      for (std::size_t i = begin; i < end; ++i) slots_.push_back(disks[d][i]);
+    }
+  }
+}
+
+object::ObjectId MultiDiskSchedule::at_slot(std::size_t slot) const {
+  return slots_[slot % slots_.size()];
+}
+
+std::string MultiDiskSchedule::name() const {
+  std::string result = "multi-disk(";
+  for (std::size_t d = 0; d < frequencies_.size(); ++d) {
+    if (d) result += ",";
+    result += std::to_string(disk_sizes_[d]) + "x" +
+              std::to_string(frequencies_[d]);
+  }
+  return result + ")";
+}
+
+std::unique_ptr<BroadcastSchedule> make_two_disk_schedule(
+    std::size_t object_count, double hot_fraction, std::size_t speed_ratio) {
+  if (object_count < 2) {
+    throw std::invalid_argument("make_two_disk_schedule: need >= 2 objects");
+  }
+  if (hot_fraction <= 0.0 || hot_fraction >= 1.0) {
+    throw std::invalid_argument("make_two_disk_schedule: hot_fraction in (0,1)");
+  }
+  if (speed_ratio == 0) {
+    throw std::invalid_argument("make_two_disk_schedule: zero speed ratio");
+  }
+  auto hot_count = std::size_t(double(object_count) * hot_fraction);
+  hot_count = std::clamp<std::size_t>(hot_count, 1, object_count - 1);
+  std::vector<object::ObjectId> hot, cold;
+  for (object::ObjectId id = 0; id < object_count; ++id) {
+    (id < hot_count ? hot : cold).push_back(id);
+  }
+  // The slow disk must have at least speed_ratio chunks.
+  if (cold.size() < speed_ratio) {
+    throw std::invalid_argument(
+        "make_two_disk_schedule: cold disk smaller than the speed ratio");
+  }
+  return std::make_unique<MultiDiskSchedule>(
+      std::vector<std::vector<object::ObjectId>>{std::move(hot),
+                                                 std::move(cold)},
+      std::vector<std::size_t>{speed_ratio, 1});
+}
+
+ExplicitSchedule::ExplicitSchedule(std::string name,
+                                   std::vector<object::ObjectId> slots)
+    : name_(std::move(name)), slots_(std::move(slots)) {
+  if (slots_.empty()) {
+    throw std::invalid_argument("ExplicitSchedule: empty cycle");
+  }
+}
+
+std::unique_ptr<BroadcastSchedule> make_sqrt_rule_schedule(
+    std::span<const double> access_probabilities, std::size_t period_hint) {
+  const std::size_t n = access_probabilities.size();
+  if (n == 0) {
+    throw std::invalid_argument("make_sqrt_rule_schedule: no objects");
+  }
+  if (period_hint < n) {
+    throw std::invalid_argument(
+        "make_sqrt_rule_schedule: period_hint must be >= object count");
+  }
+  double sqrt_sum = 0.0;
+  for (double p : access_probabilities) {
+    if (p < 0.0) {
+      throw std::invalid_argument("make_sqrt_rule_schedule: negative prob");
+    }
+    sqrt_sum += std::sqrt(p);
+  }
+  if (sqrt_sum <= 0.0) {
+    throw std::invalid_argument("make_sqrt_rule_schedule: zero total prob");
+  }
+  std::vector<std::size_t> freq(n);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    freq[i] = std::max<std::size_t>(
+        1, std::size_t(std::llround(double(period_hint) *
+                                    std::sqrt(access_probabilities[i]) /
+                                    sqrt_sum)));
+    total += freq[i];
+  }
+  // Even spreading: repeatedly emit the object whose next ideal position
+  // is earliest (interval_i = total / f_i), the classic fair-cycle build.
+  struct Pending {
+    double next = 0.0;
+    double interval = 0.0;
+    object::ObjectId id = 0;
+    bool operator>(const Pending& other) const {
+      if (next != other.next) return next > other.next;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double interval = double(total) / double(freq[i]);
+    // Stagger starts so distinct objects do not all collide at slot 0.
+    heap.push(Pending{interval * double(i) / double(n), interval,
+                      object::ObjectId(i)});
+  }
+  std::vector<object::ObjectId> slots;
+  slots.reserve(total);
+  for (std::size_t s = 0; s < total; ++s) {
+    Pending top = heap.top();
+    heap.pop();
+    slots.push_back(top.id);
+    top.next += top.interval;
+    heap.push(top);
+  }
+  return std::make_unique<ExplicitSchedule>("sqrt-rule", std::move(slots));
+}
+
+double mean_expected_wait(const BroadcastSchedule& schedule,
+                          std::span<const double> access_probabilities) {
+  double total = 0.0;
+  for (std::size_t id = 0; id < access_probabilities.size(); ++id) {
+    if (access_probabilities[id] > 0.0) {
+      total += access_probabilities[id] *
+               schedule.expected_wait(object::ObjectId(id));
+    }
+  }
+  return total;
+}
+
+}  // namespace mobi::broadcast

@@ -1,0 +1,112 @@
+// Broadcast-disk schedules (related work, paper §5 [4,5,6]).
+//
+// In data dissemination, the base station *pushes* objects on a broadcast
+// channel in a fixed cyclic schedule; clients tune in and wait for the
+// object they need. Acharya et al.'s Broadcast Disks assign objects to
+// "disks" spinning at different speeds so hot objects appear more often.
+// This substrate implements flat and multi-disk schedules, their expected
+// waiting times, and is used by the hybrid push/pull baseline the paper
+// calls "most similar to ours" ([6]).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "object/object.hpp"
+
+namespace mobi::broadcast {
+
+/// A cyclic broadcast schedule: slot s carries object at_slot(s % period).
+class BroadcastSchedule {
+ public:
+  virtual ~BroadcastSchedule() = default;
+  virtual std::size_t period() const noexcept = 0;
+  virtual object::ObjectId at_slot(std::size_t slot) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Number of slots object `id` occupies per period.
+  std::size_t frequency(object::ObjectId id) const;
+  /// Expected slots a client tuning in at a uniformly random time waits
+  /// for `id` (average over all start slots of the distance to the next
+  /// occurrence). Infinite (throws std::invalid_argument) if the object
+  /// never airs.
+  double expected_wait(object::ObjectId id) const;
+  /// Worst-case slots until `id` airs.
+  std::size_t worst_wait(object::ObjectId id) const;
+  /// Slots until the next occurrence of `id` at or after `slot`.
+  std::size_t wait_from(object::ObjectId id, std::size_t slot) const;
+};
+
+/// Round-robin over all n objects: period n, every object once.
+class FlatSchedule final : public BroadcastSchedule {
+ public:
+  explicit FlatSchedule(std::size_t object_count);
+  std::size_t period() const noexcept override { return object_count_; }
+  object::ObjectId at_slot(std::size_t slot) const override;
+  std::string name() const override { return "flat"; }
+
+ private:
+  std::size_t object_count_;
+};
+
+/// Acharya-style multi-disk schedule. Objects are partitioned into disks;
+/// disk d has a relative frequency freq[d] (hotter disks spin faster).
+/// The schedule interleaves chunks so each period broadcasts disk d
+/// exactly freq[d] times, evenly spaced.
+class MultiDiskSchedule final : public BroadcastSchedule {
+ public:
+  /// `disks[d]` lists the object ids on disk d; `frequencies[d]` is its
+  /// relative spin speed (positive integers; typically decreasing).
+  MultiDiskSchedule(std::vector<std::vector<object::ObjectId>> disks,
+                    std::vector<std::size_t> frequencies);
+
+  std::size_t period() const noexcept override { return slots_.size(); }
+  object::ObjectId at_slot(std::size_t slot) const override;
+  std::string name() const override;
+  std::size_t disk_count() const noexcept { return disk_sizes_.size(); }
+
+ private:
+  std::vector<object::ObjectId> slots_;  // fully materialized period
+  std::vector<std::size_t> disk_sizes_;
+  std::vector<std::size_t> frequencies_;
+};
+
+/// A fully materialized schedule (used by the square-root rule below and
+/// available for hand-built cycles).
+class ExplicitSchedule final : public BroadcastSchedule {
+ public:
+  ExplicitSchedule(std::string name, std::vector<object::ObjectId> slots);
+  std::size_t period() const noexcept override { return slots_.size(); }
+  object::ObjectId at_slot(std::size_t slot) const override {
+    return slots_[slot % slots_.size()];
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<object::ObjectId> slots_;
+};
+
+/// The square-root rule: to minimize mean expected wait, object i's
+/// broadcast frequency should be proportional to sqrt(p_i) (a classical
+/// result of broadcast scheduling). Builds a cycle of roughly
+/// `period_hint` slots with per-object frequencies
+/// f_i = max(1, round(period_hint * sqrt(p_i) / sum_j sqrt(p_j))),
+/// occurrences spread as evenly as possible.
+std::unique_ptr<BroadcastSchedule> make_sqrt_rule_schedule(
+    std::span<const double> access_probabilities, std::size_t period_hint);
+
+/// Splits the hottest `hot_fraction` of objects (by rank order 0..n-1)
+/// onto a fast disk with the given speed ratio; the rest go on a slow
+/// disk. Convenience for benchmarks.
+std::unique_ptr<BroadcastSchedule> make_two_disk_schedule(
+    std::size_t object_count, double hot_fraction, std::size_t speed_ratio);
+
+/// Mean expected wait over an access distribution: sum_i p(i) * E[wait_i].
+double mean_expected_wait(const BroadcastSchedule& schedule,
+                          std::span<const double> access_probabilities);
+
+}  // namespace mobi::broadcast

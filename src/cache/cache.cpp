@@ -1,0 +1,100 @@
+#include "cache/cache.hpp"
+
+#include <stdexcept>
+
+namespace mobi::cache {
+
+Cache::Cache(std::size_t object_count,
+             std::shared_ptr<const DecayModel> decay)
+    : entries_(object_count), decay_(std::move(decay)) {
+  if (!decay_) throw std::invalid_argument("Cache: null decay model");
+}
+
+void Cache::check(object::ObjectId id) const {
+  if (id >= entries_.size()) throw std::out_of_range("Cache: bad object id");
+}
+
+bool Cache::contains(object::ObjectId id) const {
+  check(id);
+  return entries_[id].has_value();
+}
+
+void Cache::refresh(object::ObjectId id, const server::FetchResult& fetch,
+                    sim::Tick now, double recency) {
+  check(id);
+  if (!(recency > 0.0) || recency > 1.0) {
+    throw std::invalid_argument("Cache::refresh: recency must be in (0, 1]");
+  }
+  auto& slot = entries_[id];
+  if (!slot) {
+    slot.emplace();
+    ++resident_;
+  }
+  slot->version = fetch.version;
+  slot->recency = recency;
+  slot->fetched_at = now;
+  ++slot->refreshes;
+  ++stats_.refreshes;
+}
+
+void Cache::on_server_update(object::ObjectId id) {
+  check(id);
+  auto& slot = entries_[id];
+  if (!slot) return;
+  slot->recency = decay_->decayed(slot->recency);
+  ++stats_.decays;
+}
+
+std::optional<double> Cache::recency(object::ObjectId id) const {
+  check(id);
+  const auto& slot = entries_[id];
+  if (!slot) return std::nullopt;
+  return slot->recency;
+}
+
+double Cache::recency_or_zero(object::ObjectId id) const {
+  return recency(id).value_or(0.0);
+}
+
+std::optional<server::Version> Cache::version(object::ObjectId id) const {
+  check(id);
+  const auto& slot = entries_[id];
+  if (!slot) return std::nullopt;
+  return slot->version;
+}
+
+bool Cache::is_stale(object::ObjectId id,
+                     server::Version server_version) const {
+  check(id);
+  const auto& slot = entries_[id];
+  return !slot || slot->version < server_version;
+}
+
+void Cache::record_read(object::ObjectId id) {
+  check(id);
+  auto& slot = entries_[id];
+  if (slot) {
+    ++slot->hits;
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+}
+
+bool Cache::evict(object::ObjectId id) {
+  check(id);
+  auto& slot = entries_[id];
+  if (!slot) return false;
+  slot.reset();
+  --resident_;
+  return true;
+}
+
+const Entry& Cache::entry(object::ObjectId id) const {
+  check(id);
+  const auto& slot = entries_[id];
+  if (!slot) throw std::logic_error("Cache::entry: object not cached");
+  return *slot;
+}
+
+}  // namespace mobi::cache

@@ -1,0 +1,90 @@
+// The base-station cache.
+//
+// Tracks, per object: whether a copy is cached, the cached version, a
+// recency score in (0, 1] (1.0 = as fresh as the master, decayed once per
+// missed server update), and bookkeeping counters. This is the paper's
+// unbounded cache ("we assume that the base station can cache a copy of
+// every object that is requested"); the bounded variant with replacement
+// lives in replacement.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/decay.hpp"
+#include "object/object.hpp"
+#include "server/remote_server.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::cache {
+
+struct Entry {
+  server::Version version = 0;
+  double recency = 1.0;
+  sim::Tick fetched_at = 0;
+  std::uint32_t hits = 0;
+  std::uint32_t refreshes = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;   // reads of objects not present at all
+  std::uint64_t refreshes = 0;
+  std::uint64_t decays = 0;
+};
+
+class Cache {
+ public:
+  /// `decay` is shared so many caches can use one model; must be non-null.
+  Cache(std::size_t object_count, std::shared_ptr<const DecayModel> decay);
+
+  std::size_t object_count() const noexcept { return entries_.size(); }
+  bool contains(object::ObjectId id) const;
+
+  /// Installs a copy: version from the fetch, recency reset to `recency`
+  /// (1.0 for a copy straight from the master; lower when the installed
+  /// copy is itself a relay of a stale cache entry).
+  void refresh(object::ObjectId id, const server::FetchResult& fetch,
+               sim::Tick now, double recency = 1.0);
+
+  /// Notification that the master of `id` changed; decays the cached
+  /// copy's recency score (no-op if not cached).
+  void on_server_update(object::ObjectId id);
+
+  /// Recency score of the cached copy; nullopt if not cached.
+  std::optional<double> recency(object::ObjectId id) const;
+  /// Recency treating "not cached" as 0 (useful for profit computations).
+  double recency_or_zero(object::ObjectId id) const;
+
+  /// Cached version; nullopt if not cached.
+  std::optional<server::Version> version(object::ObjectId id) const;
+
+  /// True when the cached copy is older than `server_version` (or absent).
+  bool is_stale(object::ObjectId id, server::Version server_version) const;
+
+  /// Records a read served from the cache (hit/miss accounting only).
+  void record_read(object::ObjectId id);
+
+  /// Drops the cached copy of `id` (no-op when absent). Returns whether a
+  /// copy was present. Used by bounded caches for replacement.
+  bool evict(object::ObjectId id);
+
+  const Entry& entry(object::ObjectId id) const;
+  const CacheStats& stats() const noexcept { return stats_; }
+  const DecayModel& decay_model() const noexcept { return *decay_; }
+
+  /// Number of objects currently cached.
+  std::size_t resident() const noexcept { return resident_; }
+
+ private:
+  void check(object::ObjectId id) const;
+
+  std::vector<std::optional<Entry>> entries_;
+  std::shared_ptr<const DecayModel> decay_;
+  CacheStats stats_;
+  std::size_t resident_ = 0;
+};
+
+}  // namespace mobi::cache

@@ -1,0 +1,74 @@
+#include "cache/decay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobi::cache {
+
+namespace {
+void check_score(double score) {
+  if (!(score > 0.0) || score > 1.0) {
+    throw std::invalid_argument("DecayModel: score must be in (0, 1]");
+  }
+}
+}  // namespace
+
+double DecayModel::after_misses(double score, unsigned misses) const {
+  check_score(score);
+  for (unsigned i = 0; i < misses; ++i) score = decayed(score);
+  return score;
+}
+
+HarmonicDecay::HarmonicDecay(double c) : c_(c) {
+  if (!(c > 0.0) || c > 1.0) {
+    throw std::invalid_argument("HarmonicDecay: C must be in (0, 1]");
+  }
+}
+
+double HarmonicDecay::decayed(double score) const {
+  check_score(score);
+  return c_ / (1.0 / score + 1.0);  // == c*x / (1 + x)
+}
+
+double HarmonicDecay::after_misses(double score, unsigned misses) const {
+  check_score(score);
+  if (c_ == 1.0) {
+    // Closed form for C = 1: x_k = x / (1 + k*x).
+    return score / (1.0 + double(misses) * score);
+  }
+  return DecayModel::after_misses(score, misses);
+}
+
+std::string HarmonicDecay::name() const {
+  return "harmonic(C=" + std::to_string(c_) + ")";
+}
+
+ExponentialDecay::ExponentialDecay(double factor) : factor_(factor) {
+  if (!(factor > 0.0) || factor >= 1.0) {
+    throw std::invalid_argument("ExponentialDecay: factor must be in (0, 1)");
+  }
+}
+
+double ExponentialDecay::decayed(double score) const {
+  check_score(score);
+  return factor_ * score;
+}
+
+double ExponentialDecay::after_misses(double score, unsigned misses) const {
+  check_score(score);
+  return score * std::pow(factor_, double(misses));
+}
+
+std::string ExponentialDecay::name() const {
+  return "exponential(f=" + std::to_string(factor_) + ")";
+}
+
+std::unique_ptr<DecayModel> make_harmonic_decay(double c) {
+  return std::make_unique<HarmonicDecay>(c);
+}
+
+std::unique_ptr<DecayModel> make_exponential_decay(double factor) {
+  return std::make_unique<ExponentialDecay>(factor);
+}
+
+}  // namespace mobi::cache

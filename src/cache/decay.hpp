@@ -1,0 +1,58 @@
+// Recency-score decay models.
+//
+// A cached copy's recency score starts at 1.0 when freshly fetched and
+// decays every time the master copy changes at the remote server without
+// the cache being refreshed. The paper's model (§3.2): each missed update
+// applies x' = C / (1/x + 1); with the default C = 1 this is the harmonic
+// ramp 1, 1/2, 1/3, ... An exponential alternative is provided for
+// ablation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace mobi::cache {
+
+class DecayModel {
+ public:
+  virtual ~DecayModel() = default;
+  /// Score after one more missed server update. Must map (0, 1] into
+  /// (0, 1] and never increase the score.
+  virtual double decayed(double score) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Score after `misses` consecutive missed updates starting from
+  /// `score`; the default iterates decayed().
+  virtual double after_misses(double score, unsigned misses) const;
+};
+
+/// The paper's decay: x' = C / (1/x + 1) = C*x / (1 + x), with 0 < C <= 1.
+class HarmonicDecay final : public DecayModel {
+ public:
+  explicit HarmonicDecay(double c = 1.0);
+  double decayed(double score) const override;
+  double after_misses(double score, unsigned misses) const override;
+  std::string name() const override;
+  double c() const noexcept { return c_; }
+
+ private:
+  double c_;
+};
+
+/// x' = factor * x with 0 < factor < 1.
+class ExponentialDecay final : public DecayModel {
+ public:
+  explicit ExponentialDecay(double factor = 0.5);
+  double decayed(double score) const override;
+  double after_misses(double score, unsigned misses) const override;
+  std::string name() const override;
+  double factor() const noexcept { return factor_; }
+
+ private:
+  double factor_;
+};
+
+std::unique_ptr<DecayModel> make_harmonic_decay(double c = 1.0);
+std::unique_ptr<DecayModel> make_exponential_decay(double factor = 0.5);
+
+}  // namespace mobi::cache

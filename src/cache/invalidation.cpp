@@ -1,0 +1,107 @@
+#include "cache/invalidation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::cache {
+
+InvalidationLog::InvalidationLog(std::size_t object_count)
+    : object_count_(object_count), updates_(object_count) {}
+
+void InvalidationLog::record_update(object::ObjectId id, sim::Tick tick) {
+  if (id >= object_count_) throw std::out_of_range("InvalidationLog: bad id");
+  auto& history = updates_[id];
+  if (!history.empty() && tick < history.back()) {
+    throw std::logic_error("InvalidationLog: updates must be time-ordered");
+  }
+  history.push_back(tick);
+  ++total_;
+}
+
+InvalidationReport InvalidationLog::make_report(sim::Tick from,
+                                                sim::Tick to) const {
+  if (from > to) throw std::invalid_argument("InvalidationLog: from > to");
+  InvalidationReport report;
+  report.window_start = from;
+  report.window_end = to;
+  for (object::ObjectId id = 0; id < object_count_; ++id) {
+    const auto& history = updates_[id];
+    const auto lo = std::lower_bound(history.begin(), history.end(), from);
+    const auto hi = std::lower_bound(history.begin(), history.end(), to);
+    const auto count = std::uint32_t(hi - lo);
+    if (count > 0) {
+      report.items.push_back(InvalidationReport::Item{id, count});
+    }
+  }
+  return report;
+}
+
+void InvalidationLog::prune(sim::Tick before) {
+  for (auto& history : updates_) {
+    const auto cut = std::lower_bound(history.begin(), history.end(), before);
+    history.erase(history.begin(), cut);
+  }
+}
+
+InvalidationSink make_sink(Cache& cache) {
+  InvalidationSink sink;
+  sink.object_count = [&cache] { return cache.object_count(); };
+  sink.contains = [&cache](object::ObjectId id) { return cache.contains(id); };
+  sink.decay = [&cache](object::ObjectId id) { cache.on_server_update(id); };
+  sink.drop = [&cache](object::ObjectId id) { cache.evict(id); };
+  return sink;
+}
+
+InvalidationSink make_sink(BoundedCache& cache) {
+  InvalidationSink sink;
+  sink.object_count = [&cache] { return cache.inner().object_count(); };
+  sink.contains = [&cache](object::ObjectId id) { return cache.contains(id); };
+  sink.decay = [&cache](object::ObjectId id) { cache.on_server_update(id); };
+  sink.drop = [&cache](object::ObjectId id) { cache.evict(id); };
+  return sink;
+}
+
+InvalidationListener::InvalidationListener(Cache& cache)
+    : InvalidationListener(make_sink(cache)) {}
+
+InvalidationListener::InvalidationListener(BoundedCache& cache)
+    : InvalidationListener(make_sink(cache)) {}
+
+InvalidationListener::InvalidationListener(InvalidationSink sink)
+    : sink_(std::move(sink)) {
+  if (!sink_.object_count || !sink_.contains || !sink_.decay || !sink_.drop) {
+    throw std::invalid_argument("InvalidationListener: incomplete sink");
+  }
+}
+
+int InvalidationListener::apply(const InvalidationReport& report) {
+  if (report.window_end < report.window_start) {
+    throw std::invalid_argument("InvalidationListener: bad report window");
+  }
+  // Sleeper rule: a gap between the last report heard and this one means
+  // we may have missed invalidations — nothing cached can be trusted.
+  if (heard_any_ && report.window_start > last_end_) {
+    const std::size_t n = sink_.object_count();
+    for (object::ObjectId id = 0; id < n; ++id) sink_.drop(id);
+    ++drops_;
+    last_end_ = report.window_end;
+    ++applied_;
+    // The report's own contents are irrelevant: the cache is empty now.
+    return -1;
+  }
+  int decayed = 0;
+  for (const auto& item : report.items) {
+    for (std::uint32_t k = 0; k < item.updates; ++k) {
+      if (sink_.contains(item.object)) {
+        sink_.decay(item.object);
+        ++decayed;
+      }
+    }
+  }
+  heard_any_ = true;
+  last_end_ = std::max(last_end_, report.window_end);
+  ++applied_;
+  return decayed;
+}
+
+}  // namespace mobi::cache

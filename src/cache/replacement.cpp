@@ -1,0 +1,130 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mobi::cache {
+
+ReplacementPolicy lru_policy() {
+  return ReplacementPolicy{
+      "lru", [](const Residency& r, sim::Tick now) {
+        return double(now - r.last_access);  // older access = higher priority
+      }};
+}
+
+ReplacementPolicy lfu_policy() {
+  return ReplacementPolicy{"lfu", [](const Residency& r, sim::Tick) {
+                             return -double(r.access_count);
+                           }};
+}
+
+ReplacementPolicy size_aware_policy() {
+  return ReplacementPolicy{
+      "size-aware",
+      [](const Residency& r, sim::Tick) { return double(r.size); }};
+}
+
+ReplacementPolicy recency_profit_policy() {
+  return ReplacementPolicy{
+      "recency-profit", [](const Residency& r, sim::Tick) {
+        // Retention value: popular, fresh, small objects are worth
+        // keeping; evict the lowest value = highest priority.
+        const double popularity = double(r.access_count) + 1.0;
+        const double value = popularity * r.recency / double(r.size);
+        return -value;
+      }};
+}
+
+BoundedCache::BoundedCache(const object::Catalog& catalog,
+                           std::shared_ptr<const DecayModel> decay,
+                           object::Units capacity, ReplacementPolicy policy)
+    : catalog_(&catalog),
+      cache_(catalog.size(), std::move(decay)),
+      capacity_(capacity),
+      policy_(std::move(policy)),
+      residency_(catalog.size()) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("BoundedCache: capacity must be > 0");
+  }
+  if (!policy_.priority) {
+    throw std::invalid_argument("BoundedCache: policy has no priority fn");
+  }
+}
+
+bool BoundedCache::admit(object::ObjectId id, const server::FetchResult& fetch,
+                         sim::Tick now, double recency) {
+  const object::Units size = catalog_->object_size(id);
+  if (size > capacity_) return false;
+  if (cache_.contains(id)) {
+    // Refresh in place: size already accounted.
+    cache_.refresh(id, fetch, now, recency);
+    residency_[id]->recency = recency;
+    return true;
+  }
+  evict_until_fits(size, now);
+  cache_.refresh(id, fetch, now, recency);
+  residency_[id] = Residency{id, size, recency, now, 0};
+  used_ += size;
+  return true;
+}
+
+std::optional<double> BoundedCache::read(object::ObjectId id, sim::Tick now) {
+  cache_.record_read(id);
+  const auto score = cache_.recency(id);
+  if (score) {
+    auto& meta = residency_[id];
+    meta->last_access = now;
+    ++meta->access_count;
+    meta->recency = *score;
+  }
+  return score;
+}
+
+void BoundedCache::on_server_update(object::ObjectId id) {
+  cache_.on_server_update(id);
+  if (auto& meta = residency_[id]) {
+    meta->recency = cache_.recency(id).value_or(meta->recency);
+  }
+}
+
+bool BoundedCache::evict(object::ObjectId id) {
+  if (!cache_.evict(id)) return false;
+  used_ -= residency_[id]->size;
+  residency_[id].reset();
+  return true;
+}
+
+std::vector<Residency> BoundedCache::residents() const {
+  std::vector<Residency> result;
+  result.reserve(cache_.resident());
+  for (const auto& meta : residency_) {
+    if (meta) result.push_back(*meta);
+  }
+  return result;
+}
+
+void BoundedCache::evict_until_fits(object::Units need, sim::Tick now) {
+  while (capacity_ - used_ < need) {
+    // Select the resident entry with the highest eviction priority.
+    double best_priority = -std::numeric_limits<double>::infinity();
+    std::optional<object::ObjectId> victim;
+    for (const auto& meta : residency_) {
+      if (!meta) continue;
+      const double priority = policy_.priority(*meta, now);
+      if (priority > best_priority) {
+        best_priority = priority;
+        victim = meta->id;
+      }
+    }
+    if (!victim) {
+      throw std::logic_error("BoundedCache: no victim but cache is full");
+    }
+    used_ -= residency_[*victim]->size;
+    residency_[*victim].reset();
+    cache_.evict(*victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace mobi::cache

@@ -1,0 +1,37 @@
+#include "cache/ttl.hpp"
+
+#include <stdexcept>
+
+namespace mobi::cache {
+
+TtlView::TtlView(const Cache& cache, sim::Tick ttl)
+    : cache_(&cache), ttl_(ttl) {
+  if (ttl <= 0) throw std::invalid_argument("TtlView: ttl must be > 0");
+}
+
+std::optional<sim::Tick> TtlView::age(object::ObjectId id,
+                                      sim::Tick now) const {
+  if (!cache_->contains(id)) return std::nullopt;
+  const sim::Tick fetched = cache_->entry(id).fetched_at;
+  if (now < fetched) {
+    throw std::invalid_argument("TtlView::age: now precedes the fetch");
+  }
+  return now - fetched;
+}
+
+bool TtlView::fresh(object::ObjectId id, sim::Tick now) const {
+  const auto copy_age = age(id, now);
+  return copy_age.has_value() && *copy_age <= ttl_;
+}
+
+double TtlView::recency(object::ObjectId id, sim::Tick now) const {
+  const auto copy_age = age(id, now);
+  if (!copy_age) return 0.0;
+  if (*copy_age <= ttl_) return 1.0;
+  // Expired: harmonic ramp per whole TTL period beyond expiry, mirroring
+  // the paper's decay with "one update per TTL" as the staleness unit.
+  const auto expired_periods = 1 + (*copy_age - ttl_ - 1) / ttl_;
+  return 1.0 / double(1 + expired_periods);
+}
+
+}  // namespace mobi::cache

@@ -1,0 +1,44 @@
+// TTL freshness — the modern proxy-cache analog of the paper's recency
+// model (HTTP max-age / stale-while-revalidate descend from exactly this
+// problem; the paper's §1 notes its results "could be applied to web
+// proxy caching").
+//
+// A TTL view derives a binary freshness verdict and a synthetic recency
+// score from *time since fetch*, with no knowledge of server updates:
+//   fresh(age)   = age <= ttl
+//   recency(age) = 1.0 while fresh, then harmonic in expired periods —
+//                  1/2 after one extra TTL, 1/3 after two, ...
+// This is exactly what an HTTP cache can compute from Cache-Control
+// headers, and lets the paper's policies run in environments where no
+// invalidation channel exists.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "object/object.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::cache {
+
+class TtlView {
+ public:
+  /// `ttl`: ticks a fetched copy is considered fully fresh. Must be > 0.
+  TtlView(const Cache& cache, sim::Tick ttl);
+
+  sim::Tick ttl() const noexcept { return ttl_; }
+
+  /// Age in ticks of the cached copy at `now`; nullopt if not cached.
+  std::optional<sim::Tick> age(object::ObjectId id, sim::Tick now) const;
+
+  /// True when cached and within the TTL.
+  bool fresh(object::ObjectId id, sim::Tick now) const;
+
+  /// Synthetic recency score from age alone (see file comment); 0 when
+  /// the object is not cached.
+  double recency(object::ObjectId id, sim::Tick now) const;
+
+ private:
+  const Cache* cache_;
+  sim::Tick ttl_;
+};
+
+}  // namespace mobi::cache

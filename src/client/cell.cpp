@@ -1,0 +1,120 @@
+#include "client/cell.hpp"
+
+#include <memory>
+
+#include "cache/decay.hpp"
+#include "cache/invalidation.hpp"
+#include "core/base_station.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "workload/access.hpp"
+#include "workload/updates.hpp"
+
+namespace mobi::client {
+
+CellResult run_cell(const CellConfig& config) {
+  util::Rng rng(config.seed);
+  const object::Catalog catalog = object::make_random_catalog(
+      config.object_count, config.size_lo, config.size_hi, rng);
+  server::ServerPool servers(catalog, 1);
+
+  core::BaseStationConfig bs_config;
+  bs_config.download_budget = config.base_budget;
+  bs_config.downlink_capacity = std::max<object::Units>(
+      1, object::Units(config.client_count) * config.size_hi);
+  core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
+                            std::make_unique<core::ReciprocalScorer>(),
+                            core::make_policy(config.base_policy), bs_config);
+
+  cache::InvalidationLog log(config.object_count);
+  auto updates = workload::make_periodic_staggered(config.object_count,
+                                                   config.update_period);
+
+  std::shared_ptr<const workload::AccessDistribution> access;
+  switch (config.access) {
+    case exp::AccessPattern::kUniform:
+      access = workload::make_uniform_access(config.object_count);
+      break;
+    case exp::AccessPattern::kRankLinear:
+      access = workload::make_rank_linear_access(config.object_count);
+      break;
+    case exp::AccessPattern::kZipf:
+      access = workload::make_zipf_access(config.object_count,
+                                          config.zipf_alpha);
+      break;
+  }
+
+  std::vector<MobileClient> clients;
+  clients.reserve(config.client_count);
+  for (std::size_t i = 0; i < config.client_count; ++i) {
+    clients.emplace_back(std::uint32_t(i), catalog, config.client);
+  }
+
+  CellResult result;
+  util::Rng connectivity_rng = rng.split();
+  util::Rng request_rng = rng.split();
+
+  for (sim::Tick t = 0; t < config.ticks; ++t) {
+    // 1. Server updates: base-station knowledge is immediate; clients
+    //    must wait for the next report.
+    updates->for_each_updated(t, [&](object::ObjectId id) {
+      station.on_server_update(id, t);
+      log.record_update(id, t);
+    });
+
+    // 2. Periodic invalidation report to connected clients.
+    if (t > 0 && t % config.report_period == 0) {
+      const auto report =
+          log.make_report(t - config.report_period, t);
+      for (auto& client : clients) {
+        if (client.connected()) client.hear_report(report);
+      }
+    }
+
+    // 3. Client activity.
+    workload::RequestBatch to_base;
+    std::vector<std::size_t> requester;  // client index per base request
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      MobileClient& mobile = clients[i];
+      mobile.step_connectivity(connectivity_rng);
+      if (!mobile.connected()) {
+        ++result.disconnect_ticks;
+        continue;
+      }
+      const object::ObjectId want = access->sample(request_rng);
+      ++result.requests;
+      const auto local = mobile.lookup(want, t);
+      if (local && *local >= mobile.target_recency()) {
+        ++result.served_locally;
+        result.score_sum += 1.0;  // local copy meets the client's target
+        continue;
+      }
+      to_base.push_back(
+          workload::Request{want, mobile.target_recency(),
+                            workload::ClientId(mobile.id())});
+      requester.push_back(i);
+    }
+
+    const auto tick_result = station.process_batch(to_base, t);
+    result.base_downloaded += tick_result.units_downloaded;
+    result.served_by_base += to_base.size();
+    result.score_sum += tick_result.score_sum;
+
+    // Clients store what the base station served them, inheriting the
+    // served copy's recency.
+    for (std::size_t r = 0; r < to_base.size(); ++r) {
+      const auto& request = to_base[r];
+      const auto recency = station.cache().recency(request.object);
+      if (!recency) continue;  // base had nothing either (cache-only policy)
+      clients[requester[r]].store(request.object,
+                                  servers.fetch(request.object), t, *recency);
+    }
+  }
+
+  for (const auto& mobile : clients) {
+    result.sleeper_drops += mobile.sleeper_drops();
+  }
+  return result;
+}
+
+}  // namespace mobi::client

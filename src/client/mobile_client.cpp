@@ -1,0 +1,60 @@
+#include "client/mobile_client.hpp"
+
+#include <stdexcept>
+
+namespace mobi::client {
+
+MobileClient::MobileClient(std::uint32_t id, const object::Catalog& catalog,
+                           MobileClientConfig config)
+    : id_(id),
+      config_(config),
+      cache_(catalog, cache::make_harmonic_decay(), config.cache_units,
+             cache::lru_policy()),
+      listener_(cache_) {
+  if (config.disconnect_rate < 0.0 || config.disconnect_rate > 1.0 ||
+      config.reconnect_rate < 0.0 || config.reconnect_rate > 1.0) {
+    throw std::invalid_argument("MobileClient: rates must be in [0, 1]");
+  }
+  if (config.target_recency <= 0.0 || config.target_recency > 1.0) {
+    throw std::invalid_argument("MobileClient: target_recency in (0, 1]");
+  }
+}
+
+bool MobileClient::step_connectivity(util::Rng& rng) {
+  if (connectivity_ == Connectivity::kConnected) {
+    if (rng.bernoulli(config_.disconnect_rate)) {
+      connectivity_ = Connectivity::kDisconnected;
+    }
+    return false;
+  }
+  if (rng.bernoulli(config_.reconnect_rate)) {
+    connectivity_ = Connectivity::kConnected;
+    return true;
+  }
+  return false;
+}
+
+std::optional<double> MobileClient::lookup(object::ObjectId id,
+                                           sim::Tick now) {
+  const auto recency = cache_.read(id, now);
+  if (recency) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return recency;
+}
+
+void MobileClient::store(object::ObjectId id, const server::FetchResult& fetch,
+                         sim::Tick now, double recency) {
+  cache_.admit(id, fetch, now, recency);
+}
+
+int MobileClient::hear_report(const cache::InvalidationReport& report) {
+  if (!connected()) {
+    throw std::logic_error("MobileClient: disconnected clients hear nothing");
+  }
+  return listener_.apply(report);
+}
+
+}  // namespace mobi::client

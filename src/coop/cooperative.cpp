@@ -1,0 +1,149 @@
+#include "coop/cooperative.hpp"
+
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/decay.hpp"
+#include "core/policy.hpp"
+#include "core/scoring.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+#include "workload/requests.hpp"
+#include "workload/updates.hpp"
+
+namespace mobi::coop {
+
+const char* fetch_mode_name(FetchMode mode) noexcept {
+  switch (mode) {
+    case FetchMode::kOriginOnly: return "origin-only";
+    case FetchMode::kNeighborFirst: return "neighbor-first";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<const workload::AccessDistribution> make_access(
+    const CoopConfig& config, util::Rng& rng, std::size_t cell) {
+  std::vector<object::ObjectId> mapping;
+  if (config.distinct_interests && cell > 0) {
+    mapping = [&] {
+      std::vector<object::ObjectId> ids(config.object_count);
+      const auto perm = rng.permutation(config.object_count);
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        ids[i] = object::ObjectId(perm[i]);
+      }
+      return ids;
+    }();
+  }
+  switch (config.access) {
+    case exp::AccessPattern::kUniform:
+      return workload::make_uniform_access(config.object_count);
+    case exp::AccessPattern::kRankLinear:
+      return workload::make_rank_linear_access(config.object_count,
+                                               std::move(mapping));
+    case exp::AccessPattern::kZipf:
+      return workload::make_zipf_access(config.object_count,
+                                        config.zipf_alpha, std::move(mapping));
+  }
+  throw std::invalid_argument("make_access: bad pattern");
+}
+
+}  // namespace
+
+CoopResult run_cooperative(const CoopConfig& config) {
+  if (config.cell_count == 0) {
+    throw std::invalid_argument("run_cooperative: need >= 1 cell");
+  }
+  if (config.neighbor_recency_threshold <= 0.0 ||
+      config.neighbor_recency_threshold > 1.0) {
+    throw std::invalid_argument(
+        "run_cooperative: neighbor threshold must be in (0, 1]");
+  }
+  util::Rng rng(config.seed);
+  const object::Catalog catalog = object::make_random_catalog(
+      config.object_count, config.size_lo, config.size_hi, rng);
+  server::ServerPool servers(catalog, 1);
+  const std::shared_ptr<const cache::DecayModel> decay =
+      cache::make_harmonic_decay();
+  core::ReciprocalScorer scorer;
+
+  struct Cell {
+    std::unique_ptr<cache::Cache> cache;
+    std::unique_ptr<core::DownloadPolicy> policy;
+    std::unique_ptr<workload::RequestGenerator> requests;
+  };
+  std::vector<Cell> cells(config.cell_count);
+  for (std::size_t c = 0; c < config.cell_count; ++c) {
+    cells[c].cache = std::make_unique<cache::Cache>(catalog.size(), decay);
+    cells[c].policy = std::make_unique<core::OnDemandKnapsackPolicy>();
+    cells[c].requests = std::make_unique<workload::RequestGenerator>(
+        make_access(config, rng, c), workload::ConstantTarget{1.0},
+        config.requests_per_tick_per_cell, rng.split());
+  }
+  auto updates = workload::make_periodic_staggered(config.object_count,
+                                                   config.update_period);
+
+  CoopResult result;
+  const sim::Tick total = config.warmup_ticks + config.measure_ticks;
+  for (sim::Tick t = 0; t < total; ++t) {
+    updates->for_each_updated(t, [&](object::ObjectId id) {
+      servers.apply_update(id, t);
+      for (auto& cell : cells) cell.cache->on_server_update(id);
+    });
+
+    const bool measured = t >= config.warmup_ticks;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      Cell& cell = cells[c];
+      const auto batch = cell.requests->next_batch();
+      core::PolicyContext ctx;
+      ctx.catalog = &catalog;
+      ctx.cache = cell.cache.get();
+      ctx.servers = &servers;
+      ctx.scorer = &scorer;
+      ctx.now = t;
+      ctx.budget = config.budget_per_cell;
+
+      for (object::ObjectId id : cell.policy->select(batch, ctx)) {
+        // Resolve: best neighbor copy above the threshold, else origin.
+        double best_recency = 0.0;
+        if (config.mode == FetchMode::kNeighborFirst) {
+          for (std::size_t other = 0; other < cells.size(); ++other) {
+            if (other == c) continue;
+            best_recency = std::max(
+                best_recency, cells[other].cache->recency_or_zero(id));
+          }
+        }
+        if (best_recency >= config.neighbor_recency_threshold) {
+          // The copied entry keeps the neighbor's recency; recency (not
+          // the version counter) is what every policy here consults.
+          cell.cache->refresh(id, servers.fetch(id), t, best_recency);
+          if (measured) {
+            result.neighbor_units += catalog.object_size(id);
+            ++result.neighbor_fetches;
+          }
+        } else {
+          cell.cache->refresh(id, servers.fetch(id), t);
+          if (measured) {
+            result.origin_units += catalog.object_size(id);
+            ++result.origin_fetches;
+          }
+        }
+      }
+
+      if (measured) {
+        for (const auto& request : batch) {
+          const double x = cell.cache->recency_or_zero(request.object);
+          result.recency_sum += x;
+          result.score_sum += scorer.score(x, request.target_recency);
+          ++result.requests;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mobi::coop

@@ -1,0 +1,75 @@
+// Cooperative caching across neighboring cells.
+//
+// Related work (paper §5) cites Harvest's hierarchical internet object
+// cache [10]: caches ask nearby caches before going to the origin. In the
+// mobile setting, neighboring base stations are connected by a cheap
+// wired link, so a base station can satisfy a planned download from a
+// neighbor's cache — paying less fixed-network bandwidth but inheriting
+// the neighbor copy's (possibly reduced) recency — instead of always
+// pulling from the remote origin.
+//
+// Fetch resolution per planned download of object u:
+//   kOriginOnly     — always fetch from the origin (the paper's model);
+//   kNeighborFirst  — if any neighbor caches u with recency >= the
+//                     threshold, copy from the best neighbor; else origin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/fig2.hpp"
+#include "object/object.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::coop {
+
+enum class FetchMode { kOriginOnly, kNeighborFirst };
+
+const char* fetch_mode_name(FetchMode mode) noexcept;
+
+struct CoopConfig {
+  std::size_t cell_count = 3;
+  std::size_t object_count = 200;
+  object::Units size_lo = 1;
+  object::Units size_hi = 8;
+  std::size_t requests_per_tick_per_cell = 40;
+  exp::AccessPattern access = exp::AccessPattern::kZipf;
+  double zipf_alpha = 1.0;
+  /// Give each cell its own popularity permutation (different cells like
+  /// different objects); false = identical interests (maximum overlap).
+  bool distinct_interests = false;
+  sim::Tick update_period = 4;
+  sim::Tick warmup_ticks = 30;
+  sim::Tick measure_ticks = 200;
+  object::Units budget_per_cell = 50;
+  FetchMode mode = FetchMode::kNeighborFirst;
+  /// Minimum neighbor-copy recency to accept instead of the origin.
+  double neighbor_recency_threshold = 0.5;
+  std::uint64_t seed = 42;
+};
+
+struct CoopResult {
+  std::size_t requests = 0;
+  double score_sum = 0.0;
+  double recency_sum = 0.0;
+  object::Units origin_units = 0;    // pulled over the fixed network
+  object::Units neighbor_units = 0;  // copied between base stations
+  std::size_t origin_fetches = 0;
+  std::size_t neighbor_fetches = 0;
+
+  double average_score() const noexcept {
+    return requests ? score_sum / double(requests) : 1.0;
+  }
+  double average_recency() const noexcept {
+    return requests ? recency_sum / double(requests) : 1.0;
+  }
+  double neighbor_fraction() const noexcept {
+    const auto total = origin_fetches + neighbor_fetches;
+    return total ? double(neighbor_fetches) / double(total) : 0.0;
+  }
+};
+
+CoopResult run_cooperative(const CoopConfig& config);
+
+}  // namespace mobi::coop

@@ -1,0 +1,84 @@
+#include "core/adaptive_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::core {
+
+AdaptiveKnapsackPolicy::AdaptiveKnapsackPolicy(AdaptiveBudgetConfig config)
+    : config_(config) {
+  if (config.knee_window <= 0) {
+    throw std::invalid_argument("AdaptiveKnapsackPolicy: knee_window <= 0");
+  }
+  if (!(config.knee_threshold > 0.0) || config.knee_threshold > 1.0) {
+    throw std::invalid_argument("AdaptiveKnapsackPolicy: knee_threshold");
+  }
+  if (!(config.smoothing > 0.0) || config.smoothing > 1.0) {
+    throw std::invalid_argument("AdaptiveKnapsackPolicy: smoothing in (0, 1]");
+  }
+  if (config.min_budget < 0) {
+    throw std::invalid_argument("AdaptiveKnapsackPolicy: min_budget < 0");
+  }
+}
+
+std::string AdaptiveKnapsackPolicy::name() const {
+  return std::string("adaptive-knapsack(") +
+         (config_.rule == BoundRule::kMarginalKnee ? "knee" : "elbow") + ")";
+}
+
+std::vector<object::ObjectId> AdaptiveKnapsackPolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  if (!ctx.catalog || !ctx.cache || !ctx.scorer) {
+    throw std::invalid_argument("AdaptiveKnapsackPolicy: incomplete context");
+  }
+  const CandidateSet set =
+      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  if (set.candidates.empty()) {
+    last_budget_ = 0;
+    return {};
+  }
+  std::vector<KnapsackItem> items;
+  items.reserve(set.candidates.size());
+  object::Units demand = 0;
+  for (const auto& cand : set.candidates) {
+    items.push_back(KnapsackItem{cand.size, cand.profit});
+    demand += cand.size;
+  }
+
+  // Build the profile over the full demand and estimate the worthwhile
+  // bound from the current workload and cache state.
+  const KnapsackProfile profile(items, demand);
+  const BoundEstimate estimate =
+      config_.rule == BoundRule::kMarginalKnee
+          ? estimate_bound_marginal(profile,
+                                    std::min(config_.knee_window, demand > 0 ? demand : 1),
+                                    config_.knee_threshold)
+          : estimate_bound_elbow(profile);
+
+  double target = double(estimate.capacity);
+  if (smoothed_ < 0.0) {
+    smoothed_ = target;
+  } else {
+    smoothed_ = config_.smoothing * target +
+                (1.0 - config_.smoothing) * smoothed_;
+  }
+  auto budget = object::Units(std::llround(smoothed_));
+  budget = std::max(budget, config_.min_budget);
+  if (config_.max_budget >= 0) budget = std::min(budget, config_.max_budget);
+  // The surrounding BaseStation may also impose a hard budget; honor it.
+  if (ctx.budget >= 0) budget = std::min(budget, ctx.budget);
+  last_budget_ = budget;
+  granted_ += budget;
+
+  const KnapsackSolution solution = profile.solution_at(std::min(budget, demand));
+  std::vector<object::ObjectId> selected;
+  selected.reserve(solution.chosen.size());
+  for (std::size_t index : solution.chosen) {
+    selected.push_back(set.candidates[index].object);
+  }
+  return selected;
+}
+
+}  // namespace mobi::core

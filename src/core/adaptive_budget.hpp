@@ -1,0 +1,56 @@
+// Adaptive download-bound selection (paper §6: "In future work, we will
+// develop techniques to determine how much data the base station should
+// download to satisfy a set of requests. The techniques will use knowledge
+// of the current workload and recency of cached data to determine an upper
+// bound...").
+//
+// AdaptiveKnapsackPolicy implements that technique: per batch it builds
+// the DP value-vs-capacity profile of the current candidates, runs a bound
+// estimator (marginal knee or chord elbow) to pick this tick's budget, and
+// downloads the optimal set at that budget. An optional EWMA smooths the
+// budget across ticks, and hard min/max clamps bound worst-case usage.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/bound_estimator.hpp"
+#include "core/policy.hpp"
+
+namespace mobi::core {
+
+enum class BoundRule { kMarginalKnee, kChordElbow };
+
+struct AdaptiveBudgetConfig {
+  BoundRule rule = BoundRule::kMarginalKnee;
+  /// Marginal-knee parameters (ignored by the elbow rule).
+  object::Units knee_window = 20;
+  double knee_threshold = 0.25;
+  /// EWMA smoothing weight on the new estimate; 1 = no smoothing.
+  double smoothing = 1.0;
+  /// Hard clamps on the per-tick budget (max < 0 = no upper clamp).
+  object::Units min_budget = 0;
+  object::Units max_budget = -1;
+};
+
+class AdaptiveKnapsackPolicy final : public DownloadPolicy {
+ public:
+  explicit AdaptiveKnapsackPolicy(AdaptiveBudgetConfig config = {});
+
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override;
+
+  /// The budget chosen on the most recent select() call.
+  object::Units last_budget() const noexcept { return last_budget_; }
+  /// Total units of budget granted so far (for bandwidth accounting).
+  object::Units budget_granted() const noexcept { return granted_; }
+
+ private:
+  AdaptiveBudgetConfig config_;
+  double smoothed_ = -1.0;  // < 0 until the first estimate
+  object::Units last_budget_ = 0;
+  object::Units granted_ = 0;
+};
+
+}  // namespace mobi::core

@@ -1,0 +1,104 @@
+#include "core/base_station.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::core {
+
+BaseStation::BaseStation(const object::Catalog& catalog,
+                         server::ServerPool& servers,
+                         std::shared_ptr<const cache::DecayModel> decay,
+                         std::unique_ptr<RecencyScorer> scorer,
+                         std::unique_ptr<DownloadPolicy> policy,
+                         const BaseStationConfig& config)
+    : catalog_(&catalog),
+      servers_(&servers),
+      cache_(catalog.size(), std::move(decay)),
+      scorer_(std::move(scorer)),
+      policy_(std::move(policy)),
+      config_(config),
+      network_(config.network_bandwidth, config.network_latency,
+               config.network_contention),
+      downlink_(config.downlink_capacity),
+      failure_rng_(config.failure_seed) {
+  if (!scorer_) throw std::invalid_argument("BaseStation: null scorer");
+  if (!policy_) throw std::invalid_argument("BaseStation: null policy");
+  if (config.fetch_failure_rate < 0.0 || config.fetch_failure_rate > 1.0) {
+    throw std::invalid_argument("BaseStation: fetch_failure_rate in [0, 1]");
+  }
+}
+
+void BaseStation::on_server_update(object::ObjectId id, sim::Tick now) {
+  servers_->apply_update(id, now);
+  cache_.on_server_update(id);
+}
+
+void BaseStation::apply_updates(workload::UpdateProcess& updates,
+                                sim::Tick now) {
+  updates.for_each_updated(
+      now, [&](object::ObjectId id) { on_server_update(id, now); });
+}
+
+TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
+                                      sim::Tick now) {
+  TickResult result;
+  result.tick = now;
+  result.requests = batch.size();
+
+  PolicyContext ctx;
+  ctx.catalog = catalog_;
+  ctx.cache = &cache_;
+  ctx.servers = servers_;
+  ctx.scorer = scorer_.get();
+  ctx.now = now;
+  ctx.budget = config_.download_budget;
+  const std::vector<object::ObjectId> to_fetch = policy_->select(batch, ctx);
+
+  // Fetch the selected objects over the fixed network.
+  std::vector<object::Units> transfer_sizes;
+  transfer_sizes.reserve(to_fetch.size());
+  for (object::ObjectId id : to_fetch) {
+    if (config_.fetch_failure_rate > 0.0 &&
+        failure_rng_.bernoulli(config_.fetch_failure_rate)) {
+      ++result.failed_fetches;  // fault: no transfer, cache untouched
+      continue;
+    }
+    const server::FetchResult fetched = servers_->fetch(id);
+    cache_.refresh(id, fetched, now);
+    transfer_sizes.push_back(fetched.size);
+    result.units_downloaded += fetched.size;
+    ++result.objects_downloaded;
+  }
+  if (!transfer_sizes.empty()) {
+    result.fetch_latency = network_.batch_completion_time(transfer_sizes);
+    network_.submit_batch(transfer_sizes);
+  }
+
+  // Serve every request from the (now partially refreshed) cache and push
+  // the payload onto the downlink. In coalescing mode the downlink is a
+  // broadcast: one transmission per distinct object serves all of its
+  // requesters this tick.
+  std::vector<bool> already_sent;
+  if (config_.coalesce_downlink) {
+    already_sent.assign(catalog_->size(), false);
+  }
+  for (const workload::Request& request : batch) {
+    cache_.record_read(request.object);
+    const double x = cache_.recency_or_zero(request.object);
+    result.recency_sum += x;
+    result.score_sum += scorer_->score(x, request.target_recency);
+    if (cache_.contains(request.object)) {
+      if (config_.coalesce_downlink) {
+        if (already_sent[request.object]) continue;
+        already_sent[request.object] = true;
+      }
+      downlink_.enqueue(catalog_->object_size(request.object));
+    }
+  }
+  result.downlink_delivered = downlink_.tick();
+
+  totals_.add(result);
+  return result;
+}
+
+}  // namespace mobi::core

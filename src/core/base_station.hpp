@@ -1,0 +1,130 @@
+// BaseStation: the orchestrator tying the whole architecture together
+// (paper Figure 1). Per tick it:
+//   1. applies server-side updates (decaying affected cache entries),
+//   2. asks its DownloadPolicy which requested objects to fetch remotely,
+//   3. fetches them over the fixed network (refreshing the cache and
+//      accounting bandwidth/latency),
+//   4. serves every request — fresh copy if just fetched, cached copy
+//      otherwise — computing each client's recency score, and
+//   5. pushes response payloads onto the wireless downlink.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+#include "core/scoring.hpp"
+#include "net/downlink.hpp"
+#include "net/fixed_network.hpp"
+#include "object/object.hpp"
+#include "server/remote_server.hpp"
+#include "sim/tick.hpp"
+#include "workload/requests.hpp"
+#include "workload/updates.hpp"
+
+namespace mobi::core {
+
+struct BaseStationConfig {
+  /// Per-tick download budget in units; negative = unlimited.
+  object::Units download_budget = -1;
+  /// Fixed network (base station <-> servers).
+  double network_bandwidth = 100.0;
+  double network_latency = 1.0;
+  double network_contention = 1.0;
+  /// Wireless downlink (base station -> clients), units per tick.
+  object::Units downlink_capacity = 100;
+  /// When true, the downlink is treated as a broadcast medium: one
+  /// transmission of an object serves every client that requested it this
+  /// tick (response coalescing). When false each response is unicast.
+  bool coalesce_downlink = false;
+  /// Probability that a remote fetch fails this tick (transient fixed-
+  /// network fault); failed fetches consume no bandwidth, leave the cache
+  /// untouched, and the request is served stale. Deterministic under
+  /// `failure_seed`.
+  double fetch_failure_rate = 0.0;
+  std::uint64_t failure_seed = 0x5eedf00dULL;
+};
+
+struct TickResult {
+  sim::Tick tick = 0;
+  std::size_t requests = 0;
+  std::size_t objects_downloaded = 0;
+  object::Units units_downloaded = 0;
+  double score_sum = 0.0;          // summed per-client recency scores
+  double recency_sum = 0.0;        // summed raw recency of copies served
+  double fetch_latency = 0.0;      // fixed-network completion time
+  std::size_t failed_fetches = 0;  // injected fixed-network faults
+  object::Units downlink_delivered = 0;
+
+  double average_score() const noexcept {
+    return requests ? score_sum / double(requests) : 1.0;
+  }
+};
+
+struct RunTotals {
+  std::size_t requests = 0;
+  std::size_t objects_downloaded = 0;
+  object::Units units_downloaded = 0;
+  double score_sum = 0.0;
+  double recency_sum = 0.0;
+
+  void add(const TickResult& r) noexcept {
+    requests += r.requests;
+    objects_downloaded += r.objects_downloaded;
+    units_downloaded += r.units_downloaded;
+    score_sum += r.score_sum;
+    recency_sum += r.recency_sum;
+  }
+  double average_score() const noexcept {
+    return requests ? score_sum / double(requests) : 1.0;
+  }
+  double average_recency() const noexcept {
+    return requests ? recency_sum / double(requests) : 1.0;
+  }
+};
+
+class BaseStation {
+ public:
+  BaseStation(const object::Catalog& catalog, server::ServerPool& servers,
+              std::shared_ptr<const cache::DecayModel> decay,
+              std::unique_ptr<RecencyScorer> scorer,
+              std::unique_ptr<DownloadPolicy> policy,
+              const BaseStationConfig& config = {});
+
+  /// Applies one object update at the servers and decays the cache entry.
+  void on_server_update(object::ObjectId id, sim::Tick now);
+
+  /// Runs an update process for this tick (steps 1 above).
+  void apply_updates(workload::UpdateProcess& updates, sim::Tick now);
+
+  /// Steps 2-5 for one request batch.
+  TickResult process_batch(const workload::RequestBatch& batch, sim::Tick now);
+
+  const cache::Cache& cache() const noexcept { return cache_; }
+  cache::Cache& cache() noexcept { return cache_; }
+  const net::WirelessDownlink& downlink() const noexcept { return downlink_; }
+  const net::FixedNetwork& network() const noexcept { return network_; }
+  const DownloadPolicy& policy() const noexcept { return *policy_; }
+  const RecencyScorer& scorer() const noexcept { return *scorer_; }
+  const RunTotals& totals() const noexcept { return totals_; }
+  object::Units download_budget() const noexcept { return config_.download_budget; }
+  void set_download_budget(object::Units budget) noexcept {
+    config_.download_budget = budget;
+  }
+
+ private:
+  const object::Catalog* catalog_;
+  server::ServerPool* servers_;
+  cache::Cache cache_;
+  std::unique_ptr<RecencyScorer> scorer_;
+  std::unique_ptr<DownloadPolicy> policy_;
+  BaseStationConfig config_;
+  net::FixedNetwork network_;
+  net::WirelessDownlink downlink_;
+  util::Rng failure_rng_;
+  RunTotals totals_;
+};
+
+}  // namespace mobi::core

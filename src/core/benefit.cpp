@@ -1,0 +1,77 @@
+#include "core/benefit.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace mobi::core {
+
+CandidateSet build_candidates(const workload::RequestBatch& batch,
+                              const object::Catalog& catalog,
+                              const cache::Cache& cache,
+                              const RecencyScorer& scorer) {
+  // Aggregate per object in id order for deterministic output.
+  std::map<object::ObjectId, DownloadCandidate> by_object;
+  CandidateSet set;
+  set.total_requests = batch.size();
+  for (const workload::Request& request : batch) {
+    const double x = cache.recency_or_zero(request.object);
+    const double cached_score = scorer.score(x, request.target_recency);
+    auto [it, inserted] = by_object.try_emplace(request.object);
+    DownloadCandidate& cand = it->second;
+    if (inserted) {
+      cand.object = request.object;
+      cand.size = catalog.object_size(request.object);
+    }
+    ++cand.requests;
+    cand.cached_score_sum += cached_score;
+    cand.profit += 1.0 - cached_score;
+    set.baseline_score_sum += cached_score;
+  }
+  set.candidates.reserve(by_object.size());
+  for (auto& [id, cand] : by_object) set.candidates.push_back(cand);
+  return set;
+}
+
+CandidateSet build_candidates_from_aggregates(
+    std::span<const object::Units> sizes,
+    std::span<const std::uint32_t> num_requests,
+    std::span<const double> avg_cached_score) {
+  if (sizes.size() != num_requests.size() ||
+      sizes.size() != avg_cached_score.size()) {
+    throw std::invalid_argument(
+        "build_candidates_from_aggregates: size mismatch");
+  }
+  CandidateSet set;
+  set.candidates.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double score = avg_cached_score[i];
+    if (score < 0.0 || score > 1.0) {
+      throw std::invalid_argument(
+          "build_candidates_from_aggregates: score outside [0, 1]");
+    }
+    DownloadCandidate cand;
+    cand.object = object::ObjectId(i);
+    cand.size = sizes[i];
+    cand.requests = num_requests[i];
+    cand.cached_score_sum = double(num_requests[i]) * score;
+    cand.profit = double(num_requests[i]) * (1.0 - score);
+    set.candidates.push_back(cand);
+    set.total_requests += num_requests[i];
+    set.baseline_score_sum += cand.cached_score_sum;
+  }
+  return set;
+}
+
+double average_score(const CandidateSet& set,
+                     std::span<const std::size_t> chosen) {
+  if (set.total_requests == 0) return 1.0;  // vacuously perfect
+  double score_sum = set.baseline_score_sum;
+  for (std::size_t index : chosen) {
+    const DownloadCandidate& cand = set.candidates.at(index);
+    // Downloading lifts every requesting client to 1.0.
+    score_sum += double(cand.requests) - cand.cached_score_sum;
+  }
+  return score_sum / double(set.total_requests);
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,60 @@
+// Per-object download profit (paper §2's knapsack mapping).
+//
+// For a batch of requests, every object u accumulates:
+//   profit(u) = sum over clients i requesting u of
+//               benefit(i) = 1.0 - score(cached recency of u, C_i)
+// Downloading u raises each requesting client's score to 1.0, so profit is
+// exactly the total score gained by spending size(u) units of budget on u.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/scoring.hpp"
+#include "object/object.hpp"
+#include "workload/requests.hpp"
+
+namespace mobi::core {
+
+/// One knapsack candidate: an object someone asked for this batch.
+struct DownloadCandidate {
+  object::ObjectId object = 0;
+  object::Units size = 0;
+  double profit = 0.0;           // total benefit of downloading
+  std::uint32_t requests = 0;    // popularity within the batch
+  double cached_score_sum = 0.0; // sum of per-client scores if served stale
+};
+
+struct CandidateSet {
+  std::vector<DownloadCandidate> candidates;
+  std::size_t total_requests = 0;
+  /// Sum over all requests of the score if *everything* were served from
+  /// cache; Average Score of a solution = (baseline + value(solution)) /
+  /// total_requests.
+  double baseline_score_sum = 0.0;
+};
+
+/// Builds candidates from a request batch against the live cache state.
+/// An uncached object has recency 0 (must be downloaded to score at all).
+CandidateSet build_candidates(const workload::RequestBatch& batch,
+                              const object::Catalog& catalog,
+                              const cache::Cache& cache,
+                              const RecencyScorer& scorer);
+
+/// Builds candidates directly from per-object aggregates — the §4 setup,
+/// where Cache Recency Score is itself the parameter ("the recency score
+/// of a cached object averaged over the clients who request the object").
+/// profit = num_requests * (1 - avg_cached_score).
+CandidateSet build_candidates_from_aggregates(
+    std::span<const object::Units> sizes,
+    std::span<const std::uint32_t> num_requests,
+    std::span<const double> avg_cached_score);
+
+/// Average Score (paper §4.1) achieved by downloading the candidate subset
+/// `chosen` (indices into set.candidates) and serving the rest from cache.
+double average_score(const CandidateSet& set,
+                     std::span<const std::size_t> chosen);
+
+}  // namespace mobi::core

@@ -1,0 +1,77 @@
+#include "core/bound_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::core {
+
+namespace {
+
+BoundEstimate make_estimate(const KnapsackProfile& profile,
+                            object::Units capacity) {
+  const double max_value = profile.value_at(profile.max_capacity());
+  BoundEstimate estimate;
+  estimate.capacity = capacity;
+  estimate.value = profile.value_at(capacity);
+  estimate.fraction_of_max = max_value > 0.0 ? estimate.value / max_value : 1.0;
+  return estimate;
+}
+
+}  // namespace
+
+BoundEstimate estimate_bound_marginal(const KnapsackProfile& profile,
+                                      object::Units window, double threshold) {
+  if (window <= 0) {
+    throw std::invalid_argument("estimate_bound_marginal: window must be > 0");
+  }
+  if (!(threshold > 0.0) || threshold > 1.0) {
+    throw std::invalid_argument("estimate_bound_marginal: threshold in (0, 1]");
+  }
+  const object::Units cap = profile.max_capacity();
+  if (cap == 0) return make_estimate(profile, 0);
+  const double overall_slope =
+      (profile.value_at(cap) - profile.value_at(0)) / double(cap);
+  if (overall_slope <= 0.0) return make_estimate(profile, 0);
+  for (object::Units c = 0; c + window <= cap; ++c) {
+    const double gain = profile.value_at(c + window) - profile.value_at(c);
+    if (gain / double(window) < threshold * overall_slope) {
+      return make_estimate(profile, c);
+    }
+  }
+  return make_estimate(profile, cap);
+}
+
+BoundEstimate estimate_bound_elbow(const KnapsackProfile& profile) {
+  const object::Units cap = profile.max_capacity();
+  if (cap == 0) return make_estimate(profile, 0);
+  const double v0 = profile.value_at(0);
+  const double v1 = profile.value_at(cap);
+  object::Units best_c = 0;
+  double best_distance = -1.0;
+  for (object::Units c = 0; c <= cap; ++c) {
+    // Vertical distance above the chord; the profile is non-decreasing so
+    // the max gap is the visual elbow.
+    const double chord = v0 + (v1 - v0) * double(c) / double(cap);
+    const double distance = profile.value_at(c) - chord;
+    if (distance > best_distance) {
+      best_distance = distance;
+      best_c = c;
+    }
+  }
+  return make_estimate(profile, best_c);
+}
+
+BoundEstimate smallest_capacity_reaching(const KnapsackProfile& profile,
+                                         double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("smallest_capacity_reaching: fraction in [0, 1]");
+  }
+  const object::Units cap = profile.max_capacity();
+  const double target = fraction * profile.value_at(cap);
+  for (object::Units c = 0; c <= cap; ++c) {
+    if (profile.value_at(c) >= target) return make_estimate(profile, c);
+  }
+  return make_estimate(profile, cap);
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,42 @@
+// Download-bound estimation (the paper's §6 future work, implemented).
+//
+// "Our analysis shows that under some circumstances there is not a great
+// benefit to downloading large amounts of data. In these cases the
+// techniques will choose a smaller upper bound."
+//
+// Both estimators consume the exact DP value-vs-capacity profile:
+//  * marginal-gain knee — the smallest capacity after which the average
+//    profit gained per extra unit of budget (over a look-ahead window)
+//    drops below `threshold` times the overall average slope;
+//  * chord elbow — the capacity maximizing the vertical distance between
+//    the profile and the straight line joining its endpoints (the classic
+//    "elbow" of a concave curve).
+#pragma once
+
+#include "core/knapsack.hpp"
+#include "object/object.hpp"
+
+namespace mobi::core {
+
+struct BoundEstimate {
+  object::Units capacity = 0;
+  double value = 0.0;          // profile value at that capacity
+  double fraction_of_max = 0.0;  // value / value(max capacity)
+};
+
+/// Marginal-gain knee. `window` is the look-ahead in capacity units;
+/// `threshold` in (0, 1] is the fraction of the overall average slope
+/// below which further budget is judged not worthwhile.
+BoundEstimate estimate_bound_marginal(const KnapsackProfile& profile,
+                                      object::Units window = 50,
+                                      double threshold = 0.25);
+
+/// Max-distance-to-chord elbow.
+BoundEstimate estimate_bound_elbow(const KnapsackProfile& profile);
+
+/// Smallest capacity achieving at least `fraction` of the maximum value
+/// (a simple oracle both heuristics can be compared against).
+BoundEstimate smallest_capacity_reaching(const KnapsackProfile& profile,
+                                         double fraction);
+
+}  // namespace mobi::core

@@ -1,0 +1,41 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mobi::core {
+
+double jain_index(std::span<const double> scores) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : scores) {
+    if (x < 0.0) throw std::invalid_argument("jain_index: negative score");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (scores.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (double(scores.size()) * sum_sq);
+}
+
+double min_score(std::span<const double> scores) {
+  double lowest = 1.0;
+  for (double x : scores) lowest = std::min(lowest, x);
+  return lowest;
+}
+
+double score_quantile(std::span<const double> scores, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("score_quantile: q outside [0, 1]");
+  }
+  if (scores.empty()) return 1.0;
+  std::vector<double> sorted(scores.begin(), scores.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * double(sorted.size() - 1);
+  const auto lo = std::size_t(std::floor(position));
+  const auto hi = std::size_t(std::ceil(position));
+  const double frac = position - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,319 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::core {
+
+namespace {
+
+void validate_items(std::span<const KnapsackItem> items) {
+  for (const KnapsackItem& item : items) {
+    if (item.size <= 0) {
+      throw std::invalid_argument("knapsack: item sizes must be > 0");
+    }
+    if (item.profit < 0.0 || !std::isfinite(item.profit)) {
+      throw std::invalid_argument("knapsack: profits must be finite, >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
+                                 object::Units max_capacity) {
+  validate_items(items);
+  if (max_capacity < 0) {
+    throw std::invalid_argument("KnapsackProfile: negative capacity");
+  }
+  const std::size_t n = items.size();
+  const auto cap = std::size_t(max_capacity);
+  item_sizes_.reserve(n);
+  for (const auto& item : items) item_sizes_.push_back(item.size);
+
+  values_.assign(cap + 1, 0.0);
+  take_.assign(n, std::vector<bool>(cap + 1, false));
+  // Classic row-by-row DP; strict improvement keeps solutions minimal
+  // (zero-profit items are never taken).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto size = std::size_t(items[i].size);
+    const double profit = items[i].profit;
+    if (size > cap) continue;
+    auto& row = take_[i];
+    for (std::size_t c = cap; c >= size; --c) {
+      const double candidate = values_[c - size] + profit;
+      if (candidate > values_[c]) {
+        values_[c] = candidate;
+        row[c] = true;
+      }
+      if (c == size) break;  // avoid size_t underflow
+    }
+  }
+}
+
+double KnapsackProfile::value_at(object::Units c) const {
+  if (c < 0 || c > max_capacity()) {
+    throw std::out_of_range("KnapsackProfile::value_at");
+  }
+  return values_[std::size_t(c)];
+}
+
+KnapsackSolution KnapsackProfile::solution_at(object::Units c) const {
+  if (c < 0 || c > max_capacity()) {
+    throw std::out_of_range("KnapsackProfile::solution_at");
+  }
+  KnapsackSolution solution;
+  solution.value = values_[std::size_t(c)];
+  auto remaining = std::size_t(c);
+  for (std::size_t i = item_sizes_.size(); i-- > 0;) {
+    if (take_[i][remaining]) {
+      solution.chosen.push_back(i);
+      solution.used += item_sizes_[i];
+      remaining -= std::size_t(item_sizes_[i]);
+    }
+  }
+  std::reverse(solution.chosen.begin(), solution.chosen.end());
+  return solution;
+}
+
+KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
+                          object::Units capacity) {
+  return KnapsackProfile(items, capacity).solution_at(capacity);
+}
+
+KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
+                              object::Units capacity) {
+  validate_items(items);
+  if (capacity < 0) throw std::invalid_argument("solve_greedy: negative capacity");
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = items[a].profit / double(items[a].size);
+    const double db = items[b].profit / double(items[b].size);
+    if (da != db) return da > db;
+    if (items[a].size != items[b].size) return items[a].size < items[b].size;
+    return a < b;
+  });
+  KnapsackSolution greedy;
+  object::Units left = capacity;
+  for (std::size_t index : order) {
+    if (items[index].profit <= 0.0) break;  // sorted: the rest are worthless
+    if (items[index].size <= left) {
+      greedy.chosen.push_back(index);
+      greedy.value += items[index].profit;
+      greedy.used += items[index].size;
+      left -= items[index].size;
+    }
+  }
+  // 1/2-approximation guarantee needs max(greedy, best single item).
+  KnapsackSolution best_single;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].size <= capacity && items[i].profit > best_single.value) {
+      best_single = KnapsackSolution{items[i].profit, items[i].size, {i}};
+    }
+  }
+  if (best_single.value > greedy.value) return best_single;
+  std::sort(greedy.chosen.begin(), greedy.chosen.end());
+  return greedy;
+}
+
+KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
+                             object::Units capacity, double epsilon) {
+  validate_items(items);
+  if (capacity < 0) throw std::invalid_argument("solve_fptas: negative capacity");
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    throw std::invalid_argument("solve_fptas: epsilon must be in (0, 1)");
+  }
+  const std::size_t n = items.size();
+  double max_profit = 0.0;
+  for (const auto& item : items) {
+    if (item.size <= capacity) max_profit = std::max(max_profit, item.profit);
+  }
+  if (n == 0 || max_profit <= 0.0) return {};
+
+  // Scale profits to integers: q_i = floor(p_i / K), K = eps * P / n.
+  const double scale = epsilon * max_profit / double(n);
+  std::vector<std::uint64_t> scaled(n);
+  std::uint64_t total_scaled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = std::uint64_t(items[i].profit / scale);
+    total_scaled += scaled[i];
+  }
+  // Guard the decision-matrix footprint (bits = n * (total_scaled + 1)).
+  constexpr std::uint64_t kMaxBits = 64ULL * 1024 * 1024 * 8;
+  if (std::uint64_t(n) * (total_scaled + 1) > kMaxBits) {
+    throw std::invalid_argument(
+        "solve_fptas: instance too large for reconstruction memory budget");
+  }
+
+  // min_weight[q] = least total size achieving scaled profit exactly q.
+  const auto q_max = std::size_t(total_scaled);
+  constexpr object::Units kInfeasible = std::numeric_limits<object::Units>::max();
+  std::vector<object::Units> min_weight(q_max + 1, kInfeasible);
+  min_weight[0] = 0;
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(q_max + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto q_i = std::size_t(scaled[i]);
+    if (q_i == 0) continue;  // adds no scaled profit; skip (keeps DP tight)
+    auto& row = take[i];
+    for (std::size_t q = q_max; q >= q_i; --q) {
+      if (min_weight[q - q_i] == kInfeasible) {
+        if (q == q_i) break;
+        continue;
+      }
+      const object::Units weight = min_weight[q - q_i] + items[i].size;
+      if (weight < min_weight[q]) {
+        min_weight[q] = weight;
+        row[q] = true;
+      }
+      if (q == q_i) break;
+    }
+  }
+  std::size_t best_q = 0;
+  for (std::size_t q = 0; q <= q_max; ++q) {
+    if (min_weight[q] <= capacity) best_q = q;
+  }
+  // Reconstruct and report the *true* (unscaled) value of the chosen set.
+  KnapsackSolution solution;
+  std::size_t q = best_q;
+  for (std::size_t i = n; i-- > 0;) {
+    if (q == 0) break;
+    if (take[i][q]) {
+      solution.chosen.push_back(i);
+      solution.value += items[i].profit;
+      solution.used += items[i].size;
+      q -= std::size_t(scaled[i]);
+    }
+  }
+  std::reverse(solution.chosen.begin(), solution.chosen.end());
+  return solution;
+}
+
+KnapsackSolution solve_brute_force(std::span<const KnapsackItem> items,
+                                   object::Units capacity) {
+  validate_items(items);
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_brute_force: negative capacity");
+  }
+  if (items.size() > 30) {
+    throw std::invalid_argument("solve_brute_force: too many items");
+  }
+  const std::uint32_t n = std::uint32_t(items.size());
+  KnapsackSolution best;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double value = 0.0;
+    object::Units used = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        value += items[i].profit;
+        used += items[i].size;
+      }
+    }
+    if (used <= capacity && value > best.value) {
+      best.value = value;
+      best.used = used;
+      best.chosen.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Depth-first branch and bound over items pre-sorted by profit density.
+class BranchAndBound {
+ public:
+  BranchAndBound(std::span<const KnapsackItem> items, object::Units capacity,
+                 std::uint64_t node_limit)
+      : items_(items), capacity_(capacity), node_limit_(node_limit) {
+    order_.resize(items.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      const double da = items[a].profit / double(items[a].size);
+      const double db = items[b].profit / double(items[b].size);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    taken_.assign(items.size(), false);
+  }
+
+  KnapsackSolution run() {
+    descend(0, 0, 0.0);
+    std::sort(best_.chosen.begin(), best_.chosen.end());
+    return best_;
+  }
+
+ private:
+  /// LP relaxation: fill greedily from `depth`, fractionally at the end.
+  double fractional_bound(std::size_t depth, object::Units used,
+                          double value) const {
+    object::Units left = capacity_ - used;
+    for (std::size_t i = depth; i < order_.size() && left > 0; ++i) {
+      const KnapsackItem& item = items_[order_[i]];
+      if (item.profit <= 0.0) break;  // density-sorted: rest are worthless
+      if (item.size <= left) {
+        value += item.profit;
+        left -= item.size;
+      } else {
+        value += item.profit * double(left) / double(item.size);
+        left = 0;
+      }
+    }
+    return value;
+  }
+
+  void descend(std::size_t depth, object::Units used, double value) {
+    if (++nodes_ > node_limit_) {
+      throw std::runtime_error("solve_branch_and_bound: node limit exceeded");
+    }
+    if (value > best_.value) {
+      best_.value = value;
+      best_.used = used;
+      best_.chosen.clear();
+      for (std::size_t i = 0; i < depth; ++i) {
+        if (taken_[i]) best_.chosen.push_back(order_[i]);
+      }
+    }
+    if (depth == order_.size()) return;
+    // A strict comparison would also prune ties with the incumbent, which
+    // is correct but makes zero-profit instances degenerate; epsilon keeps
+    // the pruning strict on real profit.
+    if (fractional_bound(depth, used, value) <= best_.value + 1e-12) return;
+
+    const KnapsackItem& item = items_[order_[depth]];
+    if (item.size <= capacity_ - used && item.profit > 0.0) {
+      taken_[depth] = true;
+      descend(depth + 1, used + item.size, value + item.profit);
+      taken_[depth] = false;
+    }
+    descend(depth + 1, used, value);
+  }
+
+  std::span<const KnapsackItem> items_;
+  object::Units capacity_;
+  std::uint64_t node_limit_;
+  std::uint64_t nodes_ = 0;
+  std::vector<std::size_t> order_;
+  std::vector<bool> taken_;
+  KnapsackSolution best_;
+};
+
+}  // namespace
+
+KnapsackSolution solve_branch_and_bound(std::span<const KnapsackItem> items,
+                                        object::Units capacity,
+                                        std::uint64_t node_limit) {
+  validate_items(items);
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_branch_and_bound: negative capacity");
+  }
+  return BranchAndBound(items, capacity, node_limit).run();
+}
+
+}  // namespace mobi::core

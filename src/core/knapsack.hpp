@@ -1,0 +1,86 @@
+// 0/1 knapsack solvers (paper §2: "the problem maps to the knapsack
+// problem [3] and we use dynamic programming to solve it").
+//
+// The exact DP computes, in one pass, the optimal value at *every*
+// capacity up to the bound — the KnapsackProfile — which is precisely what
+// §4 plots (Average Score as a function of the upper bound on units
+// downloaded) and what the bound estimator (§6 future work) consumes.
+// A greedy density heuristic and an FPTAS are provided as the polynomial
+// approximations the paper mentions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "object/object.hpp"
+
+namespace mobi::core {
+
+struct KnapsackItem {
+  object::Units size = 1;   // > 0
+  double profit = 0.0;      // >= 0
+};
+
+struct KnapsackSolution {
+  double value = 0.0;
+  object::Units used = 0;
+  std::vector<std::size_t> chosen;  // indices into the item span, ascending
+};
+
+/// Exact optimal values for every capacity 0..max_capacity, with item
+/// reconstruction at any capacity. Memory: O(n * max_capacity) bits for
+/// the decision matrix plus O(max_capacity) doubles.
+class KnapsackProfile {
+ public:
+  KnapsackProfile(std::span<const KnapsackItem> items,
+                  object::Units max_capacity);
+
+  object::Units max_capacity() const noexcept {
+    return object::Units(values_.size()) - 1;
+  }
+  std::size_t item_count() const noexcept { return item_sizes_.size(); }
+
+  /// Optimal total profit at capacity c (0 <= c <= max_capacity).
+  double value_at(object::Units c) const;
+  /// The full value curve, indexed by capacity.
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// An optimal item subset at capacity c.
+  KnapsackSolution solution_at(object::Units c) const;
+
+ private:
+  std::vector<double> values_;          // final row: best value per capacity
+  std::vector<std::vector<bool>> take_; // take_[i][c]: item i taken at cap c
+  std::vector<object::Units> item_sizes_;
+};
+
+/// Exact DP solution at a single capacity.
+KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
+                          object::Units capacity);
+
+/// Greedy by profit density (profit/size), with the classic best-single-
+/// item fallback; a 1/2-approximation. O(n log n).
+KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
+                              object::Units capacity);
+
+/// Fully polynomial approximation scheme via profit scaling: returns a
+/// feasible solution with value >= (1 - epsilon) * OPT.
+/// Memory grows as O(n^2 * (n/epsilon)) bits; throws std::invalid_argument
+/// if that would exceed ~64 MiB (keep n or 1/epsilon moderate).
+KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
+                             object::Units capacity, double epsilon);
+
+/// Exhaustive search; only for tests (throws if items.size() > 30).
+KnapsackSolution solve_brute_force(std::span<const KnapsackItem> items,
+                                   object::Units capacity);
+
+/// Exact branch-and-bound with the fractional (LP) relaxation bound.
+/// Often much faster than DP when the capacity is large relative to n;
+/// worst case exponential. `node_limit` caps the search (throws
+/// std::runtime_error when exceeded) so callers cannot hang.
+KnapsackSolution solve_branch_and_bound(std::span<const KnapsackItem> items,
+                                        object::Units capacity,
+                                        std::uint64_t node_limit = 10'000'000);
+
+}  // namespace mobi::core

@@ -1,0 +1,53 @@
+#include "core/latency_aware.hpp"
+
+#include <stdexcept>
+
+#include "core/benefit.hpp"
+#include "core/knapsack.hpp"
+
+namespace mobi::core {
+
+OnDemandLatencyAwarePolicy::OnDemandLatencyAwarePolicy(
+    object::Units overhead_units)
+    : overhead_(overhead_units) {
+  if (overhead_units < 0) {
+    throw std::invalid_argument("OnDemandLatencyAwarePolicy: overhead < 0");
+  }
+}
+
+std::string OnDemandLatencyAwarePolicy::name() const {
+  return "on-demand-latency-aware(overhead=" + std::to_string(overhead_) + ")";
+}
+
+std::vector<object::ObjectId> OnDemandLatencyAwarePolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  if (!ctx.catalog || !ctx.cache || !ctx.scorer) {
+    throw std::invalid_argument("OnDemandLatencyAwarePolicy: incomplete context");
+  }
+  const CandidateSet set =
+      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  if (set.candidates.empty()) return {};
+
+  if (ctx.budget < 0) {
+    std::vector<object::ObjectId> all;
+    for (const auto& cand : set.candidates) {
+      if (cand.profit > 0.0) all.push_back(cand.object);
+    }
+    return all;
+  }
+
+  std::vector<KnapsackItem> items;
+  items.reserve(set.candidates.size());
+  for (const auto& cand : set.candidates) {
+    items.push_back(KnapsackItem{cand.size + overhead_, cand.profit});
+  }
+  const KnapsackSolution solution = solve_dp(items, ctx.budget);
+  std::vector<object::ObjectId> selected;
+  selected.reserve(solution.chosen.size());
+  for (std::size_t index : solution.chosen) {
+    selected.push_back(set.candidates[index].object);
+  }
+  return selected;
+}
+
+}  // namespace mobi::core

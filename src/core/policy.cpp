@@ -1,0 +1,228 @@
+#include "core/policy.hpp"
+
+#include "core/adaptive_budget.hpp"
+#include "core/latency_aware.hpp"
+#include "core/swr_policy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mobi::core {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+void check_context(const PolicyContext& ctx, bool needs_scorer = false,
+                   bool needs_servers = false) {
+  require(ctx.catalog != nullptr, "PolicyContext: catalog is null");
+  require(ctx.cache != nullptr, "PolicyContext: cache is null");
+  if (needs_scorer) require(ctx.scorer != nullptr, "PolicyContext: scorer is null");
+  if (needs_servers) require(ctx.servers != nullptr, "PolicyContext: servers null");
+}
+
+/// Distinct requested objects, ascending id.
+std::vector<object::ObjectId> distinct_objects(
+    const workload::RequestBatch& batch) {
+  std::set<object::ObjectId> ids;
+  for (const auto& request : batch) ids.insert(request.object);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace
+
+const char* solver_name(KnapsackSolver solver) noexcept {
+  switch (solver) {
+    case KnapsackSolver::kExactDp: return "dp";
+    case KnapsackSolver::kGreedy: return "greedy";
+    case KnapsackSolver::kFptas: return "fptas";
+  }
+  return "?";
+}
+
+OnDemandKnapsackPolicy::OnDemandKnapsackPolicy(KnapsackSolver solver,
+                                               double fptas_epsilon)
+    : solver_(solver), fptas_epsilon_(fptas_epsilon) {
+  if (solver == KnapsackSolver::kFptas &&
+      (!(fptas_epsilon > 0.0) || fptas_epsilon >= 1.0)) {
+    throw std::invalid_argument("OnDemandKnapsackPolicy: bad epsilon");
+  }
+}
+
+std::string OnDemandKnapsackPolicy::name() const {
+  return std::string("on-demand-knapsack(") + solver_name(solver_) + ")";
+}
+
+std::vector<object::ObjectId> OnDemandKnapsackPolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  check_context(ctx, /*needs_scorer=*/true);
+  const CandidateSet set =
+      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  if (set.candidates.empty()) return {};
+
+  // Unlimited budget: take everything with positive profit.
+  if (ctx.budget < 0) {
+    std::vector<object::ObjectId> all;
+    for (const auto& cand : set.candidates) {
+      if (cand.profit > 0.0) all.push_back(cand.object);
+    }
+    return all;
+  }
+
+  std::vector<KnapsackItem> items;
+  items.reserve(set.candidates.size());
+  for (const auto& cand : set.candidates) {
+    items.push_back(KnapsackItem{cand.size, cand.profit});
+  }
+  KnapsackSolution solution;
+  switch (solver_) {
+    case KnapsackSolver::kExactDp:
+      solution = solve_dp(items, ctx.budget);
+      break;
+    case KnapsackSolver::kGreedy:
+      solution = solve_greedy(items, ctx.budget);
+      break;
+    case KnapsackSolver::kFptas:
+      solution = solve_fptas(items, ctx.budget, fptas_epsilon_);
+      break;
+  }
+  std::vector<object::ObjectId> selected;
+  selected.reserve(solution.chosen.size());
+  for (std::size_t index : solution.chosen) {
+    selected.push_back(set.candidates[index].object);
+  }
+  return selected;
+}
+
+std::vector<object::ObjectId> OnDemandLowestRecencyPolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  check_context(ctx);
+  auto ids = distinct_objects(batch);
+  // Ascending cached recency; absent entries count as 0 (most urgent).
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](object::ObjectId a, object::ObjectId b) {
+                     return ctx.cache->recency_or_zero(a) <
+                            ctx.cache->recency_or_zero(b);
+                   });
+  if (ctx.budget < 0) return ids;
+  std::vector<object::ObjectId> selected;
+  object::Units left = ctx.budget;
+  for (object::ObjectId id : ids) {
+    const object::Units size = ctx.catalog->object_size(id);
+    if (size <= left) {
+      selected.push_back(id);
+      left -= size;
+    }
+  }
+  return selected;
+}
+
+std::vector<object::ObjectId> OnDemandStaleOnlyPolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  check_context(ctx, /*needs_scorer=*/false, /*needs_servers=*/true);
+  std::vector<object::ObjectId> selected;
+  for (object::ObjectId id : distinct_objects(batch)) {
+    if (ctx.cache->is_stale(id, ctx.servers->version(id))) {
+      selected.push_back(id);
+    }
+  }
+  // A budget, when set, truncates in id order (the paper uses no budget).
+  if (ctx.budget >= 0) {
+    object::Units left = ctx.budget;
+    std::vector<object::ObjectId> fitting;
+    for (object::ObjectId id : selected) {
+      const object::Units size = ctx.catalog->object_size(id);
+      if (size <= left) {
+        fitting.push_back(id);
+        left -= size;
+      }
+    }
+    selected = std::move(fitting);
+  }
+  return selected;
+}
+
+std::vector<object::ObjectId> AsyncRoundRobinPolicy::select(
+    const workload::RequestBatch& /*batch*/, const PolicyContext& ctx) {
+  check_context(ctx);
+  require(ctx.budget >= 0, "AsyncRoundRobinPolicy: needs a finite budget");
+  const auto n = object::ObjectId(ctx.catalog->size());
+  if (n == 0) return {};
+  std::vector<object::ObjectId> selected;
+  object::Units left = ctx.budget;
+  for (object::ObjectId visited = 0; visited < n; ++visited) {
+    const object::ObjectId id = cursor_;
+    const object::Units size = ctx.catalog->object_size(id);
+    if (size > left) break;  // fixed order: stop at the first non-fit
+    selected.push_back(id);
+    left -= size;
+    cursor_ = object::ObjectId((cursor_ + 1) % n);
+  }
+  return selected;
+}
+
+std::vector<object::ObjectId> AsyncRefreshUpdatedPolicy::select(
+    const workload::RequestBatch& /*batch*/, const PolicyContext& ctx) {
+  check_context(ctx, /*needs_scorer=*/false, /*needs_servers=*/true);
+  std::vector<object::ObjectId> selected;
+  object::Units left = ctx.budget;
+  for (object::ObjectId id = 0; id < ctx.catalog->size(); ++id) {
+    if (!ctx.cache->is_stale(id, ctx.servers->version(id))) continue;
+    const object::Units size = ctx.catalog->object_size(id);
+    if (ctx.budget >= 0) {
+      if (size > left) continue;
+      left -= size;
+    }
+    selected.push_back(id);
+  }
+  return selected;
+}
+
+std::vector<object::ObjectId> DownloadAllPolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  check_context(ctx);
+  return distinct_objects(batch);
+}
+
+std::vector<object::ObjectId> CacheOnlyPolicy::select(
+    const workload::RequestBatch& /*batch*/, const PolicyContext& /*ctx*/) {
+  return {};
+}
+
+std::unique_ptr<DownloadPolicy> make_policy(const std::string& name) {
+  if (name == "on-demand-knapsack" || name == "knapsack") {
+    return std::make_unique<OnDemandKnapsackPolicy>();
+  }
+  if (name == "on-demand-knapsack-greedy") {
+    return std::make_unique<OnDemandKnapsackPolicy>(KnapsackSolver::kGreedy);
+  }
+  if (name == "on-demand-lowest-recency") {
+    return std::make_unique<OnDemandLowestRecencyPolicy>();
+  }
+  if (name == "on-demand-stale-only") {
+    return std::make_unique<OnDemandStaleOnlyPolicy>();
+  }
+  if (name == "async-round-robin") {
+    return std::make_unique<AsyncRoundRobinPolicy>();
+  }
+  if (name == "async-refresh-updated") {
+    return std::make_unique<AsyncRefreshUpdatedPolicy>();
+  }
+  if (name == "adaptive-knapsack") {
+    return std::make_unique<AdaptiveKnapsackPolicy>();
+  }
+  if (name == "on-demand-latency-aware") {
+    return std::make_unique<OnDemandLatencyAwarePolicy>(2);
+  }
+  if (name == "stale-while-revalidate") {
+    return std::make_unique<StaleWhileRevalidatePolicy>(5);
+  }
+  if (name == "download-all") return std::make_unique<DownloadAllPolicy>();
+  if (name == "cache-only") return std::make_unique<CacheOnlyPolicy>();
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,120 @@
+// Download policies: given the tick's requests and the cache/server state,
+// decide which objects the base station fetches remotely. Everything not
+// selected is served from the (possibly stale) cache.
+//
+//  * OnDemandKnapsackPolicy    — the paper's contribution (§2): profit-per-
+//    size knapsack over the requested objects, exact DP by default.
+//  * OnDemandLowestRecency     — §3.2's simpler on-demand rule: fill the
+//    budget with requested objects of lowest cached recency.
+//  * OnDemandStaleOnly         — §3.1: fetch every requested object whose
+//    cached copy is stale; no budget.
+//  * AsyncRoundRobin           — §3.2 baseline: k objects per tick in a
+//    fixed circular order, independent of requests.
+//  * AsyncRefreshUpdated       — §3.1 baseline: re-fetch every object each
+//    time it is updated at the server.
+//  * DownloadAll / CacheOnly   — bracketing baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/benefit.hpp"
+#include "core/knapsack.hpp"
+#include "core/scoring.hpp"
+#include "object/object.hpp"
+#include "server/remote_server.hpp"
+#include "sim/tick.hpp"
+#include "workload/requests.hpp"
+
+namespace mobi::core {
+
+/// Read-only view of the world a policy may consult.
+struct PolicyContext {
+  const object::Catalog* catalog = nullptr;
+  const cache::Cache* cache = nullptr;
+  const server::ServerPool* servers = nullptr;
+  const RecencyScorer* scorer = nullptr;
+  sim::Tick now = 0;
+  /// Download budget for this tick, in data units; negative = unlimited.
+  object::Units budget = -1;
+};
+
+class DownloadPolicy {
+ public:
+  virtual ~DownloadPolicy() = default;
+  /// Objects to fetch this tick (each id at most once, any order).
+  virtual std::vector<object::ObjectId> select(
+      const workload::RequestBatch& batch, const PolicyContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Which solver the knapsack policy uses.
+enum class KnapsackSolver { kExactDp, kGreedy, kFptas };
+
+const char* solver_name(KnapsackSolver solver) noexcept;
+
+class OnDemandKnapsackPolicy final : public DownloadPolicy {
+ public:
+  explicit OnDemandKnapsackPolicy(KnapsackSolver solver = KnapsackSolver::kExactDp,
+                                  double fptas_epsilon = 0.1);
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override;
+
+ private:
+  KnapsackSolver solver_;
+  double fptas_epsilon_;
+};
+
+class OnDemandLowestRecencyPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "on-demand-lowest-recency"; }
+};
+
+class OnDemandStaleOnlyPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "on-demand-stale-only"; }
+};
+
+class AsyncRoundRobinPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "async-round-robin"; }
+
+ private:
+  object::ObjectId cursor_ = 0;
+};
+
+/// Re-fetches every object whose server version moved past the cached one,
+/// regardless of requests. Unbounded unless the context sets a budget.
+class AsyncRefreshUpdatedPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "async-refresh-updated"; }
+};
+
+class DownloadAllPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "download-all"; }
+};
+
+class CacheOnlyPolicy final : public DownloadPolicy {
+ public:
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override { return "cache-only"; }
+};
+
+std::unique_ptr<DownloadPolicy> make_policy(const std::string& name);
+
+}  // namespace mobi::core

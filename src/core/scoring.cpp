@@ -1,0 +1,38 @@
+#include "core/scoring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobi::core {
+
+double RecencyScorer::score(double x, double c) const {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("RecencyScorer::score: x must be in [0, 1]");
+  }
+  if (!(c > 0.0) || c > 1.0) {
+    throw std::invalid_argument("RecencyScorer::score: c must be in (0, 1]");
+  }
+  if (x >= c) return 1.0;
+  return below_target(x, c);
+}
+
+double ReciprocalScorer::below_target(double x, double c) const {
+  return 1.0 / (1.0 + std::abs(x / c - 1.0));
+}
+
+double ExponentialScorer::below_target(double x, double c) const {
+  return std::exp(-std::abs(x / c - 1.0));
+}
+
+double StepScorer::below_target(double /*x*/, double /*c*/) const {
+  return 0.0;
+}
+
+std::unique_ptr<RecencyScorer> make_scorer(const std::string& name) {
+  if (name == "reciprocal") return std::make_unique<ReciprocalScorer>();
+  if (name == "exponential") return std::make_unique<ExponentialScorer>();
+  if (name == "step") return std::make_unique<StepScorer>();
+  throw std::invalid_argument("make_scorer: unknown scorer '" + name + "'");
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,58 @@
+#include "core/swr_policy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "cache/ttl.hpp"
+
+namespace mobi::core {
+
+StaleWhileRevalidatePolicy::StaleWhileRevalidatePolicy(sim::Tick ttl)
+    : ttl_(ttl) {
+  if (ttl <= 0) {
+    throw std::invalid_argument("StaleWhileRevalidatePolicy: ttl must be > 0");
+  }
+}
+
+std::string StaleWhileRevalidatePolicy::name() const {
+  return "stale-while-revalidate(ttl=" + std::to_string(ttl_) + ")";
+}
+
+std::vector<object::ObjectId> StaleWhileRevalidatePolicy::select(
+    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+  if (!ctx.catalog || !ctx.cache) {
+    throw std::invalid_argument("StaleWhileRevalidatePolicy: incomplete context");
+  }
+  const cache::TtlView ttl_view(*ctx.cache, ttl_);
+
+  // Requested objects that are absent or TTL-expired, with their request
+  // counts (popularity drives revalidation order, like proxy queues do).
+  std::map<object::ObjectId, std::uint32_t> stale_counts;
+  for (const auto& request : batch) {
+    if (!ttl_view.fresh(request.object, ctx.now)) {
+      ++stale_counts[request.object];
+    }
+  }
+  std::vector<object::ObjectId> order;
+  order.reserve(stale_counts.size());
+  for (const auto& [id, count] : stale_counts) order.push_back(id);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](object::ObjectId a, object::ObjectId b) {
+                     return stale_counts[a] > stale_counts[b];
+                   });
+
+  if (ctx.budget < 0) return order;
+  std::vector<object::ObjectId> selected;
+  object::Units left = ctx.budget;
+  for (object::ObjectId id : order) {
+    const object::Units size = ctx.catalog->object_size(id);
+    if (size <= left) {
+      selected.push_back(id);
+      left -= size;
+    }
+  }
+  return selected;
+}
+
+}  // namespace mobi::core

@@ -1,0 +1,37 @@
+// TTL revalidation policy (stale-while-revalidate scheduling).
+//
+// The strategy OSS proxies ship today, and a direct descendant of the
+// paper's problem: entries are trusted for a TTL after fetch, and the
+// download budget goes to revalidating the TTL-expired objects that
+// clients are asking for right now, most-requested first. Differences
+// from the paper's knapsack policy:
+//   * staleness is binary (fresh-by-TTL or not) — no scoring function,
+//     no knowledge of actual server updates;
+//   * a fresh-by-TTL copy is never refreshed even if the master changed
+//     (the TTL lie), and an expired copy is refreshed even if unchanged.
+// Included as the modern baseline the knapsack policy is measured against
+// in bench/ablation_swr.
+#pragma once
+
+#include "core/policy.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::core {
+
+class StaleWhileRevalidatePolicy final : public DownloadPolicy {
+ public:
+  /// `ttl`: ticks a fetched copy counts as fresh (no revalidation while
+  /// fresh). Must be > 0.
+  explicit StaleWhileRevalidatePolicy(sim::Tick ttl);
+
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) override;
+  std::string name() const override;
+
+  sim::Tick ttl() const noexcept { return ttl_; }
+
+ private:
+  sim::Tick ttl_;
+};
+
+}  // namespace mobi::core

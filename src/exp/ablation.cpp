@@ -1,0 +1,70 @@
+#include "exp/ablation.hpp"
+
+#include <chrono>
+
+namespace mobi::exp {
+
+namespace {
+
+template <typename Fn>
+std::pair<core::KnapsackSolution, double> timed(Fn&& solve) {
+  const auto start = std::chrono::steady_clock::now();
+  core::KnapsackSolution solution = solve();
+  const auto stop = std::chrono::steady_clock::now();
+  const double micros =
+      std::chrono::duration<double, std::micro>(stop - start).count();
+  return {std::move(solution), micros};
+}
+
+}  // namespace
+
+std::vector<SolverRow> compare_solvers(
+    std::span<const core::KnapsackItem> items,
+    const std::vector<object::Units>& budgets, double fptas_epsilon) {
+  std::vector<SolverRow> rows;
+  for (object::Units budget : budgets) {
+    auto [dp, dp_micros] = timed([&] { return core::solve_dp(items, budget); });
+    auto [greedy, greedy_micros] =
+        timed([&] { return core::solve_greedy(items, budget); });
+    auto [fptas, fptas_micros] =
+        timed([&] { return core::solve_fptas(items, budget, fptas_epsilon); });
+    auto [bnb, bnb_micros] =
+        timed([&] { return core::solve_branch_and_bound(items, budget); });
+    const double optimal = dp.value > 0.0 ? dp.value : 1.0;
+    rows.push_back(SolverRow{"dp", budget, dp.value, 1.0, dp_micros});
+    rows.push_back(SolverRow{"branch-and-bound", budget, bnb.value,
+                             bnb.value / optimal, bnb_micros});
+    rows.push_back(SolverRow{"greedy", budget, greedy.value,
+                             greedy.value / optimal, greedy_micros});
+    rows.push_back(SolverRow{"fptas(eps=" + std::to_string(fptas_epsilon) + ")",
+                             budget, fptas.value, fptas.value / optimal,
+                             fptas_micros});
+  }
+  return rows;
+}
+
+std::vector<BoundRow> evaluate_bound_estimators(
+    const SolutionSpaceInstance& instance) {
+  std::vector<core::KnapsackItem> items;
+  items.reserve(instance.candidates.candidates.size());
+  for (const auto& cand : instance.candidates.candidates) {
+    items.push_back(core::KnapsackItem{cand.size, cand.profit});
+  }
+  const object::Units cap = instance.catalog.total_size();
+  const core::KnapsackProfile profile(items, cap);
+
+  auto to_row = [&](std::string name, const core::BoundEstimate& est) {
+    return BoundRow{std::move(name), est.capacity, est.fraction_of_max,
+                    cap > 0 ? double(est.capacity) / double(cap) : 0.0};
+  };
+  std::vector<BoundRow> rows;
+  rows.push_back(to_row("marginal-knee", core::estimate_bound_marginal(profile)));
+  rows.push_back(to_row("chord-elbow", core::estimate_bound_elbow(profile)));
+  rows.push_back(
+      to_row("oracle-90%", core::smallest_capacity_reaching(profile, 0.90)));
+  rows.push_back(
+      to_row("oracle-95%", core::smallest_capacity_reaching(profile, 0.95)));
+  return rows;
+}
+
+}  // namespace mobi::exp

@@ -1,0 +1,40 @@
+// Ablation helpers: knapsack solver quality/latency comparison and bound-
+// estimator evaluation on solution-space instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bound_estimator.hpp"
+#include "core/knapsack.hpp"
+#include "exp/solution_space.hpp"
+
+namespace mobi::exp {
+
+struct SolverRow {
+  std::string solver;
+  object::Units budget = 0;
+  double value = 0.0;
+  double ratio_to_optimal = 1.0;
+  double micros = 0.0;
+};
+
+/// Runs DP, greedy and FPTAS at each budget; ratio is against the DP
+/// optimum at the same budget.
+std::vector<SolverRow> compare_solvers(
+    std::span<const core::KnapsackItem> items,
+    const std::vector<object::Units>& budgets, double fptas_epsilon = 0.1);
+
+struct BoundRow {
+  std::string estimator;
+  object::Units recommended = 0;
+  double fraction_of_max_value = 0.0;
+  double fraction_of_capacity = 0.0;
+};
+
+/// Evaluates both §6 bound estimators (plus the 90%/95% oracles) on a
+/// solution-space instance.
+std::vector<BoundRow> evaluate_bound_estimators(
+    const SolutionSpaceInstance& instance);
+
+}  // namespace mobi::exp

@@ -1,0 +1,152 @@
+#include "exp/event_sim.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/decay.hpp"
+#include "core/policy.hpp"
+#include "core/scoring.hpp"
+#include "net/ps_link.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::exp {
+
+EventSimResult run_event_sim(const EventSimConfig& config) {
+  if (config.request_rate <= 0.0 || config.update_rate < 0.0) {
+    throw std::invalid_argument("run_event_sim: bad rates");
+  }
+  if (config.batching_window <= 0.0) {
+    throw std::invalid_argument("run_event_sim: batching_window must be > 0");
+  }
+  if (config.warmup < 0.0 || config.warmup >= config.horizon) {
+    throw std::invalid_argument("run_event_sim: warmup outside horizon");
+  }
+  util::Rng rng(config.seed);
+  const object::Catalog catalog = object::make_random_catalog(
+      config.object_count, config.size_lo, config.size_hi, rng);
+  server::ServerPool servers(catalog, 1);
+  cache::Cache cache(catalog.size(), cache::make_harmonic_decay());
+  core::ReciprocalScorer scorer;
+  const auto policy = core::make_policy(config.policy);
+  const auto access =
+      workload::make_zipf_access(config.object_count, config.zipf_alpha);
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::PsLink> fetch_link;
+  if (config.fetch_bandwidth > 0.0) {
+    fetch_link = std::make_unique<net::PsLink>(simulator,
+                                               config.fetch_bandwidth);
+  }
+  util::Summary fetch_times;
+  util::Rng arrival_rng = rng.split();
+  util::Rng update_rng = rng.split();
+
+  struct Pending {
+    workload::Request request;
+    sim::SimTime arrived = 0.0;
+  };
+  std::vector<Pending> pending;
+  EventSimResult result;
+  double score_sum = 0.0;
+  util::Summary delays;
+
+  // Self-rescheduling closures capture raw pointers into this keepalive
+  // (a shared_ptr self-capture would leak via the reference cycle).
+  std::vector<std::shared_ptr<std::function<void()>>> recurring;
+
+  // Poisson request arrivals: each arrival schedules the next.
+  workload::ClientId next_client = 0;
+  {
+    auto arrival = std::make_shared<std::function<void()>>();
+    *arrival = [&, raw = arrival.get()] {
+      pending.push_back(Pending{
+          workload::Request{access->sample(arrival_rng), 1.0, next_client++},
+          simulator.now()});
+      simulator.schedule_in(arrival_rng.exponential(config.request_rate),
+                            *raw);
+    };
+    recurring.push_back(arrival);
+    simulator.schedule_at(arrival_rng.exponential(config.request_rate),
+                          *arrival);
+  }
+
+  // Per-object Poisson updates (skipped entirely at rate 0).
+  if (config.update_rate > 0.0) {
+    for (object::ObjectId id = 0; id < config.object_count; ++id) {
+      auto update = std::make_shared<std::function<void()>>();
+      *update = [&, id, raw = update.get()] {
+        servers.apply_update(id, sim::Tick(simulator.now()));
+        cache.on_server_update(id);
+        ++result.updates;
+        simulator.schedule_in(update_rng.exponential(config.update_rate),
+                              *raw);
+      };
+      recurring.push_back(update);
+      simulator.schedule_at(update_rng.exponential(config.update_rate),
+                            *update);
+    }
+  }
+
+  // Periodic batch service.
+  simulator.schedule_every(config.batching_window, config.batching_window, [&] {
+    if (pending.empty()) {
+      ++result.batches;
+      return;
+    }
+    workload::RequestBatch batch;
+    batch.reserve(pending.size());
+    for (const Pending& p : pending) batch.push_back(p.request);
+
+    core::PolicyContext ctx;
+    ctx.catalog = &catalog;
+    ctx.cache = &cache;
+    ctx.servers = &servers;
+    ctx.scorer = &scorer;
+    ctx.now = sim::Tick(simulator.now());
+    ctx.budget = config.budget_per_batch;
+    const bool measured = simulator.now() >= config.warmup;
+    for (object::ObjectId id : policy->select(batch, ctx)) {
+      if (fetch_link) {
+        // The copy lands when its transfer completes; until then the
+        // clients keep seeing the stale entry.
+        fetch_link->submit(
+            catalog.object_size(id), [&, id](double start, double finish) {
+              cache.refresh(id, servers.fetch(id),
+                            sim::Tick(simulator.now()));
+              fetch_times.add(finish - start);
+            });
+      } else {
+        cache.refresh(id, servers.fetch(id), ctx.now);
+      }
+      if (measured) result.units_downloaded += catalog.object_size(id);
+    }
+    for (const Pending& p : pending) {
+      if (!measured) continue;
+      const double x = cache.recency_or_zero(p.request.object);
+      score_sum += scorer.score(x, p.request.target_recency);
+      delays.add(simulator.now() - p.arrived);
+      ++result.requests;
+    }
+    pending.clear();
+    ++result.batches;
+  });
+
+  simulator.run_until(config.horizon);
+
+  if (result.requests > 0) {
+    result.average_score = score_sum / double(result.requests);
+  }
+  result.mean_service_delay = delays.mean();
+  result.max_service_delay = delays.max();
+  result.mean_fetch_time = fetch_times.mean();
+  return result;
+}
+
+}  // namespace mobi::exp

@@ -1,0 +1,95 @@
+#include "exp/policy_sim.hpp"
+
+#include <memory>
+
+#include "cache/decay.hpp"
+#include "core/base_station.hpp"
+#include "core/fairness.hpp"
+#include "core/policy.hpp"
+#include "core/scoring.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/access.hpp"
+#include "workload/updates.hpp"
+
+namespace mobi::exp {
+
+PolicySimResult run_policy_sim(const PolicySimConfig& config) {
+  util::Rng rng(config.seed);
+  const object::Catalog catalog = object::make_random_catalog(
+      config.object_count, config.size_lo, config.size_hi, rng);
+  server::ServerPool servers(catalog, 1);
+
+  core::BaseStationConfig bs_config;
+  bs_config.download_budget = config.budget;
+  // Size the downlink for the average response volume so utilization is a
+  // meaningful signal rather than saturated at 1.
+  const double mean_size = double(catalog.total_size()) / double(catalog.size());
+  bs_config.downlink_capacity = std::max<object::Units>(
+      1, object::Units(double(config.requests_per_tick) * mean_size));
+  core::BaseStation station(catalog, servers,
+                            cache::make_harmonic_decay(config.decay_c),
+                            core::make_scorer(config.scorer),
+                            core::make_policy(config.policy), bs_config);
+
+  std::shared_ptr<const workload::AccessDistribution> access;
+  switch (config.access) {
+    case AccessPattern::kUniform:
+      access = workload::make_uniform_access(config.object_count);
+      break;
+    case AccessPattern::kRankLinear:
+      access = workload::make_rank_linear_access(config.object_count);
+      break;
+    case AccessPattern::kZipf:
+      access = workload::make_zipf_access(config.object_count,
+                                          config.zipf_alpha);
+      break;
+  }
+  workload::RequestGenerator generator(access, config.targets,
+                                       config.requests_per_tick, rng.split());
+  auto updates =
+      config.staggered_updates
+          ? workload::make_periodic_staggered(config.object_count,
+                                              config.update_period)
+          : workload::make_periodic_synchronized(config.object_count,
+                                                 config.update_period);
+
+  PolicySimResult result;
+  util::Summary latency;
+  double score_sum = 0.0;
+  double recency_sum = 0.0;
+  std::vector<double> per_request_scores;
+  const sim::Tick total = config.warmup_ticks + config.measure_ticks;
+  for (sim::Tick t = 0; t < total; ++t) {
+    station.apply_updates(*updates, t);
+    const auto batch = generator.next_batch();
+    const auto tick = station.process_batch(batch, t);
+    if (t < config.warmup_ticks) continue;
+    score_sum += tick.score_sum;
+    recency_sum += tick.recency_sum;
+    result.units_downloaded += tick.units_downloaded;
+    result.objects_downloaded += tick.objects_downloaded;
+    result.requests += tick.requests;
+    if (tick.objects_downloaded > 0) latency.add(tick.fetch_latency);
+    // Per-request scores for the fairness metrics (post-refresh state).
+    for (const auto& request : batch) {
+      per_request_scores.push_back(
+          station.scorer().score(station.cache().recency_or_zero(request.object),
+                                 request.target_recency));
+    }
+  }
+  if (result.requests > 0) {
+    result.average_score = score_sum / double(result.requests);
+    result.average_recency = recency_sum / double(result.requests);
+  }
+  result.downlink_utilization = station.downlink().utilization();
+  result.mean_fetch_latency = latency.mean();
+  result.jain_fairness = core::jain_index(per_request_scores);
+  result.score_p10 = core::score_quantile(per_request_scores, 0.10);
+  result.min_score = core::min_score(per_request_scores);
+  return result;
+}
+
+}  // namespace mobi::exp

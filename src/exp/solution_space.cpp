@@ -1,0 +1,114 @@
+#include "exp/solution_space.hpp"
+
+#include <stdexcept>
+
+#include "object/builders.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::exp {
+
+SolutionSpaceInstance build_instance(const SolutionSpaceConfig& config) {
+  if (config.object_count == 0) {
+    throw std::invalid_argument("build_instance: no objects");
+  }
+  if (!(config.recency_lo > 0.0) || config.recency_hi > 1.0 ||
+      config.recency_lo > config.recency_hi) {
+    throw std::invalid_argument("build_instance: bad recency range");
+  }
+  util::Rng rng(config.seed);
+  const std::size_t n = config.object_count;
+
+  // Object sizes: U[size_lo, size_hi] adjusted to the exact total.
+  object::Catalog catalog = object::make_random_catalog_with_total(
+      n, config.size_lo, config.size_hi, config.total_size, rng);
+  std::vector<double> size_keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    size_keys[i] = double(catalog.object_size(object::ObjectId(i)));
+  }
+
+  // NumRequests: constant, or U[req_lo, req_hi] adjusted to total clients,
+  // then rank-coupled to size per the configured correlation.
+  std::vector<std::uint32_t> num_requests(n);
+  if (config.constant_requests) {
+    for (auto& r : num_requests) r = config.requests_constant;
+  } else {
+    const auto sampled = object::random_units_with_total(
+        n, config.req_lo, config.req_hi, config.total_requests, rng);
+    std::vector<double> as_double(sampled.begin(), sampled.end());
+    const auto coupled = object::correlate(size_keys, std::move(as_double),
+                                           config.size_vs_requests, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      num_requests[i] = std::uint32_t(coupled[i]);
+    }
+  }
+
+  // Cache Recency Score: U[recency_lo, recency_hi], rank-coupled to size.
+  std::vector<double> recency(n);
+  for (auto& x : recency) x = rng.uniform(config.recency_lo, config.recency_hi);
+  recency =
+      object::correlate(size_keys, std::move(recency), config.size_vs_recency,
+                        rng);
+
+  SolutionSpaceInstance instance{config, std::move(catalog),
+                                 std::move(num_requests), std::move(recency),
+                                 {}};
+  instance.candidates = core::build_candidates_from_aggregates(
+      instance.catalog.sizes(), instance.num_requests, instance.cache_recency);
+  return instance;
+}
+
+namespace {
+
+core::KnapsackProfile build_profile(const SolutionSpaceInstance& inst,
+                                    object::Units max_budget) {
+  std::vector<core::KnapsackItem> items;
+  items.reserve(inst.candidates.candidates.size());
+  for (const auto& cand : inst.candidates.candidates) {
+    items.push_back(core::KnapsackItem{cand.size, cand.profit});
+  }
+  return core::KnapsackProfile(items, max_budget);
+}
+
+double score_from_profile(const SolutionSpaceInstance& inst,
+                          const core::KnapsackProfile& profile,
+                          object::Units budget) {
+  const auto& set = inst.candidates;
+  if (set.total_requests == 0) return 1.0;
+  return (set.baseline_score_sum + profile.value_at(budget)) /
+         double(set.total_requests);
+}
+
+}  // namespace
+
+std::vector<CurvePoint> average_score_curve(const SolutionSpaceInstance& inst,
+                                            object::Units step) {
+  if (step <= 0) throw std::invalid_argument("average_score_curve: step <= 0");
+  const object::Units max_budget = inst.catalog.total_size();
+  const core::KnapsackProfile profile = build_profile(inst, max_budget);
+  std::vector<CurvePoint> curve;
+  for (object::Units budget = 0;; budget += step) {
+    if (budget > max_budget) budget = max_budget;
+    curve.push_back(CurvePoint{budget, score_from_profile(inst, profile, budget)});
+    if (budget == max_budget) break;
+  }
+  return curve;
+}
+
+double average_score_at(const SolutionSpaceInstance& inst,
+                        object::Units budget) {
+  const core::KnapsackProfile profile = build_profile(inst, budget);
+  return score_from_profile(inst, profile, budget);
+}
+
+object::Units budget_reaching_score(const SolutionSpaceInstance& inst,
+                                    double target, object::Units step) {
+  if (step <= 0) throw std::invalid_argument("budget_reaching_score: step <= 0");
+  const object::Units max_budget = inst.catalog.total_size();
+  const core::KnapsackProfile profile = build_profile(inst, max_budget);
+  for (object::Units budget = 0; budget <= max_budget; budget += step) {
+    if (score_from_profile(inst, profile, budget) >= target) return budget;
+  }
+  return max_budget;
+}
+
+}  // namespace mobi::exp

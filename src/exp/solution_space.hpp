@@ -1,0 +1,71 @@
+// Solution-space analysis (paper §4, Figures 4-6, Table 1).
+//
+// A synthetic knapsack instance: 500 objects whose sizes sum to 5000
+// units, requested by 5000 clients in total, with per-object Cache Recency
+// Score drawn uniformly from [0.1, 1.0]. Correlations between Object Size
+// and the other two attributes are controlled (positive / negative /
+// none). The exact DP profile then yields Average Score as a function of
+// the upper bound on units downloaded — the curves all three figures plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/benefit.hpp"
+#include "core/knapsack.hpp"
+#include "object/correlate.hpp"
+#include "object/object.hpp"
+
+namespace mobi::exp {
+
+struct SolutionSpaceConfig {
+  std::size_t object_count = 500;
+  object::Units size_lo = 1;
+  object::Units size_hi = 20;
+  object::Units total_size = 5000;  // paper: "sum of the sizes ... 5000"
+  /// When true every object is requested by the same number of clients
+  /// (Figure 4's "uniform access"); otherwise NumRequests ~ U[req_lo,
+  /// req_hi] adjusted to total_requests clients.
+  bool constant_requests = false;
+  std::uint32_t requests_constant = 10;  // 500 objects * 10 = 5000 clients
+  object::Units req_lo = 1;
+  object::Units req_hi = 20;
+  object::Units total_requests = 5000;  // paper: "number of clients ... 5000"
+  double recency_lo = 0.1;
+  double recency_hi = 1.0;
+  object::Correlation size_vs_requests = object::Correlation::kNone;
+  object::Correlation size_vs_recency = object::Correlation::kNone;
+  std::uint64_t seed = 42;
+};
+
+struct SolutionSpaceInstance {
+  SolutionSpaceConfig config;
+  object::Catalog catalog;
+  std::vector<std::uint32_t> num_requests;
+  std::vector<double> cache_recency;  // per-object average cached score
+  core::CandidateSet candidates;
+};
+
+SolutionSpaceInstance build_instance(const SolutionSpaceConfig& config);
+
+struct CurvePoint {
+  object::Units budget = 0;
+  double average_score = 0.0;
+};
+
+/// Average Score at every budget in {0, step, 2*step, ..., total_size},
+/// computed from one exact DP profile (optimal at *every* budget).
+std::vector<CurvePoint> average_score_curve(const SolutionSpaceInstance& inst,
+                                            object::Units step = 100);
+
+/// Average Score at a single budget.
+double average_score_at(const SolutionSpaceInstance& inst,
+                        object::Units budget);
+
+/// Smallest budget whose Average Score reaches `target` (e.g. the paper's
+/// dotted rectangles at score ~0.9x); returns total_size if never reached.
+object::Units budget_reaching_score(const SolutionSpaceInstance& inst,
+                                    double target,
+                                    object::Units step = 10);
+
+}  // namespace mobi::exp

@@ -1,0 +1,70 @@
+#include "model/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobi::model {
+
+double probability_requested(double p, std::uint64_t requests) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("probability_requested: p outside [0, 1]");
+  }
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return requests > 0 ? 1.0 : 0.0;
+  // 1 - (1-p)^requests, computed in log space for tiny p.
+  return -std::expm1(double(requests) * std::log1p(-p));
+}
+
+double expected_on_demand_downloads(std::span<const double> access_probs,
+                                    std::size_t requests_per_tick,
+                                    sim::Tick update_period,
+                                    sim::Tick measure_ticks) {
+  if (update_period <= 0 || measure_ticks < 0) {
+    throw std::invalid_argument("expected_on_demand_downloads: bad ticks");
+  }
+  const auto requests_per_cycle =
+      std::uint64_t(requests_per_tick) * std::uint64_t(update_period);
+  double per_cycle = 0.0;
+  for (double p : access_probs) {
+    per_cycle += probability_requested(p, requests_per_cycle);
+  }
+  const double cycles = double(measure_ticks) / double(update_period);
+  return per_cycle * cycles;
+}
+
+double expected_async_downloads(std::size_t object_count,
+                                sim::Tick update_period,
+                                sim::Tick measure_ticks) {
+  if (update_period <= 0 || measure_ticks < 0) {
+    throw std::invalid_argument("expected_async_downloads: bad ticks");
+  }
+  return double(object_count) * double(measure_ticks) / double(update_period);
+}
+
+double steady_state_recency_harmonic(unsigned refresh_every_updates) {
+  if (refresh_every_updates == 0) {
+    throw std::invalid_argument("steady_state_recency_harmonic: k must be >= 1");
+  }
+  double harmonic = 0.0;
+  for (unsigned j = 1; j <= refresh_every_updates; ++j) {
+    harmonic += 1.0 / double(j);
+  }
+  return harmonic / double(refresh_every_updates);
+}
+
+double expected_async_recency(std::size_t object_count,
+                              std::size_t budget_per_tick,
+                              sim::Tick update_period) {
+  if (object_count == 0 || budget_per_tick == 0 || update_period <= 0) {
+    throw std::invalid_argument("expected_async_recency: bad parameters");
+  }
+  // A full round-robin sweep refreshes every object once in n/k ticks;
+  // the copy then ages one decay per update cycle until its next turn.
+  const double sweep_ticks =
+      double(object_count) / double(budget_per_tick);
+  const auto aged_cycles =
+      unsigned(std::ceil(sweep_ticks / double(update_period)));
+  return steady_state_recency_harmonic(std::max(1u, aged_cycles));
+}
+
+}  // namespace mobi::model

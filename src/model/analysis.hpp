@@ -1,0 +1,53 @@
+// Closed-form analytical models for the quantities the paper measures by
+// simulation. These serve two purposes: they are the "analytical results"
+// the paper's abstract promises, and the test suite validates the
+// simulator against them (model ~ simulation is a strong correctness
+// check for both sides).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sim/tick.hpp"
+
+namespace mobi::model {
+
+/// Probability that an object with per-request probability `p` is
+/// requested at least once during `requests` independent requests.
+double probability_requested(double p, std::uint64_t requests);
+
+/// Expected on-demand downloads per update cycle (Figure 2's quantity).
+///
+/// Between consecutive synchronized updates (period T ticks, rate R
+/// requests per tick) each object is downloaded at most once — on its
+/// first request after the update. So
+///   E[downloads/cycle] = sum_i P(object i requested within R*T requests)
+/// and over a measure window of W ticks there are W/T cycles.
+double expected_on_demand_downloads(std::span<const double> access_probs,
+                                    std::size_t requests_per_tick,
+                                    sim::Tick update_period,
+                                    sim::Tick measure_ticks);
+
+/// The asynchronous strategy's downloads over the same window: every
+/// object, every cycle (the paper's dotted line).
+double expected_async_downloads(std::size_t object_count,
+                                sim::Tick update_period,
+                                sim::Tick measure_ticks);
+
+/// Steady-state recency of a cached copy that is refreshed every `k`
+/// synchronized update cycles under harmonic decay with C = 1: the copy's
+/// score cycles 1, 1/2, ..., 1/k; the time-averaged score is H_k / k
+/// (H_k the k-th harmonic number). `k` >= 1.
+double steady_state_recency_harmonic(unsigned refresh_every_updates);
+
+/// Expected recency of copies served by the asynchronous round-robin
+/// refresh (Figure 3's async curve) in steady state: with n objects,
+/// budget k per tick and update period T, a full refresh sweep takes
+/// n/k ticks = (n/k)/T update cycles, so a uniformly sampled copy has
+/// aged uniformly over {0, 1, ..., ceil(sweep_cycles) - 1} cycles
+/// (0 aged copies score 1). Approximate but accurate for n >> k.
+double expected_async_recency(std::size_t object_count,
+                              std::size_t budget_per_tick,
+                              sim::Tick update_period);
+
+}  // namespace mobi::model

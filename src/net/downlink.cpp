@@ -1,0 +1,42 @@
+#include "net/downlink.hpp"
+
+#include <stdexcept>
+
+namespace mobi::net {
+
+WirelessDownlink::WirelessDownlink(object::Units capacity_per_tick)
+    : capacity_(capacity_per_tick) {
+  if (capacity_per_tick <= 0) {
+    throw std::invalid_argument("WirelessDownlink: capacity must be > 0");
+  }
+}
+
+void WirelessDownlink::enqueue(object::Units units) {
+  if (units < 0) throw std::invalid_argument("WirelessDownlink: negative size");
+  if (units == 0) return;
+  pending_.push_back(units);
+  queued_ += units;
+}
+
+object::Units WirelessDownlink::tick() {
+  ++ticks_;
+  object::Units budget = capacity_;
+  while (budget > 0 && !pending_.empty()) {
+    object::Units& head = pending_.front();
+    const object::Units moved = head <= budget ? head : budget;
+    head -= moved;
+    budget -= moved;
+    queued_ -= moved;
+    delivered_ += moved;
+    if (head == 0) pending_.pop_front();
+  }
+  idle_ += budget;
+  return capacity_ - budget;
+}
+
+double WirelessDownlink::utilization() const noexcept {
+  const double offered = double(capacity_) * double(ticks_);
+  return offered > 0.0 ? double(delivered_) / offered : 0.0;
+}
+
+}  // namespace mobi::net

@@ -1,0 +1,49 @@
+// Wireless downlink from the base station to the clients in its cell.
+//
+// The downlink has a hard per-tick capacity. Deliveries are queued FIFO
+// and drained each tick; capacity left over when the queue empties is
+// *idle bandwidth* — the waste the paper's on-demand strategy is designed
+// to avoid ("if there is too much delay in downloading data from remote
+// sources, some of the available downlink bandwidth may be idle").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "object/object.hpp"
+
+namespace mobi::net {
+
+class WirelessDownlink {
+ public:
+  explicit WirelessDownlink(object::Units capacity_per_tick);
+
+  object::Units capacity() const noexcept { return capacity_; }
+
+  /// Queues `units` of data for delivery to clients.
+  void enqueue(object::Units units);
+
+  /// Advances one tick: delivers up to capacity units from the queue.
+  /// Returns the units actually delivered this tick.
+  object::Units tick();
+
+  object::Units queued() const noexcept { return queued_; }
+  object::Units delivered_total() const noexcept { return delivered_; }
+  object::Units idle_total() const noexcept { return idle_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Fraction of downlink capacity used so far (0 if no ticks have run).
+  double utilization() const noexcept;
+
+ private:
+  object::Units capacity_;
+  object::Units queued_ = 0;
+  object::Units delivered_ = 0;
+  object::Units idle_ = 0;
+  std::uint64_t ticks_ = 0;
+  // Per-item queue retained for inspection; aggregate counters drive the
+  // fast path.
+  std::deque<object::Units> pending_;
+};
+
+}  // namespace mobi::net

@@ -1,0 +1,43 @@
+#include "net/fixed_network.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::net {
+
+FixedNetwork::FixedNetwork(double bandwidth, double latency, double contention)
+    : link_(bandwidth, latency), contention_(contention) {
+  if (contention < 0.0) {
+    throw std::invalid_argument("FixedNetwork: contention must be >= 0");
+  }
+}
+
+std::vector<double> FixedNetwork::submit_batch(
+    const std::vector<object::Units>& sizes) {
+  const object::Units total =
+      std::accumulate(sizes.begin(), sizes.end(), object::Units{0});
+  std::vector<double> completions;
+  completions.reserve(sizes.size());
+  for (object::Units own : sizes) {
+    if (own < 0) throw std::invalid_argument("FixedNetwork: negative size");
+    const double competing = contention_ * double(total - own);
+    const double time =
+        link_.latency() + (double(own) + competing) / link_.bandwidth();
+    completions.push_back(time);
+    link_.account(own);
+    ++stats_.transfers;
+    stats_.units += own;
+    stats_.total_time += time;
+  }
+  return completions;
+}
+
+double FixedNetwork::batch_completion_time(
+    const std::vector<object::Units>& sizes) const {
+  if (sizes.empty()) return 0.0;
+  const object::Units total =
+      std::accumulate(sizes.begin(), sizes.end(), object::Units{0});
+  return link_.latency() + double(total) / link_.bandwidth();
+}
+
+}  // namespace mobi::net

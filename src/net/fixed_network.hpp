@@ -1,0 +1,53 @@
+// Fixed-network model between the base station and remote servers.
+//
+// Latency grows with concurrent load ("as the base station downloads more
+// data over the fixed network, the overall latency may increase due to
+// bandwidth contention" — paper §1). Transfers submitted in the same tick
+// share the link processor-sharing style: each transfer's completion time
+// reflects the amount of competing traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "object/object.hpp"
+
+namespace mobi::net {
+
+struct TransferStats {
+  std::uint64_t transfers = 0;
+  object::Units units = 0;
+  double total_time = 0.0;  // summed per-transfer completion times
+
+  double mean_time() const noexcept {
+    return transfers ? total_time / double(transfers) : 0.0;
+  }
+};
+
+class FixedNetwork {
+ public:
+  /// `contention` scales how strongly concurrent traffic inflates latency:
+  /// a batch of total size B completes in latency + B/bandwidth, and each
+  /// member transfer is charged latency + (own + contention*(B-own))/bw.
+  FixedNetwork(double bandwidth, double latency, double contention = 1.0);
+
+  /// Computes per-transfer completion times for a batch submitted
+  /// together, updating the running stats. Returns one completion time per
+  /// input size, in order.
+  std::vector<double> submit_batch(const std::vector<object::Units>& sizes);
+
+  /// Time for the whole batch to finish (the last completion).
+  double batch_completion_time(const std::vector<object::Units>& sizes) const;
+
+  const TransferStats& stats() const noexcept { return stats_; }
+  double bandwidth() const noexcept { return link_.bandwidth(); }
+  double latency() const noexcept { return link_.latency(); }
+
+ private:
+  Link link_;
+  double contention_;
+  TransferStats stats_;
+};
+
+}  // namespace mobi::net

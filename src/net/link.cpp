@@ -1,0 +1,16 @@
+#include "net/link.hpp"
+
+namespace mobi::net {
+
+Link::Link(double bandwidth, double latency)
+    : bandwidth_(bandwidth), latency_(latency) {
+  if (bandwidth <= 0.0) throw std::invalid_argument("Link: bandwidth must be > 0");
+  if (latency < 0.0) throw std::invalid_argument("Link: latency must be >= 0");
+}
+
+double Link::transfer_time(object::Units units) const {
+  if (units < 0) throw std::invalid_argument("Link::transfer_time: negative size");
+  return latency_ + double(units) / bandwidth_;
+}
+
+}  // namespace mobi::net

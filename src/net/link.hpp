@@ -1,0 +1,46 @@
+// Network link primitives.
+//
+// The paper's knapsack mapping deliberately abstracts the network down to
+// a per-batch download budget; these classes model what that budget
+// abstracts — transfer times, queueing, contention and downlink
+// utilization — so the examples and the BaseStation orchestrator can
+// report latency and idle-bandwidth effects the paper discusses
+// qualitatively in its introduction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "object/object.hpp"
+#include "sim/simulator.hpp"
+
+namespace mobi::net {
+
+/// A point-to-point link with fixed bandwidth and propagation latency.
+class Link {
+ public:
+  /// bandwidth: data units per time unit (> 0); latency: time units (>= 0).
+  Link(double bandwidth, double latency);
+
+  double bandwidth() const noexcept { return bandwidth_; }
+  double latency() const noexcept { return latency_; }
+
+  /// Time to move `units` across an otherwise idle link.
+  double transfer_time(object::Units units) const;
+
+  /// Records a transfer for utilization accounting.
+  void account(object::Units units) noexcept {
+    transferred_ += units;
+    ++transfers_;
+  }
+  object::Units transferred() const noexcept { return transferred_; }
+  std::uint64_t transfers() const noexcept { return transfers_; }
+
+ private:
+  double bandwidth_;
+  double latency_;
+  object::Units transferred_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace mobi::net

@@ -1,0 +1,80 @@
+#include "net/ps_link.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mobi::net {
+
+PsLink::PsLink(sim::Simulator& simulator, double bandwidth)
+    : simulator_(&simulator), bandwidth_(bandwidth) {
+  if (!(bandwidth > 0.0)) {
+    throw std::invalid_argument("PsLink: bandwidth must be > 0");
+  }
+}
+
+void PsLink::submit(object::Units size,
+                    std::function<void(double, double)> on_done) {
+  if (size < 0) throw std::invalid_argument("PsLink::submit: negative size");
+  // Bring existing transfers up to date before the share changes.
+  advance_and_reschedule();
+  Transfer transfer;
+  transfer.remaining = double(size);
+  transfer.start = simulator_->now();
+  transfer.on_done = std::move(on_done);
+  transfers_.push_back(std::move(transfer));
+  advance_and_reschedule();
+}
+
+void PsLink::advance_and_reschedule() {
+  const double now = simulator_->now();
+  // Progress the fluid model: each of k transfers advanced by
+  // elapsed * bandwidth / k.
+  if (!transfers_.empty() && now > last_progress_time_) {
+    const double per_transfer = (now - last_progress_time_) * bandwidth_ /
+                                double(transfers_.size());
+    for (auto& transfer : transfers_) {
+      transfer.remaining -= per_transfer;
+    }
+  }
+  last_progress_time_ = now;
+
+  for (;;) {
+    // Complete transfers whose remaining volume is (numerically) gone.
+    for (auto it = transfers_.begin(); it != transfers_.end();) {
+      if (it->remaining <= 1e-9) {
+        if (it->on_done) it->on_done(it->start, now);
+        ++completed_;
+        it = transfers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (transfers_.empty()) return;
+
+    // Next completion: the smallest remaining volume at the current share.
+    double smallest = std::numeric_limits<double>::infinity();
+    for (const auto& transfer : transfers_) {
+      smallest = std::min(smallest, transfer.remaining);
+    }
+    const double delay = smallest * double(transfers_.size()) / bandwidth_;
+    if (now + delay > now) {
+      const std::uint64_t generation = ++schedule_generation_;
+      simulator_->schedule_in(delay, [this, generation] {
+        // A later submit() superseded this event; ignore it.
+        if (generation != schedule_generation_) return;
+        advance_and_reschedule();
+      });
+      return;
+    }
+    // The delay is below the floating-point resolution of `now` (e.g. an
+    // extremely fast link): the clock cannot advance, so drain the
+    // sub-resolution volume directly instead of live-locking on
+    // zero-delay events.
+    for (auto& transfer : transfers_) {
+      transfer.remaining -= smallest;
+    }
+  }
+}
+
+}  // namespace mobi::net

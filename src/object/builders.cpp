@@ -1,0 +1,57 @@
+#include "object/builders.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::object {
+
+Catalog make_uniform_catalog(std::size_t n, Units size) {
+  return Catalog(std::vector<Units>(n, size));
+}
+
+Catalog make_random_catalog(std::size_t n, Units lo, Units hi,
+                            util::Rng& rng) {
+  if (lo <= 0 || hi < lo) {
+    throw std::invalid_argument("make_random_catalog: need 0 < lo <= hi");
+  }
+  std::vector<Units> sizes(n);
+  for (auto& s : sizes) s = rng.uniform_int(lo, hi);
+  return Catalog(std::move(sizes));
+}
+
+std::vector<Units> random_units_with_total(std::size_t n, Units lo, Units hi,
+                                           Units total, util::Rng& rng) {
+  if (lo <= 0 || hi < lo) {
+    throw std::invalid_argument("random_units_with_total: need 0 < lo <= hi");
+  }
+  if (total < Units(n) * lo || total > Units(n) * hi) {
+    throw std::invalid_argument(
+        "random_units_with_total: target total unreachable");
+  }
+  std::vector<Units> values(n);
+  Units sum = 0;
+  for (auto& v : values) {
+    v = rng.uniform_int(lo, hi);
+    sum += v;
+  }
+  // Random ±1 nudges preserve near-uniformity while converging on the
+  // target; each step moves |sum - total| down by exactly one.
+  while (sum != total) {
+    const auto i = std::size_t(rng.uniform_u64(0, n - 1));
+    if (sum > total && values[i] > lo) {
+      --values[i];
+      --sum;
+    } else if (sum < total && values[i] < hi) {
+      ++values[i];
+      ++sum;
+    }
+  }
+  return values;
+}
+
+Catalog make_random_catalog_with_total(std::size_t n, Units lo, Units hi,
+                                       Units exact_total, util::Rng& rng) {
+  return Catalog(random_units_with_total(n, lo, hi, exact_total, rng));
+}
+
+}  // namespace mobi::object

@@ -1,0 +1,30 @@
+// Catalog builders: uniform-size catalogs (Section 3 experiments) and
+// random-size catalogs with an optional exact-total constraint (Section 4:
+// "the sum of the sizes of these objects was 5000 units").
+#pragma once
+
+#include "object/object.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::object {
+
+/// n objects, each of the same size.
+Catalog make_uniform_catalog(std::size_t n, Units size = 1);
+
+/// n objects with sizes drawn uniformly from [lo, hi].
+Catalog make_random_catalog(std::size_t n, Units lo, Units hi,
+                            util::Rng& rng);
+
+/// n objects with sizes drawn uniformly from [lo, hi], then nudged by ±1
+/// steps (staying within [lo, hi]) until the total equals `exact_total`.
+/// Throws if the target is outside [n*lo, n*hi].
+Catalog make_random_catalog_with_total(std::size_t n, Units lo, Units hi,
+                                       Units exact_total, util::Rng& rng);
+
+/// Integer samples uniform in [lo, hi] adjusted to sum exactly to `total`
+/// (the shared mechanism behind make_random_catalog_with_total; also used
+/// for the Section 4 NumRequests attribute).
+std::vector<Units> random_units_with_total(std::size_t n, Units lo, Units hi,
+                                           Units total, util::Rng& rng);
+
+}  // namespace mobi::object

@@ -1,0 +1,47 @@
+#include "object/correlate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::object {
+
+const char* correlation_name(Correlation c) noexcept {
+  switch (c) {
+    case Correlation::kNegative: return "negative";
+    case Correlation::kNone: return "none";
+    case Correlation::kPositive: return "positive";
+  }
+  return "?";
+}
+
+std::vector<double> correlate(std::span<const double> keys,
+                              std::vector<double> values, Correlation how,
+                              util::Rng& rng) {
+  if (keys.size() != values.size()) {
+    throw std::invalid_argument("correlate: size mismatch");
+  }
+  const std::size_t n = keys.size();
+  if (how == Correlation::kNone) {
+    rng.shuffle(values);
+    return values;
+  }
+  // Order of object indices by ascending key (ties by index).
+  std::vector<std::size_t> by_key(n);
+  std::iota(by_key.begin(), by_key.end(), std::size_t{0});
+  std::sort(by_key.begin(), by_key.end(), [&](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  std::sort(values.begin(), values.end());
+  if (how == Correlation::kNegative) {
+    std::reverse(values.begin(), values.end());
+  }
+  std::vector<double> assigned(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    assigned[by_key[rank]] = values[rank];
+  }
+  return assigned;
+}
+
+}  // namespace mobi::object

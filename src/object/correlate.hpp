@@ -1,0 +1,32 @@
+// Rank-coupled attribute assignment.
+//
+// Section 4 of the paper studies how curves change under "positive",
+// "negative", and "no" correlation between per-object attributes (size vs
+// popularity, size vs cached recency). This helper realizes those three
+// regimes exactly: given a key attribute (e.g. sizes) and a bag of sampled
+// values for a second attribute, it assigns values to objects such that
+// Spearman correlation with the key is +1, -1, or ~0 without changing
+// either marginal distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobi::object {
+
+enum class Correlation { kNegative, kNone, kPositive };
+
+const char* correlation_name(Correlation c) noexcept;
+
+/// Returns `values` permuted so that, paired with `keys`:
+///  - kPositive: the largest value goes to the largest key (rank-aligned),
+///  - kNegative: the largest value goes to the smallest key,
+///  - kNone:     values are randomly permuted.
+/// Ties in `keys` are broken by index, deterministically.
+std::vector<double> correlate(std::span<const double> keys,
+                              std::vector<double> values, Correlation how,
+                              util::Rng& rng);
+
+}  // namespace mobi::object

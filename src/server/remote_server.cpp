@@ -1,0 +1,63 @@
+#include "server/remote_server.hpp"
+
+namespace mobi::server {
+
+RemoteServer::RemoteServer(const object::Catalog& catalog)
+    : catalog_(&catalog),
+      versions_(catalog.size(), 0),
+      updated_at_(catalog.size(), 0) {}
+
+void RemoteServer::apply_update(object::ObjectId id, sim::Tick tick) {
+  check(id);
+  ++versions_[id];
+  updated_at_[id] = tick;
+  ++total_updates_;
+}
+
+Version RemoteServer::version(object::ObjectId id) const {
+  check(id);
+  return versions_[id];
+}
+
+sim::Tick RemoteServer::updated_at(object::ObjectId id) const {
+  check(id);
+  return updated_at_[id];
+}
+
+FetchResult RemoteServer::fetch(object::ObjectId id) const {
+  check(id);
+  return FetchResult{versions_[id], updated_at_[id], catalog_->object_size(id)};
+}
+
+ServerPool::ServerPool(const object::Catalog& catalog,
+                       std::size_t server_count)
+    : object_count_(catalog.size()) {
+  if (server_count == 0) {
+    throw std::invalid_argument("ServerPool: need >= 1 server");
+  }
+  servers_.reserve(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) servers_.emplace_back(catalog);
+}
+
+std::size_t ServerPool::server_for(object::ObjectId id) const {
+  if (id >= object_count_) throw std::out_of_range("ServerPool: bad id");
+  return id % servers_.size();
+}
+
+void ServerPool::apply_update(object::ObjectId id, sim::Tick tick) {
+  servers_[server_for(id)].apply_update(id, tick);
+}
+
+FetchResult ServerPool::fetch(object::ObjectId id) const {
+  return servers_[server_for(id)].fetch(id);
+}
+
+Version ServerPool::version(object::ObjectId id) const {
+  return servers_[server_for(id)].version(id);
+}
+
+sim::Tick ServerPool::updated_at(object::ObjectId id) const {
+  return servers_[server_for(id)].updated_at(id);
+}
+
+}  // namespace mobi::server

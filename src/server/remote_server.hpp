@@ -1,0 +1,81 @@
+// Remote (fixed-network) servers holding object master copies.
+//
+// The model is pull-based: servers never push; they answer fetches with
+// the current version of an object. Versions are monotone counters bumped
+// by the update process; "recency" comparisons elsewhere reduce to version
+// comparisons plus update timestamps.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "object/object.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::server {
+
+using Version = std::uint64_t;
+
+/// What a fetch returns: the object's current version and when that
+/// version was installed.
+struct FetchResult {
+  Version version = 0;
+  sim::Tick updated_at = 0;
+  object::Units size = 0;
+};
+
+class RemoteServer {
+ public:
+  explicit RemoteServer(const object::Catalog& catalog);
+
+  std::size_t object_count() const noexcept { return versions_.size(); }
+
+  /// Installs a new version of `id` at time `tick`.
+  void apply_update(object::ObjectId id, sim::Tick tick);
+
+  Version version(object::ObjectId id) const;
+  sim::Tick updated_at(object::ObjectId id) const;
+  std::uint64_t total_updates() const noexcept { return total_updates_; }
+
+  /// Pull the current copy of an object. Pure read; transfer cost is
+  /// modeled by mobi::net, not here.
+  FetchResult fetch(object::ObjectId id) const;
+
+ private:
+  void check(object::ObjectId id) const {
+    if (id >= versions_.size()) throw std::out_of_range("RemoteServer: bad id");
+  }
+
+  const object::Catalog* catalog_;
+  std::vector<Version> versions_;
+  std::vector<sim::Tick> updated_at_;
+  std::uint64_t total_updates_ = 0;
+};
+
+/// A set of servers with objects assigned round-robin; lets examples model
+/// several origins behind one base station.
+class ServerPool {
+ public:
+  ServerPool(const object::Catalog& catalog, std::size_t server_count);
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+  std::size_t server_for(object::ObjectId id) const;
+
+  RemoteServer& server(std::size_t index) { return servers_.at(index); }
+  const RemoteServer& server(std::size_t index) const {
+    return servers_.at(index);
+  }
+
+  /// Routes to the owning server.
+  void apply_update(object::ObjectId id, sim::Tick tick);
+  FetchResult fetch(object::ObjectId id) const;
+  Version version(object::ObjectId id) const;
+  sim::Tick updated_at(object::ObjectId id) const;
+
+ private:
+  std::vector<RemoteServer> servers_;
+  std::size_t object_count_;
+};
+
+}  // namespace mobi::server

@@ -1,0 +1,33 @@
+#include "sim/series.hpp"
+
+#include <stdexcept>
+
+namespace mobi::sim {
+
+void Series::record(SimTime when, double value) {
+  if (!times_.empty() && when < times_.back()) {
+    throw std::logic_error("Series::record: time went backwards");
+  }
+  times_.push_back(when);
+  values_.push_back(value);
+}
+
+util::Summary Series::summary() const {
+  util::Summary s;
+  for (double v : values_) s.add(v);
+  return s;
+}
+
+util::Summary Series::summary_window(SimTime from, SimTime to) const {
+  util::Summary s;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= from && times_[i] < to) s.add(values_[i]);
+  }
+  return s;
+}
+
+double Series::sum_window(SimTime from, SimTime to) const {
+  return summary_window(from, to).sum();
+}
+
+}  // namespace mobi::sim

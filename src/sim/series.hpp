@@ -1,0 +1,40 @@
+// Time-series metric recording for experiment output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace mobi::sim {
+
+/// An append-only (time, value) series with summary statistics, optionally
+/// restricted to a measurement window (the paper warms its caches and
+/// measures only the steady state).
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime when, double value);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  const std::vector<SimTime>& times() const noexcept { return times_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Statistics over all recorded points.
+  util::Summary summary() const;
+  /// Statistics over points with from <= time < to.
+  util::Summary summary_window(SimTime from, SimTime to) const;
+  /// Sum of values in [from, to).
+  double sum_window(SimTime from, SimTime to) const;
+
+ private:
+  std::string name_;
+  std::vector<SimTime> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace mobi::sim

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+
+namespace mobi::sim {
+
+void Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time is in the past");
+  }
+  queue_.push(Entry{when, next_sequence_++,
+                    std::make_shared<Action>(std::move(action))});
+}
+
+void Simulator::schedule_in(SimTime delay, Action action) {
+  if (delay < 0.0) {
+    throw std::logic_error("Simulator::schedule_in: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_every(SimTime first, SimTime period, Action action) {
+  if (period <= 0.0) {
+    throw std::logic_error("Simulator::schedule_every: period must be > 0");
+  }
+  auto payload = std::make_shared<Action>(std::move(action));
+  // The recurring wrapper reschedules itself after running the payload.
+  // The simulator owns the cell; the closure captures only a raw pointer
+  // to it, so there is no shared_ptr reference cycle.
+  auto cell = std::make_shared<Action>();
+  *cell = [this, period, payload, raw = cell.get()]() {
+    (*payload)();
+    schedule_in(period, *raw);
+  };
+  recurring_.push_back(cell);
+  schedule_at(first, *recurring_.back());
+}
+
+void Simulator::execute(Entry entry) {
+  now_ = entry.when;
+  ++executed_;
+  (*entry.action)();
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    execute(std::move(entry));
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    execute(std::move(entry));
+    ++count;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  execute(std::move(entry));
+  return true;
+}
+
+}  // namespace mobi::sim

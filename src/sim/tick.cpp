@@ -1,0 +1,25 @@
+#include "sim/tick.hpp"
+
+#include <stdexcept>
+
+namespace mobi::sim {
+
+void TickDriver::add_phase(int priority, Phase phase) {
+  if (!phase) throw std::invalid_argument("TickDriver::add_phase: empty phase");
+  phases_.emplace(priority, std::move(phase));
+}
+
+void TickDriver::run(Tick ticks) {
+  next_tick_ = 0;
+  run_more(ticks);
+}
+
+void TickDriver::run_more(Tick ticks) {
+  if (ticks < 0) throw std::invalid_argument("TickDriver::run_more: negative count");
+  const Tick end = next_tick_ + ticks;
+  for (; next_tick_ < end; ++next_tick_) {
+    for (auto& [priority, phase] : phases_) phase(next_tick_);
+  }
+}
+
+}  // namespace mobi::sim

@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mobi::util {
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  // Inverse-CDF; 1 - uniform() is in (0, 1] so the log argument never hits 0.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller without caching the second variate: determinism of the
+  // stream should not depend on how many normal() calls interleave with
+  // other draws.
+  double u1 = 1.0 - uniform();  // (0, 1]
+  double u2 = uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace mobi::util

@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mobi::util {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n1 = double(count_);
+  const double n2 = double(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Summary::variance() const noexcept {
+  return count_ > 1 ? m2_ / double(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (buckets == 0) throw std::invalid_argument("Histogram: need >= 1 bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bucket = std::size_t(std::clamp(frac, 0.0, 1.0) * double(counts_.size()));
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("Histogram::bucket_lo");
+  return lo_ + (hi_ - lo_) * double(bucket) / double(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("Histogram::bucket_hi");
+  return lo_ + (hi_ - lo_) * double(bucket + 1) / double(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * double(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cumulative + double(counts_[b]);
+    if (next >= target) {
+      const double within =
+          counts_[b] == 0 ? 0.0 : (target - cumulative) / double(counts_[b]);
+      return bucket_lo(b) + within * (bucket_hi(b) - bucket_lo(b));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        peak == 0 ? std::size_t{0} : counts_[b] * width / peak;
+    out << '[';
+    out.precision(3);
+    out << bucket_lo(b) << ", " << bucket_hi(b) << ") ";
+    out << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / double(n);
+  const double my = std::accumulate(ys.begin(), ys.end(), 0.0) / double(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> result(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie group [i, j]; ranks are 1-based.
+    const double avg = (double(i) + double(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) result[order[k]] = avg;
+    i = j + 1;
+  }
+  return result;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("spearman: size mismatch");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace mobi::util

@@ -1,0 +1,73 @@
+// Streaming summary statistics, histograms and correlation measures used
+// by the experiment harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mobi::util {
+
+/// Streaming count / mean / variance / min / max via Welford's algorithm.
+/// Numerically stable; O(1) per observation.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  /// Merges another summary into this one (parallel reduction friendly).
+  void merge(const Summary& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * double(count_); }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range, equal-width histogram. Out-of-range samples are clamped to
+/// the edge buckets so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+  /// Value below which `q` (in [0,1]) of the observed mass lies,
+  /// interpolated within the containing bucket.
+  double quantile(double q) const;
+  /// A one-line ASCII rendering, for example output.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson product-moment correlation of two equal-length series.
+/// Returns 0 when either series is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson on fractional ranks, average ranks
+/// for ties). Used to validate the correlated synthetic-data generator.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Fractional ranks (1-based, ties averaged) of a series.
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace mobi::util

@@ -1,0 +1,44 @@
+// Fixed-width plain-text tables and CSV emission. The benchmark binaries
+// print the paper's tables/series through this so every experiment's output
+// is uniform and machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mobi::util {
+
+/// A cell is a string, an integer, or a double (formatted with fixed
+/// precision chosen per-table).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 4);
+
+  Table& add_row(std::vector<Cell> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders with padded columns and a header separator.
+  std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::string format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int double_precision_;
+};
+
+/// Writes `csv` to `path`, creating parent directories if needed; throws on
+/// I/O failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace mobi::util

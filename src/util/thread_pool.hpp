@@ -1,0 +1,70 @@
+// A small fixed-size thread pool plus a blocked-range parallel_for, used to
+// parallelize experiment sweeps (each sweep point is an independent
+// simulation). On single-core hosts the pool degrades to near-serial
+// execution with identical results: work items never share mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mobi::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (with a floor of 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes. Exceptions
+  /// thrown by the task propagate through the future.
+  template <typename F>
+  std::future<void> submit(F&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
+    std::future<void> result = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [begin, end) across the pool in contiguous
+/// chunks and waits for completion. Rethrows the first task exception.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Convenience overload using a process-wide default pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// The process-wide default pool (lazily constructed, hardware-sized).
+ThreadPool& default_pool();
+
+}  // namespace mobi::util

@@ -1,0 +1,112 @@
+#include "workload/access.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mobi::workload {
+
+WeightedAccess::WeightedAccess(std::string name,
+                               std::vector<double> rank_weights,
+                               std::vector<object::ObjectId> rank_to_object)
+    : name_(std::move(name)), rank_to_object_(std::move(rank_to_object)) {
+  const std::size_t n = rank_weights.size();
+  if (n == 0) throw std::invalid_argument("WeightedAccess: no objects");
+  if (rank_to_object_.empty()) {
+    rank_to_object_.resize(n);
+    std::iota(rank_to_object_.begin(), rank_to_object_.end(),
+              object::ObjectId{0});
+  }
+  if (rank_to_object_.size() != n) {
+    throw std::invalid_argument("WeightedAccess: mapping size mismatch");
+  }
+  // Validate the mapping is a permutation of [0, n).
+  std::vector<bool> seen(n, false);
+  for (object::ObjectId id : rank_to_object_) {
+    if (id >= n || seen[id]) {
+      throw std::invalid_argument("WeightedAccess: mapping is not a permutation");
+    }
+    seen[id] = true;
+  }
+  double total = 0.0;
+  for (double w : rank_weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("WeightedAccess: weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("WeightedAccess: zero total weight");
+  object_probability_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    object_probability_[rank_to_object_[r]] = rank_weights[r] / total;
+  }
+
+  // Vose's alias method: split ranks into "small" (scaled prob < 1) and
+  // "large"; every slot ends up holding its own rank with probability
+  // accept_[r] and a single alias otherwise.
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t r = 0; r < n; ++r) {
+    scaled[r] = rank_weights[r] / total * double(n);
+    (scaled[r] < 1.0 ? small : large).push_back(std::uint32_t(r));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly 1 up to rounding; they keep accept_ = 1.
+  for (std::uint32_t r : small) accept_[r] = 1.0;
+  for (std::uint32_t r : large) accept_[r] = 1.0;
+}
+
+object::ObjectId WeightedAccess::sample(util::Rng& rng) const {
+  const std::size_t n = accept_.size();
+  const auto slot = std::size_t(rng.uniform_u64(0, n - 1));
+  const std::size_t rank =
+      rng.uniform() < accept_[slot] ? slot : std::size_t(alias_[slot]);
+  return rank_to_object_[rank];
+}
+
+double WeightedAccess::probability(object::ObjectId id) const {
+  if (id >= object_probability_.size()) {
+    throw std::out_of_range("WeightedAccess::probability");
+  }
+  return object_probability_[id];
+}
+
+std::unique_ptr<AccessDistribution> make_uniform_access(std::size_t n) {
+  return std::make_unique<WeightedAccess>("uniform",
+                                          std::vector<double>(n, 1.0));
+}
+
+std::unique_ptr<AccessDistribution> make_rank_linear_access(
+    std::size_t n, std::vector<object::ObjectId> rank_to_object) {
+  std::vector<double> weights(n);
+  for (std::size_t r = 0; r < n; ++r) weights[r] = double(n - r);
+  return std::make_unique<WeightedAccess>("rank-linear", std::move(weights),
+                                          std::move(rank_to_object));
+}
+
+std::unique_ptr<AccessDistribution> make_zipf_access(
+    std::size_t n, double alpha, std::vector<object::ObjectId> rank_to_object) {
+  if (alpha < 0.0) throw std::invalid_argument("make_zipf_access: alpha < 0");
+  std::vector<double> weights(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(double(r + 1), alpha);
+  }
+  return std::make_unique<WeightedAccess>("zipf", std::move(weights),
+                                          std::move(rank_to_object));
+}
+
+}  // namespace mobi::workload

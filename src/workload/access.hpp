@@ -1,0 +1,73 @@
+// Client access-pattern distributions over a catalog of n objects.
+//
+// The paper's Figure 2 uses three patterns over object popularity ranks:
+//   * uniform          — every object equally likely;
+//   * "skewed uniform" — the i-th most popular object requested with
+//                        probability proportional to its rank weight
+//                        (linear-in-rank skew);
+//   * zipf             — probability proportional to 1/i^alpha.
+// Rank r (0 = most popular) maps to an object id via an optional
+// permutation so popularity need not follow catalog order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "object/object.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::workload {
+
+/// Samples object ids according to a fixed popularity distribution.
+class AccessDistribution {
+ public:
+  virtual ~AccessDistribution() = default;
+  virtual object::ObjectId sample(util::Rng& rng) const = 0;
+  virtual std::size_t object_count() const noexcept = 0;
+  virtual std::string name() const = 0;
+  /// Probability of sampling object `id` (for tests/analysis).
+  virtual double probability(object::ObjectId id) const = 0;
+};
+
+/// Generic finite distribution: explicit per-rank weights plus a rank ->
+/// object mapping. All concrete patterns below reduce to this. Sampling
+/// uses Walker/Vose alias tables: O(n) construction, O(1) per sample.
+class WeightedAccess final : public AccessDistribution {
+ public:
+  /// `rank_weights[r]` is the (unnormalized) weight of popularity rank r.
+  /// `rank_to_object` maps ranks to object ids (must be a permutation of
+  /// [0, n)); empty means identity.
+  WeightedAccess(std::string name, std::vector<double> rank_weights,
+                 std::vector<object::ObjectId> rank_to_object = {});
+
+  object::ObjectId sample(util::Rng& rng) const override;
+  std::size_t object_count() const noexcept override { return accept_.size(); }
+  std::string name() const override { return name_; }
+  double probability(object::ObjectId id) const override;
+
+ private:
+  std::string name_;
+  std::vector<object::ObjectId> rank_to_object_;
+  std::vector<double> object_probability_;
+  // Alias tables (Vose): sample = rank r w.p. accept_[r], else alias_[r].
+  std::vector<double> accept_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Uniform access over n objects.
+std::unique_ptr<AccessDistribution> make_uniform_access(std::size_t n);
+
+/// Linear-in-rank skew: rank r (0-based, most popular first) has weight
+/// n - r. The paper's "skewed uniformly" pattern.
+std::unique_ptr<AccessDistribution> make_rank_linear_access(
+    std::size_t n, std::vector<object::ObjectId> rank_to_object = {});
+
+/// Zipf: rank r has weight 1 / (r+1)^alpha.
+std::unique_ptr<AccessDistribution> make_zipf_access(
+    std::size_t n, double alpha = 1.0,
+    std::vector<object::ObjectId> rank_to_object = {});
+
+}  // namespace mobi::workload

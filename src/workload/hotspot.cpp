@@ -1,0 +1,45 @@
+#include "workload/hotspot.hpp"
+
+#include <stdexcept>
+
+namespace mobi::workload {
+
+ShiftingHotspot::ShiftingHotspot(
+    std::shared_ptr<const AccessDistribution> base, sim::Tick shift_period,
+    std::size_t stride)
+    : base_(std::move(base)), shift_period_(shift_period), stride_(stride) {
+  if (!base_) throw std::invalid_argument("ShiftingHotspot: null base");
+  if (shift_period <= 0) {
+    throw std::invalid_argument("ShiftingHotspot: shift_period must be > 0");
+  }
+}
+
+std::size_t ShiftingHotspot::offset(sim::Tick now) const {
+  if (now < 0) throw std::invalid_argument("ShiftingHotspot: negative tick");
+  const std::size_t n = base_->object_count();
+  return (std::size_t(now / shift_period_) * stride_) % n;
+}
+
+object::ObjectId ShiftingHotspot::object_at_rank(std::size_t rank,
+                                                 sim::Tick now) const {
+  const std::size_t n = base_->object_count();
+  if (rank >= n) throw std::out_of_range("ShiftingHotspot: bad rank");
+  return object::ObjectId((rank + offset(now)) % n);
+}
+
+object::ObjectId ShiftingHotspot::sample(util::Rng& rng, sim::Tick now) const {
+  // The base distribution's sampled id *is* the rank.
+  const auto rank = std::size_t(base_->sample(rng));
+  return object_at_rank(rank, now);
+}
+
+double ShiftingHotspot::probability(object::ObjectId id, sim::Tick now) const {
+  const std::size_t n = base_->object_count();
+  if (id >= n) throw std::out_of_range("ShiftingHotspot: bad id");
+  // Invert the rotation: the rank currently mapped onto `id`.
+  const std::size_t shift = offset(now);
+  const std::size_t rank = (std::size_t(id) + n - shift) % n;
+  return base_->probability(object::ObjectId(rank));
+}
+
+}  // namespace mobi::workload

@@ -1,0 +1,47 @@
+// Shifting-hotspot workload: non-stationary popularity.
+//
+// Real client populations drift — today's hot news object is cold
+// tomorrow. The rank distribution (e.g. zipf) stays fixed, but the
+// mapping from popularity ranks to object ids rotates by `stride` every
+// `shift_period` ticks. Request-driven policies adapt automatically
+// (profit follows the requests); request-oblivious refresh cannot. Used
+// by the robustness bench.
+#pragma once
+
+#include <memory>
+
+#include "object/object.hpp"
+#include "sim/tick.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::workload {
+
+class ShiftingHotspot {
+ public:
+  /// `base` supplies the per-rank distribution (its object ids are read
+  /// as ranks). Every `shift_period` ticks the rank->object mapping
+  /// rotates by `stride` positions.
+  ShiftingHotspot(std::shared_ptr<const AccessDistribution> base,
+                  sim::Tick shift_period, std::size_t stride);
+
+  std::size_t object_count() const noexcept { return base_->object_count(); }
+
+  /// Object sampled at tick `now`.
+  object::ObjectId sample(util::Rng& rng, sim::Tick now) const;
+
+  /// Probability of `id` at tick `now`.
+  double probability(object::ObjectId id, sim::Tick now) const;
+
+  /// The object currently occupying popularity rank `rank`.
+  object::ObjectId object_at_rank(std::size_t rank, sim::Tick now) const;
+
+ private:
+  std::size_t offset(sim::Tick now) const;
+
+  std::shared_ptr<const AccessDistribution> base_;
+  sim::Tick shift_period_;
+  std::size_t stride_;
+};
+
+}  // namespace mobi::workload

@@ -1,0 +1,50 @@
+#include "workload/locality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::workload {
+
+StackAccess::StackAccess(std::shared_ptr<const AccessDistribution> base,
+                         double reuse, double depth_decay,
+                         std::size_t max_stack)
+    : base_(std::move(base)),
+      reuse_(reuse),
+      depth_decay_(depth_decay),
+      max_stack_(max_stack) {
+  if (!base_) throw std::invalid_argument("StackAccess: null base");
+  if (reuse < 0.0 || reuse >= 1.0) {
+    throw std::invalid_argument("StackAccess: reuse must be in [0, 1)");
+  }
+  if (!(depth_decay > 0.0) || depth_decay >= 1.0) {
+    throw std::invalid_argument("StackAccess: depth_decay must be in (0, 1)");
+  }
+  if (max_stack == 0) {
+    throw std::invalid_argument("StackAccess: max_stack must be > 0");
+  }
+}
+
+void StackAccess::touch(object::ObjectId id) {
+  const auto it = std::find(stack_.begin(), stack_.end(), id);
+  if (it != stack_.end()) stack_.erase(it);
+  stack_.push_front(id);
+  if (stack_.size() > max_stack_) stack_.pop_back();
+}
+
+object::ObjectId StackAccess::sample(util::Rng& rng) {
+  if (!stack_.empty() && rng.bernoulli(reuse_)) {
+    // Geometric stack depth, truncated to the current stack size.
+    std::size_t depth = 0;
+    while (depth + 1 < stack_.size() && rng.bernoulli(depth_decay_)) {
+      ++depth;
+    }
+    const object::ObjectId id = stack_[depth];
+    touch(id);
+    return id;
+  }
+  const object::ObjectId id = base_->sample(rng);
+  touch(id);
+  return id;
+}
+
+}  // namespace mobi::workload

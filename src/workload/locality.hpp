@@ -1,0 +1,45 @@
+// Temporal locality via an LRU stack model.
+//
+// Independent draws (zipf/uniform) capture *popularity* skew but not
+// *temporal* locality — the tendency of clients to re-request what was
+// requested recently. The classic stack model supplies it: with
+// probability `reuse`, the next request re-references the object at a
+// geometrically distributed depth of the LRU stack; otherwise it draws
+// fresh from the base popularity distribution. reuse = 0 degenerates to
+// i.i.d. draws from the base distribution.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "object/object.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::workload {
+
+class StackAccess {
+ public:
+  /// `reuse` in [0, 1): probability a request is a stack re-reference.
+  /// `depth_decay` in (0, 1): geometric parameter over stack depths —
+  /// depth d is chosen with probability ~ depth_decay^d (shallow = most
+  /// recently used first).
+  StackAccess(std::shared_ptr<const AccessDistribution> base, double reuse,
+              double depth_decay, std::size_t max_stack = 256);
+
+  object::ObjectId sample(util::Rng& rng);
+
+  std::size_t stack_size() const noexcept { return stack_.size(); }
+  double reuse() const noexcept { return reuse_; }
+
+ private:
+  void touch(object::ObjectId id);
+
+  std::shared_ptr<const AccessDistribution> base_;
+  double reuse_;
+  double depth_decay_;
+  std::size_t max_stack_;
+  std::deque<object::ObjectId> stack_;  // front = most recently used
+};
+
+}  // namespace mobi::workload

@@ -1,0 +1,53 @@
+#include "workload/requests.hpp"
+
+#include <stdexcept>
+
+namespace mobi::workload {
+
+double sample_target(const TargetDistribution& dist, util::Rng& rng) {
+  if (const auto* constant = std::get_if<ConstantTarget>(&dist)) {
+    if (constant->value <= 0.0 || constant->value > 1.0) {
+      throw std::invalid_argument("ConstantTarget: value must be in (0, 1]");
+    }
+    return constant->value;
+  }
+  const auto& uniform = std::get<UniformTarget>(dist);
+  if (uniform.lo <= 0.0 || uniform.hi > 1.0 || uniform.lo > uniform.hi) {
+    throw std::invalid_argument("UniformTarget: need 0 < lo <= hi <= 1");
+  }
+  return rng.uniform(uniform.lo, uniform.hi);
+}
+
+RequestGenerator::RequestGenerator(
+    std::shared_ptr<const AccessDistribution> access,
+    TargetDistribution targets, std::size_t per_batch, util::Rng rng)
+    : access_(std::move(access)),
+      targets_(targets),
+      per_batch_(per_batch),
+      rng_(rng) {
+  if (!access_) throw std::invalid_argument("RequestGenerator: null access");
+}
+
+RequestBatch RequestGenerator::next_batch() {
+  RequestBatch batch;
+  batch.reserve(per_batch_);
+  for (std::size_t i = 0; i < per_batch_; ++i) {
+    batch.push_back(Request{access_->sample(rng_),
+                            sample_target(targets_, rng_), next_client_++});
+  }
+  return batch;
+}
+
+std::vector<std::uint32_t> requests_per_object(const RequestBatch& batch,
+                                               std::size_t object_count) {
+  std::vector<std::uint32_t> counts(object_count, 0);
+  for (const Request& request : batch) {
+    if (request.object >= object_count) {
+      throw std::out_of_range("requests_per_object: object id out of range");
+    }
+    ++counts[request.object];
+  }
+  return counts;
+}
+
+}  // namespace mobi::workload

@@ -1,0 +1,66 @@
+// Requests and request-batch generation.
+//
+// Each request is one client asking for one object with a target recency
+// C: the client is fully satisfied (score 1.0) by any copy whose recency
+// score is >= C, and degrades below that per the scoring function
+// (core/scoring.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "object/object.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::workload {
+
+using ClientId = std::uint32_t;
+
+struct Request {
+  object::ObjectId object = 0;
+  double target_recency = 1.0;  // the client's C in (0, 1]
+  ClientId client = 0;
+};
+
+using RequestBatch = std::vector<Request>;
+
+/// Distribution of client target-recency values.
+struct ConstantTarget {
+  double value = 1.0;
+};
+struct UniformTarget {
+  double lo = 0.5;
+  double hi = 1.0;
+};
+using TargetDistribution = std::variant<ConstantTarget, UniformTarget>;
+
+double sample_target(const TargetDistribution& dist, util::Rng& rng);
+
+/// Draws i.i.d. request batches: `per_batch` requests per call, objects
+/// from the access distribution, targets from the target distribution.
+/// Client ids increase monotonically across batches.
+class RequestGenerator {
+ public:
+  RequestGenerator(std::shared_ptr<const AccessDistribution> access,
+                   TargetDistribution targets, std::size_t per_batch,
+                   util::Rng rng);
+
+  RequestBatch next_batch();
+  std::size_t per_batch() const noexcept { return per_batch_; }
+
+ private:
+  std::shared_ptr<const AccessDistribution> access_;
+  TargetDistribution targets_;
+  std::size_t per_batch_;
+  util::Rng rng_;
+  ClientId next_client_ = 0;
+};
+
+/// Count of requests per object in a batch, indexed by ObjectId.
+std::vector<std::uint32_t> requests_per_object(const RequestBatch& batch,
+                                               std::size_t object_count);
+
+}  // namespace mobi::workload

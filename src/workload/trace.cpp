@@ -1,0 +1,85 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mobi::workload {
+
+void Trace::record(sim::Tick tick, const Request& request) {
+  if (!entries_.empty() && tick < entries_.back().tick) {
+    throw std::logic_error("Trace::record: ticks must be non-decreasing");
+  }
+  entries_.push_back(TraceEntry{tick, request});
+}
+
+void Trace::record_batch(sim::Tick tick, const RequestBatch& batch) {
+  for (const Request& request : batch) record(tick, request);
+}
+
+RequestBatch Trace::batch_at(sim::Tick tick) const {
+  // Entries are sorted by tick; binary search for the range.
+  const auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), tick,
+      [](const TraceEntry& e, sim::Tick t) { return e.tick < t; });
+  const auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), tick,
+      [](sim::Tick t, const TraceEntry& e) { return t < e.tick; });
+  RequestBatch batch;
+  batch.reserve(std::size_t(hi - lo));
+  for (auto it = lo; it != hi; ++it) batch.push_back(it->request);
+  return batch;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "tick,object,target,client\n";
+  for (const TraceEntry& entry : entries_) {
+    out << entry.tick << ',' << entry.request.object << ','
+        << entry.request.target_recency << ',' << entry.request.client << '\n';
+  }
+  return out.str();
+}
+
+Trace Trace::from_csv(const std::string& csv) {
+  Trace trace;
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) return trace;  // empty input
+  if (line.rfind("tick,", 0) != 0) {
+    throw std::invalid_argument("Trace::from_csv: missing header");
+  }
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string field;
+    TraceEntry entry;
+    try {
+      if (!std::getline(fields, field, ',')) throw std::invalid_argument("tick");
+      entry.tick = std::stoll(field);
+      if (!std::getline(fields, field, ',')) throw std::invalid_argument("object");
+      entry.request.object = object::ObjectId(std::stoul(field));
+      if (!std::getline(fields, field, ',')) throw std::invalid_argument("target");
+      entry.request.target_recency = std::stod(field);
+      if (!std::getline(fields, field, ',')) throw std::invalid_argument("client");
+      entry.request.client = ClientId(std::stoul(field));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("Trace::from_csv: bad line " +
+                                  std::to_string(line_number));
+    }
+    trace.record(entry.tick, entry.request);
+  }
+  return trace;
+}
+
+Trace generate_trace(RequestGenerator& generator, sim::Tick ticks) {
+  Trace trace;
+  for (sim::Tick t = 0; t < ticks; ++t) {
+    trace.record_batch(t, generator.next_batch());
+  }
+  return trace;
+}
+
+}  // namespace mobi::workload

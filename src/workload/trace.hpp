@@ -1,0 +1,49 @@
+// Request-trace record and replay.
+//
+// Records the (tick, object, target recency) stream of a run so that two
+// policies can be compared on the *same* set of randomly generated client
+// requests — exactly what the paper does in Figure 3 ("both simulations
+// used the same set of randomly generated client requests").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/tick.hpp"
+#include "workload/requests.hpp"
+
+namespace mobi::workload {
+
+struct TraceEntry {
+  sim::Tick tick = 0;
+  Request request;
+};
+
+class Trace {
+ public:
+  void record(sim::Tick tick, const Request& request);
+  void record_batch(sim::Tick tick, const RequestBatch& batch);
+
+  /// Requests recorded at `tick` (entries are kept in record order and
+  /// ticks must be recorded non-decreasing).
+  RequestBatch batch_at(sim::Tick tick) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  sim::Tick last_tick() const noexcept {
+    return entries_.empty() ? -1 : entries_.back().tick;
+  }
+
+  /// CSV round-trip: "tick,object,target,client" with a header line.
+  std::string to_csv() const;
+  static Trace from_csv(const std::string& csv);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Pre-generates a full trace by drawing `ticks` batches from a generator.
+Trace generate_trace(RequestGenerator& generator, sim::Tick ticks);
+
+}  // namespace mobi::workload

@@ -1,0 +1,108 @@
+#include "workload/updates.hpp"
+
+#include <stdexcept>
+
+namespace mobi::workload {
+
+namespace {
+
+class PeriodicSynchronized final : public UpdateProcess {
+ public:
+  PeriodicSynchronized(std::size_t object_count, sim::Tick period)
+      : object_count_(object_count), period_(period) {
+    if (period <= 0) {
+      throw std::invalid_argument("periodic update: period must be > 0");
+    }
+  }
+
+  void for_each_updated(
+      sim::Tick tick,
+      const std::function<void(object::ObjectId)>& fn) override {
+    if (tick % period_ != 0) return;
+    for (std::size_t i = 0; i < object_count_; ++i) {
+      fn(object::ObjectId(i));
+    }
+  }
+
+  std::string name() const override {
+    return "periodic-sync(p=" + std::to_string(period_) + ")";
+  }
+
+ private:
+  std::size_t object_count_;
+  sim::Tick period_;
+};
+
+class PeriodicStaggered final : public UpdateProcess {
+ public:
+  PeriodicStaggered(std::size_t object_count, sim::Tick period)
+      : object_count_(object_count), period_(period) {
+    if (period <= 0) {
+      throw std::invalid_argument("periodic update: period must be > 0");
+    }
+  }
+
+  void for_each_updated(
+      sim::Tick tick,
+      const std::function<void(object::ObjectId)>& fn) override {
+    // Object i fires when tick ≡ i (mod period): i, i+period, i+2*period...
+    for (std::size_t i = tick >= 0 ? std::size_t(tick % period_) : 0;
+         i < object_count_; i += std::size_t(period_)) {
+      fn(object::ObjectId(i));
+    }
+  }
+
+  std::string name() const override {
+    return "periodic-staggered(p=" + std::to_string(period_) + ")";
+  }
+
+ private:
+  std::size_t object_count_;
+  sim::Tick period_;
+};
+
+class BernoulliUpdates final : public UpdateProcess {
+ public:
+  BernoulliUpdates(std::size_t object_count, double rate, util::Rng rng)
+      : object_count_(object_count), rate_(rate), rng_(rng) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("bernoulli update: rate must be in [0, 1]");
+    }
+  }
+
+  void for_each_updated(
+      sim::Tick /*tick*/,
+      const std::function<void(object::ObjectId)>& fn) override {
+    for (std::size_t i = 0; i < object_count_; ++i) {
+      if (rng_.bernoulli(rate_)) fn(object::ObjectId(i));
+    }
+  }
+
+  std::string name() const override {
+    return "bernoulli(rate=" + std::to_string(rate_) + ")";
+  }
+
+ private:
+  std::size_t object_count_;
+  double rate_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<UpdateProcess> make_periodic_synchronized(
+    std::size_t object_count, sim::Tick period) {
+  return std::make_unique<PeriodicSynchronized>(object_count, period);
+}
+
+std::unique_ptr<UpdateProcess> make_periodic_staggered(
+    std::size_t object_count, sim::Tick period) {
+  return std::make_unique<PeriodicStaggered>(object_count, period);
+}
+
+std::unique_ptr<UpdateProcess> make_bernoulli_updates(
+    std::size_t object_count, double per_tick_rate, util::Rng rng) {
+  return std::make_unique<BernoulliUpdates>(object_count, per_tick_rate, rng);
+}
+
+}  // namespace mobi::workload

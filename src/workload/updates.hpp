@@ -1,0 +1,43 @@
+// Server-side update processes: when does each object's master copy
+// change?
+//
+// Figure 2/3 use a periodic synchronized process ("all objects are updated
+// simultaneously ... once every 5 time units"). Staggered and Poisson
+// variants are provided for the examples and robustness tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "object/object.hpp"
+#include "sim/tick.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::workload {
+
+/// Yields the set of objects updated at a given tick.
+class UpdateProcess {
+ public:
+  virtual ~UpdateProcess() = default;
+  /// Calls `fn(id)` once for every object whose master changes at `tick`.
+  virtual void for_each_updated(
+      sim::Tick tick, const std::function<void(object::ObjectId)>& fn) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Every object updated at ticks 0, period, 2*period, ...
+std::unique_ptr<UpdateProcess> make_periodic_synchronized(
+    std::size_t object_count, sim::Tick period);
+
+/// Object i updated at ticks where (tick - i) mod period == 0; the same
+/// aggregate rate as synchronized but spread evenly across ticks.
+std::unique_ptr<UpdateProcess> make_periodic_staggered(
+    std::size_t object_count, sim::Tick period);
+
+/// Each object independently updated with probability `per_tick_rate` at
+/// every tick (Bernoulli approximation of a Poisson process).
+std::unique_ptr<UpdateProcess> make_bernoulli_updates(
+    std::size_t object_count, double per_tick_rate, util::Rng rng);
+
+}  // namespace mobi::workload

@@ -1,0 +1,104 @@
+#include "exp/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobi::exp {
+namespace {
+
+std::vector<core::KnapsackItem> random_items(std::size_t n) {
+  util::Rng rng(17);
+  std::vector<core::KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.size = rng.uniform_int(1, 10);
+    item.profit = rng.uniform(0.0, 5.0);
+  }
+  return items;
+}
+
+TEST(CompareSolvers, FourRowsPerBudget) {
+  const auto items = random_items(30);
+  const auto rows = compare_solvers(items, {20, 50}, 0.1);
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0].solver, "dp");
+  EXPECT_EQ(rows[1].solver, "branch-and-bound");
+  EXPECT_EQ(rows[2].solver, "greedy");
+  EXPECT_NE(rows[3].solver.find("fptas"), std::string::npos);
+}
+
+TEST(CompareSolvers, RatiosHonorGuarantees) {
+  const auto items = random_items(40);
+  const auto rows = compare_solvers(items, {10, 30, 60, 100}, 0.2);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.ratio_to_optimal, 1.0 + 1e-9) << row.solver;
+    if (row.solver == "dp") {
+      EXPECT_DOUBLE_EQ(row.ratio_to_optimal, 1.0);
+    } else if (row.solver == "branch-and-bound") {
+      EXPECT_NEAR(row.ratio_to_optimal, 1.0, 1e-9);
+    } else if (row.solver == "greedy") {
+      EXPECT_GE(row.ratio_to_optimal, 0.5 - 1e-9);
+    } else {
+      EXPECT_GE(row.ratio_to_optimal, 0.8 - 1e-9);  // 1 - eps
+    }
+    EXPECT_GE(row.micros, 0.0);
+  }
+}
+
+TEST(CompareSolvers, EmptyBudgetList) {
+  const auto items = random_items(5);
+  EXPECT_TRUE(compare_solvers(items, {}, 0.1).empty());
+}
+
+TEST(EvaluateBoundEstimators, ReportsAllFourRows) {
+  SolutionSpaceConfig config;
+  config.object_count = 80;
+  config.total_size = 800;
+  config.total_requests = 800;
+  const auto inst = build_instance(config);
+  const auto rows = evaluate_bound_estimators(inst);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].estimator, "marginal-knee");
+  EXPECT_EQ(rows[1].estimator, "chord-elbow");
+  for (const auto& row : rows) {
+    EXPECT_GE(row.recommended, 0);
+    EXPECT_LE(row.recommended, 800);
+    EXPECT_GE(row.fraction_of_max_value, 0.0);
+    EXPECT_LE(row.fraction_of_max_value, 1.0 + 1e-9);
+    EXPECT_GE(row.fraction_of_capacity, 0.0);
+    EXPECT_LE(row.fraction_of_capacity, 1.0 + 1e-9);
+  }
+}
+
+TEST(EvaluateBoundEstimators, OraclesOrdered) {
+  SolutionSpaceConfig config;
+  config.object_count = 80;
+  config.total_size = 800;
+  config.total_requests = 800;
+  const auto inst = build_instance(config);
+  const auto rows = evaluate_bound_estimators(inst);
+  const auto& oracle90 = rows[2];
+  const auto& oracle95 = rows[3];
+  EXPECT_LE(oracle90.recommended, oracle95.recommended);
+  EXPECT_GE(oracle90.fraction_of_max_value, 0.9 - 1e-9);
+  EXPECT_GE(oracle95.fraction_of_max_value, 0.95 - 1e-9);
+}
+
+TEST(EvaluateBoundEstimators, KneeSavesCapacityOnSkewedInstances) {
+  // When small objects hold the profit, the knee should recommend much
+  // less than full capacity while retaining most of the value.
+  SolutionSpaceConfig config;
+  config.object_count = 80;
+  config.total_size = 800;
+  config.total_requests = 800;
+  config.size_vs_requests = object::Correlation::kNegative;
+  config.size_vs_recency = object::Correlation::kPositive;
+  const auto inst = build_instance(config);
+  const auto rows = evaluate_bound_estimators(inst);
+  const auto& knee = rows[0];
+  EXPECT_LT(knee.fraction_of_capacity, 0.8);
+  EXPECT_GT(knee.fraction_of_max_value, 0.6);
+}
+
+}  // namespace
+}  // namespace mobi::exp

@@ -1,0 +1,140 @@
+#include "workload/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mobi::workload {
+namespace {
+
+TEST(WeightedAccess, ProbabilitiesSumToOne) {
+  for (std::size_t n : {1u, 5u, 100u}) {
+    const auto access = make_uniform_access(n);
+    double total = 0.0;
+    for (object::ObjectId id = 0; id < n; ++id) {
+      total += access->probability(id);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WeightedAccess, UniformProbabilitiesEqual) {
+  const auto access = make_uniform_access(10);
+  for (object::ObjectId id = 0; id < 10; ++id) {
+    EXPECT_NEAR(access->probability(id), 0.1, 1e-12);
+  }
+}
+
+TEST(WeightedAccess, RankLinearDecreasesWithRank) {
+  const auto access = make_rank_linear_access(10);
+  for (object::ObjectId id = 0; id + 1 < 10; ++id) {
+    EXPECT_GT(access->probability(id), access->probability(id + 1));
+  }
+  // Rank 0 has weight n, rank n-1 has weight 1 -> ratio n.
+  EXPECT_NEAR(access->probability(0) / access->probability(9), 10.0, 1e-9);
+}
+
+TEST(WeightedAccess, ZipfDecreasesHarmonically) {
+  const auto access = make_zipf_access(10, 1.0);
+  EXPECT_NEAR(access->probability(0) / access->probability(9), 10.0, 1e-9);
+  EXPECT_NEAR(access->probability(0) / access->probability(1), 2.0, 1e-9);
+}
+
+TEST(WeightedAccess, ZipfAlphaZeroIsUniform) {
+  const auto access = make_zipf_access(8, 0.0);
+  for (object::ObjectId id = 0; id < 8; ++id) {
+    EXPECT_NEAR(access->probability(id), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(WeightedAccess, ZipfMoreSkewedThanRankLinearThanUniform) {
+  const std::size_t n = 500;
+  const auto uniform = make_uniform_access(n);
+  const auto linear = make_rank_linear_access(n);
+  const auto zipf = make_zipf_access(n, 1.0);
+  // Concentration of the top 10% of ranks orders the three patterns.
+  auto top_mass = [&](const AccessDistribution& d) {
+    double mass = 0.0;
+    for (object::ObjectId id = 0; id < n / 10; ++id) mass += d.probability(id);
+    return mass;
+  };
+  EXPECT_LT(top_mass(*uniform), top_mass(*linear));
+  EXPECT_LT(top_mass(*linear), top_mass(*zipf));
+}
+
+TEST(WeightedAccess, SamplingMatchesProbabilities) {
+  const auto access = make_zipf_access(20, 1.0);
+  util::Rng rng(42);
+  std::vector<std::size_t> counts(20, 0);
+  const std::size_t n = 200000;
+  for (std::size_t i = 0; i < n; ++i) ++counts[access->sample(rng)];
+  for (object::ObjectId id = 0; id < 20; ++id) {
+    const double expected = access->probability(id) * double(n);
+    EXPECT_NEAR(double(counts[id]), expected,
+                5.0 * std::sqrt(expected) + 10.0);
+  }
+}
+
+TEST(WeightedAccess, RankMappingRedirectsPopularity) {
+  // Make object 7 the most popular under zipf.
+  std::vector<object::ObjectId> mapping(10);
+  std::iota(mapping.begin(), mapping.end(), object::ObjectId{0});
+  std::swap(mapping[0], mapping[7]);
+  const auto access = make_zipf_access(10, 1.0, mapping);
+  EXPECT_GT(access->probability(7), access->probability(0));
+  for (object::ObjectId id = 1; id < 10; ++id) {
+    if (id == 7) continue;
+    EXPECT_GT(access->probability(7), access->probability(id));
+  }
+}
+
+TEST(WeightedAccess, InvalidMappingThrows) {
+  EXPECT_THROW(WeightedAccess("bad", {1.0, 1.0}, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedAccess("bad", {1.0, 1.0}, {0, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedAccess("bad", {1.0, 1.0}, {0}),
+               std::invalid_argument);
+}
+
+TEST(WeightedAccess, InvalidWeightsThrow) {
+  EXPECT_THROW(WeightedAccess("bad", {}), std::invalid_argument);
+  EXPECT_THROW(WeightedAccess("bad", {-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedAccess("bad", {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(WeightedAccess, NamesExposed) {
+  EXPECT_EQ(make_uniform_access(3)->name(), "uniform");
+  EXPECT_EQ(make_rank_linear_access(3)->name(), "rank-linear");
+  EXPECT_EQ(make_zipf_access(3)->name(), "zipf");
+}
+
+TEST(WeightedAccess, ZeroWeightRankNeverSampled) {
+  WeightedAccess access("custom", {1.0, 0.0, 1.0});
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(access.sample(rng), 1u);
+}
+
+TEST(WeightedAccess, NegativeAlphaThrows) {
+  EXPECT_THROW(make_zipf_access(5, -0.1), std::invalid_argument);
+}
+
+// Sampling stays within range across distributions.
+class AccessRangeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AccessRangeTest, SamplesInRange) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  for (const auto& access :
+       {make_uniform_access(n), make_rank_linear_access(n),
+        make_zipf_access(n, 0.8)}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(access->sample(rng), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccessRangeTest,
+                         ::testing::Values(1, 2, 10, 137, 500));
+
+}  // namespace
+}  // namespace mobi::workload

@@ -1,0 +1,159 @@
+#include "core/adaptive_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "object/builders.hpp"
+
+namespace mobi::core {
+namespace {
+
+struct World {
+  object::Catalog catalog;
+  server::ServerPool servers;
+  cache::Cache cache;
+  ReciprocalScorer scorer;
+
+  explicit World(std::vector<object::Units> sizes)
+      : catalog(std::move(sizes)),
+        servers(catalog, 1),
+        cache(catalog.size(), cache::make_harmonic_decay()) {}
+
+  PolicyContext context(object::Units budget = -1) {
+    PolicyContext ctx;
+    ctx.catalog = &catalog;
+    ctx.cache = &cache;
+    ctx.servers = &servers;
+    ctx.scorer = &scorer;
+    ctx.budget = budget;
+    return ctx;
+  }
+};
+
+workload::RequestBatch requests_for(std::vector<object::ObjectId> ids) {
+  workload::RequestBatch batch;
+  workload::ClientId client = 0;
+  for (auto id : ids) batch.push_back({id, 1.0, client++});
+  return batch;
+}
+
+TEST(AdaptiveBudget, ConfigValidation) {
+  AdaptiveBudgetConfig config;
+  config.knee_window = 0;
+  EXPECT_THROW(AdaptiveKnapsackPolicy{config}, std::invalid_argument);
+  config = {};
+  config.knee_threshold = 0.0;
+  EXPECT_THROW(AdaptiveKnapsackPolicy{config}, std::invalid_argument);
+  config = {};
+  config.smoothing = 1.5;
+  EXPECT_THROW(AdaptiveKnapsackPolicy{config}, std::invalid_argument);
+  config = {};
+  config.min_budget = -1;
+  EXPECT_THROW(AdaptiveKnapsackPolicy{config}, std::invalid_argument);
+}
+
+TEST(AdaptiveBudget, EmptyBatchHasZeroBudget) {
+  World world({1, 1});
+  AdaptiveKnapsackPolicy policy;
+  EXPECT_TRUE(policy.select({}, world.context()).empty());
+  EXPECT_EQ(policy.last_budget(), 0);
+}
+
+TEST(AdaptiveBudget, SelectsWithinChosenBudget) {
+  World world({1, 1, 1, 1, 1});
+  AdaptiveKnapsackPolicy policy;
+  const auto selected =
+      policy.select(requests_for({0, 1, 2, 3, 4}), world.context());
+  object::Units used = 0;
+  for (auto id : selected) used += world.catalog.object_size(id);
+  EXPECT_LE(used, policy.last_budget());
+  EXPECT_GT(policy.last_budget(), 0);
+}
+
+TEST(AdaptiveBudget, SpendsLessWhenProfitConcentrates) {
+  // Scenario A: uniform profit everywhere -> knee near full demand.
+  // Scenario B: profit concentrated on a few cheap objects (the rest are
+  // fresh) -> knee far below full demand.
+  World uniform_world(std::vector<object::Units>(20, 5));
+  AdaptiveKnapsackPolicy uniform_policy;
+  std::vector<object::ObjectId> all;
+  for (object::ObjectId id = 0; id < 20; ++id) all.push_back(id);
+  uniform_policy.select(requests_for(all), uniform_world.context());
+
+  World skewed_world(std::vector<object::Units>(20, 5));
+  for (object::ObjectId id = 3; id < 20; ++id) {
+    skewed_world.cache.refresh(id, skewed_world.servers.fetch(id), 0);
+  }
+  AdaptiveKnapsackPolicy skewed_policy;
+  skewed_policy.select(requests_for(all), skewed_world.context());
+
+  EXPECT_LT(skewed_policy.last_budget(), uniform_policy.last_budget());
+}
+
+TEST(AdaptiveBudget, HonorsExternalBudgetCap) {
+  World world({5, 5, 5, 5});
+  AdaptiveKnapsackPolicy policy;
+  policy.select(requests_for({0, 1, 2, 3}), world.context(7));
+  EXPECT_LE(policy.last_budget(), 7);
+}
+
+TEST(AdaptiveBudget, HonorsClamps) {
+  World world({5, 5, 5, 5});
+  AdaptiveBudgetConfig config;
+  config.min_budget = 2;
+  config.max_budget = 6;
+  AdaptiveKnapsackPolicy policy(config);
+  policy.select(requests_for({0, 1, 2, 3}), world.context());
+  EXPECT_GE(policy.last_budget(), 2);
+  EXPECT_LE(policy.last_budget(), 6);
+}
+
+TEST(AdaptiveBudget, SmoothingDampsSwings) {
+  // First batch: large demand; second batch: tiny demand. With heavy
+  // smoothing the second budget stays near the first.
+  AdaptiveBudgetConfig config;
+  config.smoothing = 0.1;
+  World world(std::vector<object::Units>(30, 4));
+  AdaptiveKnapsackPolicy policy(config);
+  std::vector<object::ObjectId> all;
+  for (object::ObjectId id = 0; id < 30; ++id) all.push_back(id);
+  policy.select(requests_for(all), world.context());
+  const auto first = policy.last_budget();
+  policy.select(requests_for({0}), world.context());
+  const auto second = policy.last_budget();
+  EXPECT_GT(second, first / 2);  // did not collapse to the tiny demand
+}
+
+TEST(AdaptiveBudget, ElbowRuleWorksToo) {
+  AdaptiveBudgetConfig config;
+  config.rule = BoundRule::kChordElbow;
+  World world({1, 1, 1, 8, 8});
+  AdaptiveKnapsackPolicy policy(config);
+  const auto selected =
+      policy.select(requests_for({0, 1, 2, 3, 4}), world.context());
+  EXPECT_FALSE(selected.empty());
+  EXPECT_NE(policy.name().find("elbow"), std::string::npos);
+}
+
+TEST(AdaptiveBudget, GrantedAccumulates) {
+  World world({2, 2});
+  AdaptiveKnapsackPolicy policy;
+  policy.select(requests_for({0, 1}), world.context());
+  const auto after_one = policy.budget_granted();
+  policy.select(requests_for({0, 1}), world.context());
+  EXPECT_GE(policy.budget_granted(), after_one);
+}
+
+TEST(AdaptiveBudget, RegisteredInFactory) {
+  const auto policy = make_policy("adaptive-knapsack");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_NE(policy->name().find("adaptive"), std::string::npos);
+}
+
+TEST(AdaptiveBudget, IncompleteContextThrows) {
+  AdaptiveKnapsackPolicy policy;
+  PolicyContext empty;
+  EXPECT_THROW(policy.select({}, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobi::core

@@ -1,0 +1,111 @@
+#include "core/bound_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobi::core {
+namespace {
+
+// A sharply concave instance: many small high-profit items then nothing.
+std::vector<KnapsackItem> concave_items() {
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 20; ++i) items.push_back({1, 10.0});
+  for (int i = 0; i < 20; ++i) items.push_back({10, 1.0});
+  return items;
+}
+
+TEST(BoundEstimator, MarginalKneeStopsAfterRichItems) {
+  const auto items = concave_items();
+  const KnapsackProfile profile(items, 220);
+  const auto estimate = estimate_bound_marginal(profile, 10, 0.25);
+  // The 20 unit-size profit-10 items fill capacity 20; beyond that the
+  // marginal gain collapses to 0.1/unit, far below the threshold.
+  EXPECT_GE(estimate.capacity, 10);
+  EXPECT_LE(estimate.capacity, 40);
+  EXPECT_GT(estimate.fraction_of_max, 0.8);
+}
+
+TEST(BoundEstimator, ElbowFindsTheCorner) {
+  const auto items = concave_items();
+  const KnapsackProfile profile(items, 220);
+  const auto estimate = estimate_bound_elbow(profile);
+  EXPECT_GE(estimate.capacity, 15);
+  EXPECT_LE(estimate.capacity, 30);
+}
+
+TEST(BoundEstimator, LinearProfileRunsToTheEnd) {
+  // Identical unit items: value grows linearly, so there is no knee and
+  // the marginal estimator should not stop early.
+  std::vector<KnapsackItem> items(50, KnapsackItem{1, 1.0});
+  const KnapsackProfile profile(items, 50);
+  const auto marginal = estimate_bound_marginal(profile, 5, 0.25);
+  EXPECT_EQ(marginal.capacity, 50);
+  EXPECT_DOUBLE_EQ(marginal.fraction_of_max, 1.0);
+}
+
+TEST(BoundEstimator, FlatProfileReturnsZero) {
+  std::vector<KnapsackItem> items{{5, 0.0}};
+  const KnapsackProfile profile(items, 20);
+  EXPECT_EQ(estimate_bound_marginal(profile).capacity, 0);
+}
+
+TEST(BoundEstimator, ZeroCapacityProfile) {
+  std::vector<KnapsackItem> items{{1, 1.0}};
+  const KnapsackProfile profile(items, 0);
+  EXPECT_EQ(estimate_bound_marginal(profile).capacity, 0);
+  EXPECT_EQ(estimate_bound_elbow(profile).capacity, 0);
+}
+
+TEST(BoundEstimator, Validation) {
+  std::vector<KnapsackItem> items{{1, 1.0}};
+  const KnapsackProfile profile(items, 10);
+  EXPECT_THROW(estimate_bound_marginal(profile, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(estimate_bound_marginal(profile, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(estimate_bound_marginal(profile, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW(smallest_capacity_reaching(profile, -0.1),
+               std::invalid_argument);
+}
+
+TEST(BoundEstimator, OracleFindsSmallestSufficientCapacity) {
+  const auto items = concave_items();
+  const KnapsackProfile profile(items, 220);
+  const auto oracle = smallest_capacity_reaching(profile, 0.5);
+  // Half of max value (200 + 20 = 220 -> 110) needs 11 rich items.
+  EXPECT_EQ(oracle.capacity, 11);
+  EXPECT_GE(oracle.fraction_of_max, 0.5);
+  // One unit less must be insufficient.
+  EXPECT_LT(profile.value_at(oracle.capacity - 1), 0.5 * profile.value_at(220));
+}
+
+TEST(BoundEstimator, EstimatesCarryValueAndFraction) {
+  const auto items = concave_items();
+  const KnapsackProfile profile(items, 220);
+  const auto estimate = estimate_bound_elbow(profile);
+  EXPECT_DOUBLE_EQ(estimate.value, profile.value_at(estimate.capacity));
+  EXPECT_NEAR(estimate.fraction_of_max,
+              estimate.value / profile.value_at(220), 1e-12);
+}
+
+TEST(BoundEstimator, RandomProfilesKneeNeverBeatsElbowByMuchValue) {
+  // Sanity across random instances: both estimators land at capacities
+  // achieving a large share of the max value while using less capacity.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < 60; ++i) {
+      items.push_back({rng.uniform_int(1, 10), rng.uniform(0.0, 10.0)});
+    }
+    object::Units total = 0;
+    for (const auto& item : items) total += item.size;
+    const KnapsackProfile profile(items, total);
+    for (const auto& estimate :
+         {estimate_bound_marginal(profile), estimate_bound_elbow(profile)}) {
+      EXPECT_GE(estimate.fraction_of_max, 0.5);
+      EXPECT_LE(estimate.capacity, total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobi::core

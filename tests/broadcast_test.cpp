@@ -1,0 +1,281 @@
+#include "broadcast/hybrid.hpp"
+#include "broadcast/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mobi::broadcast {
+namespace {
+
+TEST(FlatSchedule, CyclesThroughAllObjects) {
+  FlatSchedule schedule(5);
+  EXPECT_EQ(schedule.period(), 5u);
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(schedule.at_slot(s), object::ObjectId(s % 5));
+  }
+}
+
+TEST(FlatSchedule, EveryObjectOncePerPeriod) {
+  FlatSchedule schedule(7);
+  for (object::ObjectId id = 0; id < 7; ++id) {
+    EXPECT_EQ(schedule.frequency(id), 1u);
+  }
+}
+
+TEST(FlatSchedule, ExpectedWaitIsHalfPeriod) {
+  FlatSchedule schedule(10);
+  for (object::ObjectId id = 0; id < 10; ++id) {
+    EXPECT_DOUBLE_EQ(schedule.expected_wait(id), 4.5);  // mean of 0..9
+  }
+  EXPECT_EQ(schedule.worst_wait(0), 9u);
+}
+
+TEST(FlatSchedule, WaitFromCounts) {
+  FlatSchedule schedule(4);
+  EXPECT_EQ(schedule.wait_from(2, 0), 2u);
+  EXPECT_EQ(schedule.wait_from(2, 2), 0u);
+  EXPECT_EQ(schedule.wait_from(1, 3), 2u);  // wraps: slots 3 -> 0 -> 1
+}
+
+TEST(FlatSchedule, RejectsEmpty) {
+  EXPECT_THROW(FlatSchedule(0), std::invalid_argument);
+}
+
+TEST(MultiDiskSchedule, FrequenciesMatchSpec) {
+  // Hot disk {0}: frequency 2; cold disk {1, 2}: frequency 1.
+  MultiDiskSchedule schedule({{0}, {1, 2}}, {2, 1});
+  EXPECT_EQ(schedule.frequency(0), 2u);
+  EXPECT_EQ(schedule.frequency(1), 1u);
+  EXPECT_EQ(schedule.frequency(2), 1u);
+  // Period = 2 minor cycles x (1 hot + 1 cold chunk of size 1).
+  EXPECT_EQ(schedule.period(), 4u);
+}
+
+TEST(MultiDiskSchedule, HotObjectsWaitLess) {
+  const auto schedule = make_two_disk_schedule(20, 0.2, 4);
+  // Objects 0..3 are hot (4x speed), 4..19 cold.
+  const double hot_wait = schedule->expected_wait(0);
+  const double cold_wait = schedule->expected_wait(10);
+  EXPECT_LT(hot_wait, cold_wait);
+  EXPECT_LT(hot_wait, cold_wait / 2.0);
+}
+
+TEST(MultiDiskSchedule, EveryObjectAirs) {
+  const auto schedule = make_two_disk_schedule(30, 0.3, 3);
+  for (object::ObjectId id = 0; id < 30; ++id) {
+    EXPECT_GE(schedule->frequency(id), 1u) << "object " << id;
+  }
+}
+
+TEST(MultiDiskSchedule, PeriodCarriesExactFrequencies) {
+  MultiDiskSchedule schedule({{0, 1}, {2, 3, 4, 5}}, {2, 1});
+  std::map<object::ObjectId, std::size_t> counts;
+  for (std::size_t s = 0; s < schedule.period(); ++s) ++counts[schedule.at_slot(s)];
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[5], 1u);
+}
+
+TEST(MultiDiskSchedule, Validation) {
+  EXPECT_THROW(MultiDiskSchedule({}, {}), std::invalid_argument);
+  EXPECT_THROW(MultiDiskSchedule({{0}}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(MultiDiskSchedule({{0}, {1}}, {2, 0}), std::invalid_argument);
+  // 3 does not divide 4: invalid frequency ladder.
+  EXPECT_THROW(MultiDiskSchedule({{0}, {1}}, {4, 3}), std::invalid_argument);
+  // Disk of 1 object cannot be split into 2 chunks.
+  EXPECT_THROW(MultiDiskSchedule({{0}, {1}}, {2, 1}), std::invalid_argument);
+}
+
+TEST(MultiDiskSchedule, NameDescribesLayout) {
+  MultiDiskSchedule schedule({{0, 1}, {2, 3, 4, 5}}, {2, 1});
+  EXPECT_EQ(schedule.name(), "multi-disk(2x2,4x1)");
+}
+
+TEST(TwoDiskFactory, Validation) {
+  EXPECT_THROW(make_two_disk_schedule(1, 0.5, 2), std::invalid_argument);
+  EXPECT_THROW(make_two_disk_schedule(10, 0.0, 2), std::invalid_argument);
+  EXPECT_THROW(make_two_disk_schedule(10, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(make_two_disk_schedule(10, 0.5, 0), std::invalid_argument);
+}
+
+TEST(MeanExpectedWait, WeightsByAccessProbability) {
+  const auto schedule = make_two_disk_schedule(10, 0.2, 4);
+  // All mass on a hot object vs all on a cold object.
+  std::vector<double> hot_only(10, 0.0), cold_only(10, 0.0);
+  hot_only[0] = 1.0;
+  cold_only[9] = 1.0;
+  EXPECT_LT(mean_expected_wait(*schedule, hot_only),
+            mean_expected_wait(*schedule, cold_only));
+}
+
+TEST(MeanExpectedWait, SkewFavorsMultiDisk) {
+  // Under zipf access, a two-disk schedule with hot objects on the fast
+  // disk beats flat broadcast — the broadcast-disks result.
+  const std::size_t n = 40;
+  const auto access = workload::make_zipf_access(n, 1.0);
+  std::vector<double> probs(n);
+  for (object::ObjectId id = 0; id < n; ++id) probs[id] = access->probability(id);
+  FlatSchedule flat(n);
+  const auto two_disk = make_two_disk_schedule(n, 0.25, 4);
+  EXPECT_LT(mean_expected_wait(*two_disk, probs),
+            mean_expected_wait(flat, probs));
+}
+
+TEST(SqrtRule, Validation) {
+  EXPECT_THROW(make_sqrt_rule_schedule({}, 10), std::invalid_argument);
+  const std::vector<double> probs{0.5, 0.5};
+  EXPECT_THROW(make_sqrt_rule_schedule(probs, 1), std::invalid_argument);
+  const std::vector<double> negative{0.5, -0.1};
+  EXPECT_THROW(make_sqrt_rule_schedule(negative, 10), std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(make_sqrt_rule_schedule(zeros, 10), std::invalid_argument);
+  EXPECT_THROW(ExplicitSchedule("empty", {}), std::invalid_argument);
+}
+
+TEST(SqrtRule, EveryObjectAirsAndHotAirsMore) {
+  const auto access = workload::make_zipf_access(20, 1.0);
+  std::vector<double> probs(20);
+  for (object::ObjectId id = 0; id < 20; ++id) probs[id] = access->probability(id);
+  const auto schedule = make_sqrt_rule_schedule(probs, 100);
+  EXPECT_EQ(schedule->name(), "sqrt-rule");
+  for (object::ObjectId id = 0; id < 20; ++id) {
+    EXPECT_GE(schedule->frequency(id), 1u) << "object " << id;
+  }
+  EXPECT_GT(schedule->frequency(0), schedule->frequency(19));
+}
+
+TEST(SqrtRule, FrequenciesTrackSquareRootOfProbability) {
+  // p = {0.64, 0.16, 0.16, 0.04}: sqrt ratios 4:2:2:1.
+  const std::vector<double> probs{0.64, 0.16, 0.16, 0.04};
+  const auto schedule = make_sqrt_rule_schedule(probs, 90);
+  const double f0 = double(schedule->frequency(0));
+  const double f1 = double(schedule->frequency(1));
+  const double f3 = double(schedule->frequency(3));
+  EXPECT_NEAR(f0 / f1, 2.0, 0.15);
+  EXPECT_NEAR(f0 / f3, 4.0, 0.4);
+}
+
+TEST(SqrtRule, BeatsFlatAndTwoDiskUnderZipf) {
+  const std::size_t n = 40;
+  const auto access = workload::make_zipf_access(n, 1.0);
+  std::vector<double> probs(n);
+  for (object::ObjectId id = 0; id < n; ++id) probs[id] = access->probability(id);
+  FlatSchedule flat(n);
+  const auto two_disk = make_two_disk_schedule(n, 0.25, 4);
+  // Match cycle lengths so the comparison is fair.
+  const auto sqrt_rule = make_sqrt_rule_schedule(probs, two_disk->period());
+  const double sqrt_wait = mean_expected_wait(*sqrt_rule, probs);
+  // Normalize by period: compare waits per slot of cycle.
+  EXPECT_LT(sqrt_wait, mean_expected_wait(flat, probs) *
+                            double(sqrt_rule->period()) / double(n));
+  EXPECT_LT(sqrt_wait, mean_expected_wait(*two_disk, probs) *
+                            double(sqrt_rule->period()) /
+                            double(two_disk->period()) +
+                            1.0);
+}
+
+TEST(SqrtRule, OccurrencesAreSpreadNotClumped) {
+  const std::vector<double> probs{0.7, 0.1, 0.1, 0.1};
+  const auto schedule = make_sqrt_rule_schedule(probs, 40);
+  // The hot object's worst wait should be far below the whole period.
+  EXPECT_LT(schedule->worst_wait(0), schedule->period() / 2);
+}
+
+TEST(Hybrid, PureBroadcastMatchesExpectedWait) {
+  FlatSchedule schedule(20);
+  const auto access = workload::make_uniform_access(20);
+  HybridConfig config;
+  config.pull_threshold = 100;  // >= period: never pull
+  config.requests_per_slot = 5;
+  config.slots = 4000;
+  const auto result = simulate_hybrid(schedule, *access, config);
+  EXPECT_EQ(result.pulls, 0u);
+  EXPECT_DOUBLE_EQ(result.broadcast_fraction, 1.0);
+  // Uniform arrivals over a flat schedule: E[wait] = (period-1)/2 = 9.5.
+  EXPECT_NEAR(result.mean_latency, 9.5, 0.5);
+}
+
+TEST(Hybrid, PurePullWithAmpleBandwidth) {
+  FlatSchedule schedule(20);
+  const auto access = workload::make_uniform_access(20);
+  HybridConfig config;
+  config.pull_threshold = 0;  // everything with wait > 0 pulls
+  config.pull_bandwidth = 100;
+  config.requests_per_slot = 5;
+  config.slots = 1000;
+  const auto result = simulate_hybrid(schedule, *access, config);
+  EXPECT_GT(result.pulls, 0u);
+  // With ample bandwidth every pull is served next slot: latency ~1.
+  EXPECT_NEAR(result.mean_pull_latency, 1.0, 0.01);
+}
+
+TEST(Hybrid, ThresholdSplitsTraffic) {
+  FlatSchedule schedule(50);
+  const auto access = workload::make_uniform_access(50);
+  HybridConfig config;
+  config.pull_threshold = 10;
+  config.pull_bandwidth = 10;
+  config.requests_per_slot = 10;
+  config.slots = 2000;
+  const auto result = simulate_hybrid(schedule, *access, config);
+  EXPECT_GT(result.pulls, 0u);
+  EXPECT_GT(result.broadcast_fraction, 0.0);
+  EXPECT_LT(result.broadcast_fraction, 1.0);
+  // Broadcast-served requests waited at most the threshold.
+  EXPECT_LE(result.mean_broadcast_latency, 10.0);
+}
+
+TEST(Hybrid, HybridBeatsPureBroadcastOnColdObjects) {
+  const std::size_t n = 100;
+  FlatSchedule schedule(n);
+  const auto access = workload::make_uniform_access(n);
+  HybridConfig pure;
+  pure.pull_threshold = n;  // never pull
+  pure.requests_per_slot = 4;
+  pure.slots = 3000;
+  HybridConfig hybrid = pure;
+  hybrid.pull_threshold = 20;
+  hybrid.pull_bandwidth = 4;
+  const auto pure_result = simulate_hybrid(schedule, *access, pure);
+  const auto hybrid_result = simulate_hybrid(schedule, *access, hybrid);
+  EXPECT_LT(hybrid_result.mean_latency, pure_result.mean_latency);
+}
+
+TEST(Hybrid, OverloadedBackchannelQueues) {
+  FlatSchedule schedule(50);
+  const auto access = workload::make_uniform_access(50);
+  HybridConfig config;
+  config.pull_threshold = 0;
+  config.pull_bandwidth = 1;  // far less than the arrival rate
+  config.requests_per_slot = 10;
+  config.slots = 500;
+  const auto result = simulate_hybrid(schedule, *access, config);
+  EXPECT_GT(result.max_pull_queue, 100u);
+  EXPECT_GT(result.mean_pull_latency, 10.0);
+}
+
+TEST(Hybrid, ZeroBandwidthWithPullDemandThrows) {
+  FlatSchedule schedule(10);
+  const auto access = workload::make_uniform_access(10);
+  HybridConfig config;
+  config.pull_threshold = 0;
+  config.pull_bandwidth = 0;
+  EXPECT_THROW(simulate_hybrid(schedule, *access, config),
+               std::invalid_argument);
+}
+
+TEST(Hybrid, DeterministicUnderSeed) {
+  FlatSchedule schedule(30);
+  const auto access = workload::make_zipf_access(30, 1.0);
+  HybridConfig config;
+  config.slots = 500;
+  const auto a = simulate_hybrid(schedule, *access, config);
+  const auto b = simulate_hybrid(schedule, *access, config);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.pulls, b.pulls);
+}
+
+}  // namespace
+}  // namespace mobi::broadcast

@@ -1,0 +1,114 @@
+#include "cache/decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mobi::cache {
+namespace {
+
+TEST(HarmonicDecay, MatchesPaperFormula) {
+  HarmonicDecay decay(1.0);
+  // x' = C / (1/x + 1): from 1.0 -> 1/2 -> 1/3 -> 1/4 ...
+  EXPECT_DOUBLE_EQ(decay.decayed(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(decay.decayed(0.5), 1.0 / 3.0);
+  EXPECT_NEAR(decay.decayed(1.0 / 3.0), 0.25, 1e-12);
+}
+
+TEST(HarmonicDecay, GeneralCFormula) {
+  HarmonicDecay decay(0.8);
+  EXPECT_DOUBLE_EQ(decay.decayed(1.0), 0.8 / 2.0);
+  EXPECT_DOUBLE_EQ(decay.decayed(0.5), 0.8 / 3.0);
+}
+
+TEST(HarmonicDecay, ClosedFormMatchesIteration) {
+  HarmonicDecay decay(1.0);
+  double iterated = 0.7;
+  for (unsigned k = 0; k < 20; ++k) {
+    EXPECT_NEAR(decay.after_misses(0.7, k), iterated, 1e-12) << "k=" << k;
+    iterated = decay.decayed(iterated);
+  }
+}
+
+TEST(HarmonicDecay, GeneralCAfterMissesIterates) {
+  HarmonicDecay decay(0.9);
+  const double direct = decay.decayed(decay.decayed(decay.decayed(1.0)));
+  EXPECT_NEAR(decay.after_misses(1.0, 3), direct, 1e-12);
+}
+
+TEST(HarmonicDecay, Validation) {
+  EXPECT_THROW(HarmonicDecay(0.0), std::invalid_argument);
+  EXPECT_THROW(HarmonicDecay(1.5), std::invalid_argument);
+  HarmonicDecay decay(1.0);
+  EXPECT_THROW(decay.decayed(0.0), std::invalid_argument);
+  EXPECT_THROW(decay.decayed(1.5), std::invalid_argument);
+}
+
+TEST(ExponentialDecay, Halves) {
+  ExponentialDecay decay(0.5);
+  EXPECT_DOUBLE_EQ(decay.decayed(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(decay.after_misses(1.0, 3), 0.125);
+}
+
+TEST(ExponentialDecay, Validation) {
+  EXPECT_THROW(ExponentialDecay(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDecay(1.0), std::invalid_argument);
+}
+
+TEST(DecayFactories, ProduceNamedModels) {
+  EXPECT_NE(make_harmonic_decay()->name().find("harmonic"), std::string::npos);
+  EXPECT_NE(make_exponential_decay()->name().find("exponential"),
+            std::string::npos);
+}
+
+// Property: every decay model is a contraction into (0, 1] and monotone.
+class DecayPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecayPropertyTest, HarmonicContractsAndStaysPositive) {
+  HarmonicDecay decay(GetParam());
+  double x = 1.0;
+  for (int k = 0; k < 100; ++k) {
+    const double next = decay.decayed(x);
+    EXPECT_GT(next, 0.0);
+    EXPECT_LT(next, x);  // strictly decreasing
+    x = next;
+  }
+}
+
+TEST_P(DecayPropertyTest, HarmonicPreservesOrdering) {
+  HarmonicDecay decay(GetParam());
+  // If a is fresher than b, it stays fresher after decay.
+  double a = 0.9, b = 0.3;
+  for (int k = 0; k < 50; ++k) {
+    a = decay.decayed(a);
+    b = decay.decayed(b);
+    EXPECT_GT(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CValues, DecayPropertyTest,
+                         ::testing::Values(0.25, 0.5, 0.75, 0.9, 1.0));
+
+TEST(DecayProperty, ExponentialContraction) {
+  for (double factor : {0.1, 0.5, 0.9}) {
+    ExponentialDecay decay(factor);
+    double x = 1.0;
+    for (int k = 0; k < 50; ++k) {
+      const double next = decay.decayed(x);
+      EXPECT_GT(next, 0.0);
+      EXPECT_LT(next, x);
+      x = next;
+    }
+  }
+}
+
+TEST(DecayProperty, HarmonicDecaysSlowerThanAggressiveExponential) {
+  // After many misses harmonic ~ 1/k while exponential ~ 0.5^k: harmonic
+  // retains more recency.
+  HarmonicDecay harmonic(1.0);
+  ExponentialDecay exponential(0.5);
+  EXPECT_GT(harmonic.after_misses(1.0, 10), exponential.after_misses(1.0, 10));
+}
+
+}  // namespace
+}  // namespace mobi::cache

@@ -1,0 +1,69 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mobi::core {
+namespace {
+
+TEST(JainIndex, PerfectEqualityIsOne) {
+  const std::vector<double> equal{0.7, 0.7, 0.7, 0.7};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+}
+
+TEST(JainIndex, MaximalInequalityIsOneOverN) {
+  const std::vector<double> skewed{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(skewed), 0.25);
+}
+
+TEST(JainIndex, KnownIntermediateValue) {
+  const std::vector<double> scores{1.0, 0.5};
+  // (1.5)^2 / (2 * 1.25) = 2.25 / 2.5 = 0.9.
+  EXPECT_DOUBLE_EQ(jain_index(scores), 0.9);
+}
+
+TEST(JainIndex, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+  const std::vector<double> negative{-0.1};
+  EXPECT_THROW(jain_index(negative), std::invalid_argument);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::vector<double> base{0.2, 0.5, 0.9};
+  std::vector<double> scaled;
+  for (double x : base) scaled.push_back(x * 3.0);
+  EXPECT_NEAR(jain_index(base), jain_index(scaled), 1e-12);
+}
+
+TEST(MinScore, FindsMinimum) {
+  const std::vector<double> scores{0.9, 0.3, 0.7};
+  EXPECT_DOUBLE_EQ(min_score(scores), 0.3);
+  EXPECT_DOUBLE_EQ(min_score({}), 1.0);
+}
+
+TEST(ScoreQuantile, OrderStatistics) {
+  const std::vector<double> scores{0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(score_quantile(scores, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(score_quantile(scores, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(score_quantile(scores, 0.5), 0.3);
+  EXPECT_NEAR(score_quantile(scores, 0.25), 0.2, 1e-12);
+}
+
+TEST(ScoreQuantile, Interpolates) {
+  const std::vector<double> scores{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(score_quantile(scores, 0.3), 0.3);
+}
+
+TEST(ScoreQuantile, Validation) {
+  const std::vector<double> scores{0.5};
+  EXPECT_THROW(score_quantile(scores, -0.1), std::invalid_argument);
+  EXPECT_THROW(score_quantile(scores, 1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(score_quantile({}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(score_quantile(scores, 0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace mobi::core

@@ -1,0 +1,86 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(int(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto flags = parse({"--name=value"});
+  EXPECT_TRUE(flags.has("name"));
+  EXPECT_EQ(flags.get_string("name", ""), "value");
+}
+
+TEST(Flags, SpaceForm) {
+  const auto flags = parse({"--count", "42"});
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(Flags, BareFlagIsTrueBoolean) {
+  const auto flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, MissingUsesFallback) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+}
+
+TEST(Flags, Positionals) {
+  const auto flags = parse({"input.csv", "--k=3", "output.csv"});
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[0], "input.csv");
+  EXPECT_EQ(flags.positionals()[1], "output.csv");
+}
+
+TEST(Flags, DoubleParsing) {
+  const auto flags = parse({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.25);
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=YES"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Flags, BadIntegerThrows) {
+  const auto flags = parse({"--n=abc"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, BadDoubleThrows) {
+  const auto flags = parse({"--x=oops"});
+  EXPECT_THROW(flags.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, BadBooleanThrows) {
+  const auto flags = parse({"--x=maybe"});
+  EXPECT_THROW(flags.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Flags, ConsecutiveFlagsDoNotConsumeEachOther) {
+  const auto flags = parse({"--a", "--b=2"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_EQ(flags.get_int("b", 0), 2);
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const auto flags = parse({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace mobi::util

@@ -1,0 +1,85 @@
+#include "workload/hotspot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::workload {
+namespace {
+
+TEST(ShiftingHotspot, Validation) {
+  EXPECT_THROW(ShiftingHotspot(nullptr, 5, 1), std::invalid_argument);
+  EXPECT_THROW(ShiftingHotspot(make_zipf_access(10, 1.0), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ShiftingHotspot, IdentityBeforeFirstShift) {
+  ShiftingHotspot hotspot(make_zipf_access(10, 1.0), 5, 3);
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_EQ(hotspot.object_at_rank(rank, 0), object::ObjectId(rank));
+    EXPECT_EQ(hotspot.object_at_rank(rank, 4), object::ObjectId(rank));
+  }
+}
+
+TEST(ShiftingHotspot, RotatesByStrideEachPeriod) {
+  ShiftingHotspot hotspot(make_zipf_access(10, 1.0), 5, 3);
+  EXPECT_EQ(hotspot.object_at_rank(0, 5), 3u);
+  EXPECT_EQ(hotspot.object_at_rank(0, 10), 6u);
+  EXPECT_EQ(hotspot.object_at_rank(9, 5), 2u);  // wraps: (9 + 3) % 10
+}
+
+TEST(ShiftingHotspot, ProbabilityFollowsTheHotObject) {
+  const std::shared_ptr<const AccessDistribution> base =
+      make_zipf_access(10, 1.0);
+  ShiftingHotspot hotspot(base, 5, 1);
+  const double top = base->probability(0);
+  // At tick 0, object 0 is hottest; after one shift, object 1 is.
+  EXPECT_DOUBLE_EQ(hotspot.probability(0, 0), top);
+  EXPECT_DOUBLE_EQ(hotspot.probability(1, 5), top);
+  EXPECT_LT(hotspot.probability(0, 5), top);
+}
+
+TEST(ShiftingHotspot, ProbabilitiesAlwaysSumToOne) {
+  ShiftingHotspot hotspot(make_zipf_access(20, 1.0), 3, 7);
+  for (sim::Tick t : {0, 3, 6, 99}) {
+    double total = 0.0;
+    for (object::ObjectId id = 0; id < 20; ++id) {
+      total += hotspot.probability(id, t);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "tick " << t;
+  }
+}
+
+TEST(ShiftingHotspot, SamplingTracksTheShift) {
+  ShiftingHotspot hotspot(make_zipf_access(50, 1.2), 10, 25);
+  util::Rng rng(1);
+  auto count_hot = [&](sim::Tick t) {
+    std::size_t hot = 0;
+    const auto hot_object = hotspot.object_at_rank(0, t);
+    for (int i = 0; i < 5000; ++i) {
+      if (hotspot.sample(rng, t) == hot_object) ++hot;
+    }
+    return hot;
+  };
+  // The rank-0 object should dominate samples at both epochs.
+  EXPECT_GT(count_hot(0), 500u);
+  EXPECT_GT(count_hot(10), 500u);
+  EXPECT_NE(hotspot.object_at_rank(0, 0), hotspot.object_at_rank(0, 10));
+}
+
+TEST(ShiftingHotspot, RangeChecks) {
+  ShiftingHotspot hotspot(make_zipf_access(5, 1.0), 2, 1);
+  EXPECT_THROW(hotspot.object_at_rank(5, 0), std::out_of_range);
+  EXPECT_THROW(hotspot.probability(5, 0), std::out_of_range);
+  util::Rng rng(1);
+  EXPECT_THROW(hotspot.sample(rng, -1), std::invalid_argument);
+}
+
+TEST(ShiftingHotspot, FullRotationReturnsToIdentity) {
+  ShiftingHotspot hotspot(make_zipf_access(10, 1.0), 1, 1);
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_EQ(hotspot.object_at_rank(rank, 10),
+              hotspot.object_at_rank(rank, 0));
+  }
+}
+
+}  // namespace
+}  // namespace mobi::workload

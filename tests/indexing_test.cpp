@@ -1,0 +1,151 @@
+#include "broadcast/indexing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobi::broadcast {
+namespace {
+
+TEST(IndexedBroadcast, CycleLength) {
+  IndexedBroadcastConfig config;
+  config.data_slots = 100;
+  config.index_slots = 5;
+  config.index_copies = 4;
+  EXPECT_EQ(cycle_length(config), 120u);
+}
+
+TEST(IndexedBroadcast, Validation) {
+  IndexedBroadcastConfig config;
+  config.data_slots = 0;
+  EXPECT_THROW(cycle_length(config), std::invalid_argument);
+  config = {};
+  config.index_copies = 0;
+  EXPECT_THROW(expected_access_latency(config), std::invalid_argument);
+  config = {};
+  config.index_copies = config.data_slots + 1;
+  EXPECT_THROW(expected_tuning_time(config), std::invalid_argument);
+  EXPECT_THROW(optimal_index_copies(0, 5), std::invalid_argument);
+  EXPECT_THROW(unindexed_access_latency(0, 1), std::invalid_argument);
+}
+
+TEST(IndexedBroadcast, LatencyFormula) {
+  IndexedBroadcastConfig config;
+  config.data_slots = 100;
+  config.index_slots = 4;
+  config.index_copies = 5;
+  config.object_slots = 1;
+  // 1 + (100/5 + 4)/2 + 4 + (100 + 20)/2 + 1 = 1 + 12 + 4 + 60 + 1 = 78.
+  EXPECT_DOUBLE_EQ(expected_access_latency(config), 78.0);
+  EXPECT_DOUBLE_EQ(expected_tuning_time(config), 6.0);
+}
+
+TEST(IndexedBroadcast, TuningTimeIndependentOfM) {
+  IndexedBroadcastConfig config;
+  config.data_slots = 500;
+  config.index_slots = 8;
+  config.object_slots = 2;
+  config.index_copies = 1;
+  const double once = expected_tuning_time(config);
+  config.index_copies = 20;
+  EXPECT_DOUBLE_EQ(expected_tuning_time(config), once);
+}
+
+TEST(IndexedBroadcast, MoreIndexCopiesTradeLatencyTerms) {
+  IndexedBroadcastConfig config;
+  config.data_slots = 1000;
+  config.index_slots = 10;
+  // m = 1: huge wait-for-index; m = data_slots: huge cycle. The optimum
+  // lies between and beats both extremes.
+  config.index_copies = 1;
+  const double m1 = expected_access_latency(config);
+  config.index_copies = optimal_index_copies(1000, 10);
+  const double best = expected_access_latency(config);
+  config.index_copies = 1000;
+  const double saturated = expected_access_latency(config);
+  EXPECT_LT(best, m1);
+  EXPECT_LE(best, saturated);
+}
+
+TEST(IndexedBroadcast, OptimalMatchesSquareRootRule) {
+  // m* = sqrt(D/I).
+  EXPECT_EQ(optimal_index_copies(1000, 10), 10u);
+  EXPECT_EQ(optimal_index_copies(400, 1), 20u);
+  EXPECT_GE(optimal_index_copies(5, 100), 1u);  // degenerate: still valid
+}
+
+TEST(IndexedBroadcast, OptimalIsActuallyBestOverSweep) {
+  const std::size_t d = 720, i = 5;
+  const std::size_t best_m = optimal_index_copies(d, i);
+  IndexedBroadcastConfig config;
+  config.data_slots = d;
+  config.index_slots = i;
+  config.index_copies = best_m;
+  const double best = expected_access_latency(config);
+  for (std::size_t m = 1; m <= 60; ++m) {
+    config.index_copies = m;
+    EXPECT_GE(expected_access_latency(config), best - 1e-9) << "m=" << m;
+  }
+}
+
+TEST(IndexedBroadcast, IndexingCutsTuningTimeVsUnindexed) {
+  const std::size_t d = 1000;
+  IndexedBroadcastConfig config;
+  config.data_slots = d;
+  config.index_slots = 10;
+  config.index_copies = optimal_index_copies(d, 10);
+  // Without an index the client listens for the whole wait (~L/2 slots);
+  // with (1, m) it listens ~11 slots. Latency is somewhat worse (longer
+  // cycle), tuning is orders of magnitude better.
+  EXPECT_LT(expected_tuning_time(config),
+            unindexed_access_latency(d, 1) / 10.0);
+  EXPECT_LT(expected_access_latency(config),
+            2.0 * unindexed_access_latency(d, 1));
+}
+
+TEST(IndexedBroadcast, SimulationValidatesAnalyticLatency) {
+  // Materialize a (1, m) cycle and sample random tune-ins and objects; the
+  // empirical mean latency must match the closed form.
+  IndexedBroadcastConfig config;
+  config.data_slots = 200;
+  config.index_slots = 4;
+  config.index_copies = 8;
+  config.object_slots = 1;
+  const std::size_t L = cycle_length(config);
+  const std::size_t segment = config.data_slots / config.index_copies;
+  const std::size_t block = config.index_slots + segment;
+
+  // Position of the j-th data slot (0-based among data slots) in the cycle.
+  auto data_position = [&](std::size_t j) {
+    const std::size_t seg = j / segment;
+    const std::size_t off = j % segment;
+    return seg * block + config.index_slots + off;
+  };
+  util::Rng rng(5);
+  double total = 0.0;
+  const int trials = 200000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto tune_in = std::size_t(rng.uniform_u64(0, L - 1));
+    const auto object = std::size_t(rng.uniform_u64(0, config.data_slots - 1));
+    // Probe slot, then doze to the next index copy at or after tune_in+1.
+    std::size_t now = tune_in + 1;
+    const std::size_t block_index = now % L / block;
+    std::size_t next_index = block_index * block;
+    if (now % L > next_index) next_index += block;  // passed it: next one
+    std::size_t wait = next_index >= now % L ? next_index - now % L
+                                             : L - now % L + next_index;
+    now += wait + config.index_slots;  // read the index
+    // Doze to the object's slot (possibly in the next cycle).
+    const std::size_t obj_pos = data_position(object);
+    const std::size_t phase = now % L;
+    wait = obj_pos >= phase ? obj_pos - phase : L - phase + obj_pos;
+    now += wait + config.object_slots;  // read the object
+    total += double(now - tune_in);
+  }
+  const double simulated = total / trials;
+  const double analytic = expected_access_latency(config);
+  EXPECT_NEAR(simulated, analytic, 0.04 * analytic);
+}
+
+}  // namespace
+}  // namespace mobi::broadcast

@@ -1,0 +1,254 @@
+#include "core/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace mobi::core {
+namespace {
+
+double chosen_value(std::span<const KnapsackItem> items,
+                    const KnapsackSolution& solution) {
+  double value = 0.0;
+  for (std::size_t i : solution.chosen) value += items[i].profit;
+  return value;
+}
+
+object::Units chosen_size(std::span<const KnapsackItem> items,
+                          const KnapsackSolution& solution) {
+  object::Units size = 0;
+  for (std::size_t i : solution.chosen) size += items[i].size;
+  return size;
+}
+
+std::vector<KnapsackItem> random_items(util::Rng& rng, std::size_t n,
+                                       object::Units max_size = 10,
+                                       double max_profit = 10.0) {
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.size = rng.uniform_int(1, max_size);
+    item.profit = rng.uniform(0.0, max_profit);
+  }
+  return items;
+}
+
+TEST(KnapsackDp, EmptyInstance) {
+  const auto solution = solve_dp({}, 10);
+  EXPECT_EQ(solution.value, 0.0);
+  EXPECT_TRUE(solution.chosen.empty());
+}
+
+TEST(KnapsackDp, ZeroCapacityTakesNothing) {
+  const std::vector<KnapsackItem> items{{1, 5.0}, {2, 3.0}};
+  const auto solution = solve_dp(items, 0);
+  EXPECT_EQ(solution.value, 0.0);
+  EXPECT_TRUE(solution.chosen.empty());
+}
+
+TEST(KnapsackDp, TextbookInstance) {
+  // Classic: sizes {1,3,4,5}, profits {1,4,5,7}, cap 7 -> best 9 = {3,4}.
+  const std::vector<KnapsackItem> items{{1, 1.0}, {3, 4.0}, {4, 5.0}, {5, 7.0}};
+  const auto solution = solve_dp(items, 7);
+  EXPECT_DOUBLE_EQ(solution.value, 9.0);
+  EXPECT_EQ(solution.used, 7);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(KnapsackDp, ZeroProfitItemsNeverChosen) {
+  const std::vector<KnapsackItem> items{{1, 0.0}, {1, 2.0}, {1, 0.0}};
+  const auto solution = solve_dp(items, 3);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1}));
+}
+
+TEST(KnapsackDp, OversizedItemIgnored) {
+  const std::vector<KnapsackItem> items{{100, 99.0}, {2, 1.0}};
+  const auto solution = solve_dp(items, 10);
+  EXPECT_DOUBLE_EQ(solution.value, 1.0);
+}
+
+TEST(KnapsackDp, Validation) {
+  const std::vector<KnapsackItem> bad_size{{0, 1.0}};
+  EXPECT_THROW(solve_dp(bad_size, 5), std::invalid_argument);
+  const std::vector<KnapsackItem> bad_profit{{1, -1.0}};
+  EXPECT_THROW(solve_dp(bad_profit, 5), std::invalid_argument);
+  const std::vector<KnapsackItem> ok{{1, 1.0}};
+  EXPECT_THROW(solve_dp(ok, -1), std::invalid_argument);
+}
+
+TEST(KnapsackProfile, ValuesMonotoneInCapacity) {
+  util::Rng rng(1);
+  const auto items = random_items(rng, 40);
+  const KnapsackProfile profile(items, 100);
+  for (object::Units c = 1; c <= 100; ++c) {
+    EXPECT_GE(profile.value_at(c), profile.value_at(c - 1));
+  }
+}
+
+TEST(KnapsackProfile, FullCapacityTakesAllProfitableItems) {
+  util::Rng rng(2);
+  const auto items = random_items(rng, 30);
+  object::Units total_size = 0;
+  double total_profit = 0.0;
+  for (const auto& item : items) {
+    total_size += item.size;
+    total_profit += item.profit;
+  }
+  const KnapsackProfile profile(items, total_size);
+  EXPECT_NEAR(profile.value_at(total_size), total_profit, 1e-9);
+}
+
+TEST(KnapsackProfile, ReconstructionIsConsistentEverywhere) {
+  util::Rng rng(3);
+  const auto items = random_items(rng, 25);
+  const KnapsackProfile profile(items, 80);
+  for (object::Units c = 0; c <= 80; c += 4) {
+    const auto solution = profile.solution_at(c);
+    EXPECT_LE(chosen_size(items, solution), c);
+    EXPECT_NEAR(chosen_value(items, solution), profile.value_at(c), 1e-9);
+    EXPECT_EQ(solution.used, chosen_size(items, solution));
+  }
+}
+
+TEST(KnapsackProfile, OutOfRangeThrows) {
+  const std::vector<KnapsackItem> items{{1, 1.0}};
+  const KnapsackProfile profile(items, 5);
+  EXPECT_THROW(profile.value_at(6), std::out_of_range);
+  EXPECT_THROW(profile.value_at(-1), std::out_of_range);
+  EXPECT_THROW(profile.solution_at(6), std::out_of_range);
+}
+
+TEST(KnapsackGreedy, TakesByDensity) {
+  const std::vector<KnapsackItem> items{{5, 5.0}, {1, 2.0}, {3, 3.1}};
+  // Densities: 1.0, 2.0, ~1.03 -> order 1, 2, 0; capacity 4 fits {1, 2}.
+  const auto solution = solve_greedy(items, 4);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(solution.value, 5.1);
+}
+
+TEST(KnapsackGreedy, BestSingleItemFallback) {
+  // Density favors the small item, but one big item dominates.
+  const std::vector<KnapsackItem> items{{1, 2.0}, {10, 11.0}};
+  const auto solution = solve_greedy(items, 10);
+  EXPECT_DOUBLE_EQ(solution.value, 11.0);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1}));
+}
+
+TEST(KnapsackFptas, ExactOnTinyInstance) {
+  const std::vector<KnapsackItem> items{{1, 1.0}, {3, 4.0}, {4, 5.0}, {5, 7.0}};
+  const auto solution = solve_fptas(items, 7, 0.1);
+  EXPECT_GE(solution.value, 0.9 * 9.0);
+  EXPECT_LE(solution.used, 7);
+}
+
+TEST(KnapsackFptas, Validation) {
+  const std::vector<KnapsackItem> items{{1, 1.0}};
+  EXPECT_THROW(solve_fptas(items, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(solve_fptas(items, 5, 1.0), std::invalid_argument);
+}
+
+TEST(KnapsackFptas, EmptyAndWorthlessInstances) {
+  EXPECT_EQ(solve_fptas({}, 5, 0.5).value, 0.0);
+  const std::vector<KnapsackItem> worthless{{1, 0.0}};
+  EXPECT_EQ(solve_fptas(worthless, 5, 0.5).value, 0.0);
+}
+
+TEST(KnapsackBnB, TextbookInstance) {
+  const std::vector<KnapsackItem> items{{1, 1.0}, {3, 4.0}, {4, 5.0}, {5, 7.0}};
+  const auto solution = solve_branch_and_bound(items, 7);
+  EXPECT_DOUBLE_EQ(solution.value, 9.0);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(solution.used, 7);
+}
+
+TEST(KnapsackBnB, EmptyAndZeroCapacity) {
+  EXPECT_EQ(solve_branch_and_bound({}, 10).value, 0.0);
+  const std::vector<KnapsackItem> items{{1, 5.0}};
+  EXPECT_TRUE(solve_branch_and_bound(items, 0).chosen.empty());
+}
+
+TEST(KnapsackBnB, NodeLimitThrows) {
+  // Pathological: many identical items make the bound useless, and a
+  // microscopic node limit must trip.
+  const std::vector<KnapsackItem> items(20, KnapsackItem{1, 1.0});
+  EXPECT_THROW(solve_branch_and_bound(items, 10, 3), std::runtime_error);
+}
+
+TEST(KnapsackBnB, ZeroProfitItemsNeverChosen) {
+  const std::vector<KnapsackItem> items{{1, 0.0}, {1, 2.0}, {1, 0.0}};
+  const auto solution = solve_branch_and_bound(items, 3);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1}));
+}
+
+TEST(KnapsackBruteForce, RefusesLargeInstances) {
+  const std::vector<KnapsackItem> items(31, KnapsackItem{1, 1.0});
+  EXPECT_THROW(solve_brute_force(items, 5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over random instances.
+
+class KnapsackRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandomTest, DpMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  const auto items = random_items(rng, 12, 8, 20.0);
+  const object::Units capacity = rng.uniform_int(0, 40);
+  const auto dp = solve_dp(items, capacity);
+  const auto brute = solve_brute_force(items, capacity);
+  EXPECT_NEAR(dp.value, brute.value, 1e-9);
+  EXPECT_LE(chosen_size(items, dp), capacity);
+}
+
+TEST_P(KnapsackRandomTest, GreedyIsFeasibleHalfApproximation) {
+  util::Rng rng(GetParam() ^ 0xabcdULL);
+  const auto items = random_items(rng, 15, 10, 30.0);
+  const object::Units capacity = rng.uniform_int(1, 60);
+  const auto optimal = solve_dp(items, capacity);
+  const auto greedy = solve_greedy(items, capacity);
+  EXPECT_LE(chosen_size(items, greedy), capacity);
+  EXPECT_LE(greedy.value, optimal.value + 1e-9);
+  EXPECT_GE(greedy.value, 0.5 * optimal.value - 1e-9);
+}
+
+TEST_P(KnapsackRandomTest, FptasHitsApproximationGuarantee) {
+  util::Rng rng(GetParam() ^ 0x1234ULL);
+  const auto items = random_items(rng, 15, 10, 30.0);
+  const object::Units capacity = rng.uniform_int(1, 60);
+  const auto optimal = solve_dp(items, capacity);
+  for (double eps : {0.5, 0.2, 0.05}) {
+    const auto approx = solve_fptas(items, capacity, eps);
+    EXPECT_LE(chosen_size(items, approx), capacity);
+    EXPECT_LE(approx.value, optimal.value + 1e-9);
+    EXPECT_GE(approx.value, (1.0 - eps) * optimal.value - 1e-9)
+        << "eps=" << eps;
+  }
+}
+
+TEST_P(KnapsackRandomTest, BranchAndBoundMatchesDp) {
+  util::Rng rng(GetParam() ^ 0xbbbbULL);
+  const auto items = random_items(rng, 18, 10, 25.0);
+  const object::Units capacity = rng.uniform_int(1, 80);
+  const auto dp = solve_dp(items, capacity);
+  const auto bnb = solve_branch_and_bound(items, capacity);
+  EXPECT_NEAR(bnb.value, dp.value, 1e-9);
+  EXPECT_LE(chosen_size(items, bnb), capacity);
+  EXPECT_NEAR(chosen_value(items, bnb), bnb.value, 1e-9);
+}
+
+TEST_P(KnapsackRandomTest, ProfileSolutionMatchesSingleShotDp) {
+  util::Rng rng(GetParam() ^ 0x7777ULL);
+  const auto items = random_items(rng, 20, 10, 10.0);
+  const KnapsackProfile profile(items, 60);
+  for (object::Units c : {0, 15, 30, 60}) {
+    EXPECT_NEAR(profile.value_at(c), solve_dp(items, c).value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace mobi::core

@@ -1,0 +1,134 @@
+#include "core/latency_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "object/builders.hpp"
+
+namespace mobi::core {
+namespace {
+
+struct World {
+  object::Catalog catalog;
+  server::ServerPool servers;
+  cache::Cache cache;
+  ReciprocalScorer scorer;
+
+  explicit World(std::vector<object::Units> sizes)
+      : catalog(std::move(sizes)),
+        servers(catalog, 1),
+        cache(catalog.size(), cache::make_harmonic_decay()) {}
+
+  PolicyContext context(object::Units budget) {
+    PolicyContext ctx;
+    ctx.catalog = &catalog;
+    ctx.cache = &cache;
+    ctx.servers = &servers;
+    ctx.scorer = &scorer;
+    ctx.budget = budget;
+    return ctx;
+  }
+};
+
+workload::RequestBatch requests_for(std::vector<object::ObjectId> ids,
+                                    std::size_t copies = 1) {
+  workload::RequestBatch batch;
+  workload::ClientId client = 0;
+  for (auto id : ids) {
+    for (std::size_t i = 0; i < copies; ++i) {
+      batch.push_back({id, 1.0, client++});
+    }
+  }
+  return batch;
+}
+
+TEST(LatencyAware, RejectsNegativeOverhead) {
+  EXPECT_THROW(OnDemandLatencyAwarePolicy(-1), std::invalid_argument);
+}
+
+TEST(LatencyAware, ZeroOverheadMatchesPlainKnapsack) {
+  World world({1, 2, 3, 4, 5});
+  const auto batch = requests_for({0, 1, 2, 3, 4});
+  OnDemandLatencyAwarePolicy latency_aware(0);
+  OnDemandKnapsackPolicy plain;
+  for (object::Units budget : {0, 3, 7, 15}) {
+    EXPECT_EQ(latency_aware.select(batch, world.context(budget)),
+              plain.select(batch, world.context(budget)))
+        << "budget " << budget;
+  }
+}
+
+TEST(LatencyAware, OverheadChargesPerFetch) {
+  // Two unit objects, overhead 3: each fetch costs 4. Budget 7 fits only
+  // one even though plain sizes (2) would fit both.
+  World world({1, 1});
+  OnDemandLatencyAwarePolicy policy(3);
+  const auto selected =
+      policy.select(requests_for({0, 1}), world.context(7));
+  EXPECT_EQ(selected.size(), 1u);
+}
+
+TEST(LatencyAware, HighOverheadPrefersFewerBiggerWins) {
+  // Object 0: huge profit (10 requests). Objects 1-4: 1 request each.
+  // With overhead 4 and budget 12, taking object 0 (cost 4+4=8) beats
+  // spreading across small ones (cost 5 each).
+  World world({4, 1, 1, 1, 1});
+  workload::RequestBatch batch = requests_for({0}, 10);
+  const auto singles = requests_for({1, 2, 3, 4});
+  batch.insert(batch.end(), singles.begin(), singles.end());
+  OnDemandLatencyAwarePolicy policy(4);
+  const auto selected = policy.select(batch, world.context(12));
+  EXPECT_TRUE(std::find(selected.begin(), selected.end(), 0u) !=
+              selected.end());
+}
+
+TEST(LatencyAware, UnlimitedBudgetTakesAllProfitable) {
+  World world({1, 1});
+  world.cache.refresh(0, world.servers.fetch(0), 0);  // fresh, zero profit
+  OnDemandLatencyAwarePolicy policy(5);
+  const auto selected =
+      policy.select(requests_for({0, 1}), world.context(-1));
+  EXPECT_EQ(selected, (std::vector<object::ObjectId>{1}));
+}
+
+TEST(LatencyAware, NameAndFactory) {
+  OnDemandLatencyAwarePolicy policy(2);
+  EXPECT_NE(policy.name().find("latency-aware"), std::string::npos);
+  EXPECT_EQ(policy.overhead_units(), 2);
+  const auto from_factory = make_policy("on-demand-latency-aware");
+  ASSERT_NE(from_factory, nullptr);
+  EXPECT_NE(from_factory->name().find("latency-aware"), std::string::npos);
+}
+
+TEST(LatencyAware, EmptyBatchAndBadContext) {
+  World world({1});
+  OnDemandLatencyAwarePolicy policy(1);
+  EXPECT_TRUE(policy.select({}, world.context(5)).empty());
+  PolicyContext empty;
+  EXPECT_THROW(policy.select({}, empty), std::invalid_argument);
+}
+
+TEST(LatencyAware, SelectionNeverExceedsEffectiveBudget) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<object::Units> sizes;
+    for (int i = 0; i < 12; ++i) sizes.push_back(rng.uniform_int(1, 6));
+    World world(sizes);
+    std::vector<object::ObjectId> all;
+    for (object::ObjectId id = 0; id < 12; ++id) all.push_back(id);
+    const object::Units overhead = rng.uniform_int(0, 3);
+    const object::Units budget = rng.uniform_int(0, 30);
+    OnDemandLatencyAwarePolicy policy(overhead);
+    const auto selected =
+        policy.select(requests_for(all), world.context(budget));
+    object::Units cost = 0;
+    for (auto id : selected) {
+      cost += world.catalog.object_size(id) + overhead;
+    }
+    EXPECT_LE(cost, budget);
+  }
+}
+
+}  // namespace
+}  // namespace mobi::core

@@ -1,0 +1,107 @@
+#include "workload/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace mobi::workload {
+namespace {
+
+TEST(StackAccess, Validation) {
+  EXPECT_THROW(StackAccess(nullptr, 0.5, 0.5), std::invalid_argument);
+  const std::shared_ptr<const AccessDistribution> base =
+      make_uniform_access(10);
+  EXPECT_THROW(StackAccess(base, -0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(StackAccess(base, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(StackAccess(base, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(StackAccess(base, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(StackAccess(base, 0.5, 0.5, 0), std::invalid_argument);
+}
+
+TEST(StackAccess, ZeroReuseMatchesBaseMarginals) {
+  const std::shared_ptr<const AccessDistribution> base =
+      make_zipf_access(20, 1.0);
+  StackAccess access(base, 0.0, 0.5);
+  util::Rng rng(1);
+  std::map<object::ObjectId, std::size_t> counts;
+  const std::size_t n = 100000;
+  for (std::size_t i = 0; i < n; ++i) ++counts[access.sample(rng)];
+  for (object::ObjectId id = 0; id < 20; ++id) {
+    const double expected = base->probability(id) * double(n);
+    EXPECT_NEAR(double(counts[id]), expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "object " << id;
+  }
+}
+
+TEST(StackAccess, HighReuseRepeatsRecentObjects) {
+  const std::shared_ptr<const AccessDistribution> base =
+      make_uniform_access(1000);
+  StackAccess access(base, 0.9, 0.5, 16);
+  util::Rng rng(2);
+  // Warm the stack, then measure how often samples hit the recent set.
+  for (int i = 0; i < 50; ++i) access.sample(rng);
+  std::size_t repeats = 0;
+  object::ObjectId last = access.sample(rng);
+  std::map<object::ObjectId, std::size_t> counts;
+  for (int i = 0; i < 5000; ++i) {
+    const auto id = access.sample(rng);
+    if (id == last) ++repeats;
+    last = id;
+    ++counts[id];
+  }
+  // With 1000 uniform objects, i.i.d. draws would hit ~5 distinct objects
+  // 1000+ times only by extreme luck; locality concentrates mass sharply.
+  EXPECT_LT(counts.size(), 600u);
+  EXPECT_GT(repeats, 500u);  // immediate re-references are common
+}
+
+TEST(StackAccess, StackIsBounded) {
+  const std::shared_ptr<const AccessDistribution> base =
+      make_uniform_access(100);
+  StackAccess access(base, 0.3, 0.5, 8);
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) access.sample(rng);
+  EXPECT_LE(access.stack_size(), 8u);
+}
+
+TEST(StackAccess, LocalityImprovesSmallCacheHitRate) {
+  // The reason this generator exists: the same popularity marginals with
+  // more temporal locality should make a small LRU-style cache hotter.
+  const std::shared_ptr<const AccessDistribution> base =
+      make_uniform_access(200);
+  util::Rng rng_a(4), rng_b(4);
+  StackAccess iid(base, 0.0, 0.5, 32);
+  StackAccess local(base, 0.8, 0.6, 32);
+  auto hit_rate = [](StackAccess& access, util::Rng& rng) {
+    std::deque<object::ObjectId> cache;  // tiny LRU of 10 entries
+    std::size_t hits = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      const auto id = access.sample(rng);
+      const auto it = std::find(cache.begin(), cache.end(), id);
+      if (it != cache.end()) {
+        ++hits;
+        cache.erase(it);
+      }
+      cache.push_front(id);
+      if (cache.size() > 10) cache.pop_back();
+    }
+    return double(hits) / n;
+  };
+  EXPECT_GT(hit_rate(local, rng_b), hit_rate(iid, rng_a) + 0.2);
+}
+
+TEST(StackAccess, DeterministicUnderSeed) {
+  const std::shared_ptr<const AccessDistribution> base =
+      make_zipf_access(50, 1.0);
+  StackAccess a(base, 0.5, 0.5);
+  StackAccess b(base, 0.5, 0.5);
+  util::Rng rng_a(9), rng_b(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.sample(rng_a), b.sample(rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace mobi::workload

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::util {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "should be suppressed");
+  log_debug() << "suppressed stream " << 42;
+  log_info() << "suppressed";
+  log_warn() << "suppressed";
+  log_error() << "suppressed";
+  set_log_level(original);
+}
+
+TEST(Log, EmittedLevelsDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  log_line(LogLevel::kDebug, "visible line");
+  log_debug() << "stream with value " << 3.14;
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace mobi::util

@@ -1,0 +1,136 @@
+// Analytical model unit tests plus model-vs-simulation validation: the
+// strongest correctness check in the suite — two independent
+// implementations of the paper's quantities must agree.
+#include "model/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/fig2.hpp"
+#include "exp/fig3.hpp"
+#include "workload/access.hpp"
+
+namespace mobi::model {
+namespace {
+
+TEST(ProbabilityRequested, KnownValues) {
+  EXPECT_DOUBLE_EQ(probability_requested(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(probability_requested(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(probability_requested(1.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(probability_requested(0.5, 1), 0.5);
+  EXPECT_DOUBLE_EQ(probability_requested(0.5, 2), 0.75);
+}
+
+TEST(ProbabilityRequested, TinyProbabilityIsStable) {
+  // 1 - (1-1e-12)^1e6 ~ 1e-6; naive pow would lose all precision.
+  EXPECT_NEAR(probability_requested(1e-12, 1000000), 1e-6, 1e-9);
+}
+
+TEST(ProbabilityRequested, Validation) {
+  EXPECT_THROW(probability_requested(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(probability_requested(1.1, 1), std::invalid_argument);
+}
+
+TEST(ExpectedDownloads, AsyncMatchesPaperArithmetic) {
+  // Paper: 500 objects, update every 5, 500 measured ticks -> 50,000.
+  EXPECT_DOUBLE_EQ(expected_async_downloads(500, 5, 500), 50000.0);
+}
+
+TEST(ExpectedDownloads, OnDemandNeverExceedsAsync) {
+  const auto access = workload::make_zipf_access(100, 1.0);
+  std::vector<double> probs(100);
+  for (object::ObjectId id = 0; id < 100; ++id) {
+    probs[id] = access->probability(id);
+  }
+  for (std::size_t rate : {1u, 10u, 100u, 1000u}) {
+    EXPECT_LE(expected_on_demand_downloads(probs, rate, 5, 100),
+              expected_async_downloads(100, 5, 100) + 1e-9);
+  }
+}
+
+TEST(ExpectedDownloads, SaturatesAtHighRates) {
+  const std::vector<double> probs(10, 0.1);
+  const double heavy = expected_on_demand_downloads(probs, 10000, 5, 100);
+  EXPECT_NEAR(heavy, expected_async_downloads(10, 5, 100), 1e-6);
+}
+
+TEST(SteadyStateRecency, HarmonicAverages) {
+  EXPECT_DOUBLE_EQ(steady_state_recency_harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(steady_state_recency_harmonic(2), 0.75);  // (1 + 1/2)/2
+  EXPECT_NEAR(steady_state_recency_harmonic(4), (1 + 0.5 + 1.0 / 3 + 0.25) / 4,
+              1e-12);
+  EXPECT_THROW(steady_state_recency_harmonic(0), std::invalid_argument);
+}
+
+TEST(AsyncRecency, FasterSweepsAreFresher) {
+  // More budget -> shorter sweep -> higher steady-state recency.
+  double previous = 0.0;
+  for (std::size_t budget : {1u, 5u, 20u, 100u}) {
+    const double recency = expected_async_recency(100, budget, 1);
+    EXPECT_GE(recency, previous);
+    previous = recency;
+  }
+  EXPECT_DOUBLE_EQ(expected_async_recency(100, 100, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model vs simulation.
+
+TEST(ModelVsSimulation, Fig2UniformAccess) {
+  exp::Fig2Config config;
+  config.object_count = 100;
+  config.warmup_ticks = 20;
+  config.measure_ticks = 200;
+  config.update_period = 5;
+  config.seed = 3;
+  const std::vector<double> probs(100, 0.01);
+  for (std::size_t rate : {20u, 50u, 150u}) {
+    const double predicted = expected_on_demand_downloads(
+        probs, rate, config.update_period, config.measure_ticks);
+    const double simulated = double(
+        exp::run_fig2_once(config, exp::AccessPattern::kUniform, rate));
+    EXPECT_NEAR(simulated, predicted, 0.05 * predicted + 20.0)
+        << "rate " << rate;
+  }
+}
+
+TEST(ModelVsSimulation, Fig2ZipfAccess) {
+  exp::Fig2Config config;
+  config.object_count = 100;
+  config.warmup_ticks = 20;
+  config.measure_ticks = 200;
+  config.update_period = 5;
+  config.seed = 4;
+  const auto access = workload::make_zipf_access(100, 1.0);
+  std::vector<double> probs(100);
+  for (object::ObjectId id = 0; id < 100; ++id) {
+    probs[id] = access->probability(id);
+  }
+  for (std::size_t rate : {20u, 100u}) {
+    const double predicted = expected_on_demand_downloads(
+        probs, rate, config.update_period, config.measure_ticks);
+    const double simulated =
+        double(exp::run_fig2_once(config, exp::AccessPattern::kZipf, rate));
+    EXPECT_NEAR(simulated, predicted, 0.05 * predicted + 20.0)
+        << "rate " << rate;
+  }
+}
+
+TEST(ModelVsSimulation, Fig3AsyncRecency) {
+  exp::Fig3Config config;
+  config.object_count = 100;
+  config.requests_per_tick = 50;
+  config.warmup_ticks = 60;  // long warmup: the model is steady-state
+  config.measure_ticks = 100;
+  config.update_period = 2;
+  config.seed = 5;
+  for (object::Units budget : {5, 10, 25}) {
+    const double predicted = expected_async_recency(
+        config.object_count, std::size_t(budget), config.update_period);
+    const double simulated =
+        exp::run_fig3_once(config, budget, /*on_demand=*/false);
+    EXPECT_NEAR(simulated, predicted, 0.12) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace mobi::model

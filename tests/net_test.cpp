@@ -1,0 +1,136 @@
+#include "net/downlink.hpp"
+#include "net/fixed_network.hpp"
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::net {
+namespace {
+
+TEST(Link, TransferTimeIsLatencyPlusSerialization) {
+  Link link(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(link.transfer_time(50), 7.0);
+}
+
+TEST(Link, Accounting) {
+  Link link(10.0, 0.0);
+  link.account(5);
+  link.account(7);
+  EXPECT_EQ(link.transferred(), 12);
+  EXPECT_EQ(link.transfers(), 2u);
+}
+
+TEST(Link, Validation) {
+  EXPECT_THROW(Link(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Link(-5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Link(1.0, -1.0), std::invalid_argument);
+  Link link(1.0, 0.0);
+  EXPECT_THROW(link.transfer_time(-1), std::invalid_argument);
+}
+
+TEST(FixedNetwork, SoloTransferMatchesLink) {
+  FixedNetwork network(10.0, 1.0, 1.0);
+  const auto times = network.submit_batch({20});
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 3.0);  // 1.0 + 20/10
+}
+
+TEST(FixedNetwork, ContentionInflatesLatency) {
+  FixedNetwork network(10.0, 1.0, 1.0);
+  const auto times = network.submit_batch({20, 20});
+  // Each sees its own 20 plus the competitor's 20 at full contention.
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(FixedNetwork, ZeroContentionIgnoresCompetitors) {
+  FixedNetwork network(10.0, 1.0, 0.0);
+  const auto times = network.submit_batch({20, 40});
+  EXPECT_DOUBLE_EQ(times[0], 3.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(FixedNetwork, PartialContention) {
+  FixedNetwork network(10.0, 0.0, 0.5);
+  const auto times = network.submit_batch({10, 30});
+  EXPECT_DOUBLE_EQ(times[0], (10.0 + 0.5 * 30.0) / 10.0);
+  EXPECT_DOUBLE_EQ(times[1], (30.0 + 0.5 * 10.0) / 10.0);
+}
+
+TEST(FixedNetwork, BatchCompletionTime) {
+  FixedNetwork network(10.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(network.batch_completion_time({20, 30}), 6.0);
+  EXPECT_DOUBLE_EQ(network.batch_completion_time({}), 0.0);
+}
+
+TEST(FixedNetwork, StatsAccumulate) {
+  FixedNetwork network(10.0, 1.0, 1.0);
+  network.submit_batch({10});
+  network.submit_batch({20, 30});
+  EXPECT_EQ(network.stats().transfers, 3u);
+  EXPECT_EQ(network.stats().units, 60);
+  EXPECT_GT(network.stats().mean_time(), 0.0);
+}
+
+TEST(FixedNetwork, Validation) {
+  EXPECT_THROW(FixedNetwork(10.0, 0.0, -1.0), std::invalid_argument);
+  FixedNetwork network(10.0, 0.0, 1.0);
+  EXPECT_THROW(network.submit_batch({-5}), std::invalid_argument);
+}
+
+TEST(WirelessDownlink, DeliversUpToCapacity) {
+  WirelessDownlink downlink(10);
+  downlink.enqueue(25);
+  EXPECT_EQ(downlink.tick(), 10);
+  EXPECT_EQ(downlink.tick(), 10);
+  EXPECT_EQ(downlink.tick(), 5);
+  EXPECT_EQ(downlink.queued(), 0);
+  EXPECT_EQ(downlink.delivered_total(), 25);
+}
+
+TEST(WirelessDownlink, IdleCapacityIsTracked) {
+  WirelessDownlink downlink(10);
+  downlink.enqueue(4);
+  downlink.tick();  // 4 delivered, 6 idle
+  downlink.tick();  // fully idle
+  EXPECT_EQ(downlink.idle_total(), 16);
+  EXPECT_DOUBLE_EQ(downlink.utilization(), 4.0 / 20.0);
+}
+
+TEST(WirelessDownlink, MultipleItemsDrainFifo) {
+  WirelessDownlink downlink(10);
+  downlink.enqueue(6);
+  downlink.enqueue(6);
+  EXPECT_EQ(downlink.tick(), 10);  // first item + 4 of second
+  EXPECT_EQ(downlink.queued(), 2);
+  EXPECT_EQ(downlink.tick(), 2);
+}
+
+TEST(WirelessDownlink, FullUtilizationWhenSaturated) {
+  WirelessDownlink downlink(5);
+  downlink.enqueue(100);
+  for (int i = 0; i < 10; ++i) downlink.tick();
+  EXPECT_DOUBLE_EQ(downlink.utilization(), 1.0);
+  EXPECT_EQ(downlink.queued(), 50);
+}
+
+TEST(WirelessDownlink, ZeroEnqueueIsNoop) {
+  WirelessDownlink downlink(5);
+  downlink.enqueue(0);
+  EXPECT_EQ(downlink.queued(), 0);
+}
+
+TEST(WirelessDownlink, Validation) {
+  EXPECT_THROW(WirelessDownlink(0), std::invalid_argument);
+  WirelessDownlink downlink(5);
+  EXPECT_THROW(downlink.enqueue(-1), std::invalid_argument);
+}
+
+TEST(WirelessDownlink, UtilizationZeroBeforeTicks) {
+  WirelessDownlink downlink(5);
+  EXPECT_DOUBLE_EQ(downlink.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobi::net

@@ -1,0 +1,174 @@
+#include "object/builders.hpp"
+#include "object/correlate.hpp"
+#include "object/object.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace mobi::object {
+namespace {
+
+TEST(Catalog, EmptyByDefault) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.empty());
+  EXPECT_EQ(catalog.total_size(), 0);
+}
+
+TEST(Catalog, SizesAndTotal) {
+  Catalog catalog({3, 1, 4});
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.object_size(0), 3);
+  EXPECT_EQ(catalog.object_size(2), 4);
+  EXPECT_EQ(catalog.total_size(), 8);
+  EXPECT_EQ(catalog.info(1).size, 1);
+  EXPECT_EQ(catalog.info(1).id, 1u);
+}
+
+TEST(Catalog, RejectsNonPositiveSizes) {
+  EXPECT_THROW(Catalog({1, 0, 2}), std::invalid_argument);
+  EXPECT_THROW(Catalog({-1}), std::invalid_argument);
+}
+
+TEST(Catalog, OutOfRangeThrows) {
+  Catalog catalog({1});
+  EXPECT_THROW(catalog.object_size(1), std::out_of_range);
+}
+
+TEST(Builders, UniformCatalog) {
+  const auto catalog = make_uniform_catalog(500, 1);
+  EXPECT_EQ(catalog.size(), 500u);
+  EXPECT_EQ(catalog.total_size(), 500);
+  for (ObjectId id = 0; id < 500; ++id) EXPECT_EQ(catalog.object_size(id), 1);
+}
+
+TEST(Builders, RandomCatalogRespectsRange) {
+  util::Rng rng(1);
+  const auto catalog = make_random_catalog(1000, 1, 20, rng);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    EXPECT_GE(catalog.object_size(id), 1);
+    EXPECT_LE(catalog.object_size(id), 20);
+  }
+  // Expected total ~ 1000 * 10.5.
+  EXPECT_NEAR(double(catalog.total_size()), 10500.0, 600.0);
+}
+
+TEST(Builders, RandomCatalogRejectsBadRange) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_random_catalog(10, 0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_catalog(10, 5, 4, rng), std::invalid_argument);
+}
+
+TEST(Builders, ExactTotalIsHit) {
+  util::Rng rng(2);
+  const auto catalog = make_random_catalog_with_total(500, 1, 20, 5000, rng);
+  EXPECT_EQ(catalog.total_size(), 5000);
+  for (ObjectId id = 0; id < 500; ++id) {
+    EXPECT_GE(catalog.object_size(id), 1);
+    EXPECT_LE(catalog.object_size(id), 20);
+  }
+}
+
+TEST(Builders, UnreachableTotalThrows) {
+  util::Rng rng(3);
+  EXPECT_THROW(random_units_with_total(10, 1, 5, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(random_units_with_total(10, 2, 5, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(Builders, BoundaryTotalsWork) {
+  util::Rng rng(4);
+  const auto at_min = random_units_with_total(10, 1, 5, 10, rng);
+  EXPECT_EQ(std::accumulate(at_min.begin(), at_min.end(), Units{0}), 10);
+  const auto at_max = random_units_with_total(10, 1, 5, 50, rng);
+  EXPECT_EQ(std::accumulate(at_max.begin(), at_max.end(), Units{0}), 50);
+}
+
+// Sweep several exact totals.
+class ExactTotalTest : public ::testing::TestWithParam<Units> {};
+
+TEST_P(ExactTotalTest, SumMatchesTarget) {
+  util::Rng rng{std::uint64_t(GetParam())};
+  const auto values = random_units_with_total(100, 1, 20, GetParam(), rng);
+  EXPECT_EQ(std::accumulate(values.begin(), values.end(), Units{0}),
+            GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, ExactTotalTest,
+                         ::testing::Values(100, 500, 1000, 1050, 1500, 2000));
+
+TEST(Correlate, PositiveGivesSpearmanOne) {
+  util::Rng rng(5);
+  std::vector<double> keys, values;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(rng.uniform(0, 100));
+    values.push_back(rng.uniform(0, 1));
+  }
+  const auto assigned =
+      correlate(keys, values, Correlation::kPositive, rng);
+  EXPECT_NEAR(util::spearman(keys, assigned), 1.0, 1e-9);
+}
+
+TEST(Correlate, NegativeGivesSpearmanMinusOne) {
+  util::Rng rng(6);
+  std::vector<double> keys, values;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(rng.uniform(0, 100));
+    values.push_back(rng.uniform(0, 1));
+  }
+  const auto assigned =
+      correlate(keys, values, Correlation::kNegative, rng);
+  EXPECT_NEAR(util::spearman(keys, assigned), -1.0, 1e-9);
+}
+
+TEST(Correlate, NoneGivesNearZero) {
+  util::Rng rng(7);
+  std::vector<double> keys, values;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(rng.uniform(0, 100));
+    values.push_back(rng.uniform(0, 1));
+  }
+  const auto assigned = correlate(keys, values, Correlation::kNone, rng);
+  EXPECT_LT(std::abs(util::spearman(keys, assigned)), 0.08);
+}
+
+TEST(Correlate, PreservesMarginalDistribution) {
+  util::Rng rng(8);
+  std::vector<double> keys{5, 3, 1, 4, 2};
+  std::vector<double> values{10, 20, 30, 40, 50};
+  for (auto how :
+       {Correlation::kPositive, Correlation::kNegative, Correlation::kNone}) {
+    auto assigned = correlate(keys, values, how, rng);
+    std::sort(assigned.begin(), assigned.end());
+    EXPECT_EQ(assigned, values);
+  }
+}
+
+TEST(Correlate, SizeMismatchThrows) {
+  util::Rng rng(9);
+  std::vector<double> keys{1, 2};
+  std::vector<double> values{1};
+  EXPECT_THROW(correlate(keys, values, Correlation::kPositive, rng),
+               std::invalid_argument);
+}
+
+TEST(Correlate, NamesAreStable) {
+  EXPECT_STREQ(correlation_name(Correlation::kPositive), "positive");
+  EXPECT_STREQ(correlation_name(Correlation::kNegative), "negative");
+  EXPECT_STREQ(correlation_name(Correlation::kNone), "none");
+}
+
+TEST(Correlate, TiedKeysAreDeterministic) {
+  util::Rng rng(10);
+  std::vector<double> keys{1, 1, 1};
+  std::vector<double> values{9, 8, 7};
+  const auto a = correlate(keys, values, Correlation::kPositive, rng);
+  const auto b = correlate(keys, values, Correlation::kPositive, rng);
+  EXPECT_EQ(a, b);  // ties broken by index, not randomness
+}
+
+}  // namespace
+}  // namespace mobi::object

@@ -1,0 +1,101 @@
+#include "workload/requests.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::workload {
+namespace {
+
+TEST(TargetDistribution, ConstantReturnsValue) {
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(sample_target(ConstantTarget{0.7}, rng), 0.7);
+}
+
+TEST(TargetDistribution, ConstantValidatesRange) {
+  util::Rng rng(1);
+  EXPECT_THROW(sample_target(ConstantTarget{0.0}, rng), std::invalid_argument);
+  EXPECT_THROW(sample_target(ConstantTarget{1.5}, rng), std::invalid_argument);
+}
+
+TEST(TargetDistribution, UniformStaysInRange) {
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = sample_target(UniformTarget{0.4, 0.9}, rng);
+    EXPECT_GE(t, 0.4);
+    EXPECT_LE(t, 0.9);
+  }
+}
+
+TEST(TargetDistribution, UniformValidatesRange) {
+  util::Rng rng(3);
+  EXPECT_THROW(sample_target(UniformTarget{0.0, 0.5}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sample_target(UniformTarget{0.8, 0.2}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sample_target(UniformTarget{0.5, 1.5}, rng),
+               std::invalid_argument);
+}
+
+TEST(RequestGenerator, BatchHasRequestedSize) {
+  util::Rng rng(4);
+  RequestGenerator gen(make_uniform_access(10), ConstantTarget{1.0}, 25, rng);
+  EXPECT_EQ(gen.next_batch().size(), 25u);
+  EXPECT_EQ(gen.per_batch(), 25u);
+}
+
+TEST(RequestGenerator, ClientIdsIncreaseAcrossBatches) {
+  util::Rng rng(5);
+  RequestGenerator gen(make_uniform_access(10), ConstantTarget{1.0}, 3, rng);
+  const auto first = gen.next_batch();
+  const auto second = gen.next_batch();
+  EXPECT_EQ(first[0].client, 0u);
+  EXPECT_EQ(first[2].client, 2u);
+  EXPECT_EQ(second[0].client, 3u);
+}
+
+TEST(RequestGenerator, ObjectsWithinCatalog) {
+  util::Rng rng(6);
+  RequestGenerator gen(make_zipf_access(7, 1.0), UniformTarget{0.5, 1.0}, 100,
+                       rng);
+  for (const auto& request : gen.next_batch()) {
+    EXPECT_LT(request.object, 7u);
+    EXPECT_GE(request.target_recency, 0.5);
+    EXPECT_LE(request.target_recency, 1.0);
+  }
+}
+
+TEST(RequestGenerator, NullAccessThrows) {
+  util::Rng rng(7);
+  EXPECT_THROW(RequestGenerator(nullptr, ConstantTarget{1.0}, 5, rng),
+               std::invalid_argument);
+}
+
+TEST(RequestGenerator, DeterministicUnderSeed) {
+  RequestGenerator a(make_zipf_access(20, 1.0), ConstantTarget{1.0}, 50,
+                     util::Rng(99));
+  RequestGenerator b(make_zipf_access(20, 1.0), ConstantTarget{1.0}, 50,
+                     util::Rng(99));
+  const auto ba = a.next_batch();
+  const auto bb = b.next_batch();
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].object, bb[i].object);
+  }
+}
+
+TEST(RequestsPerObject, CountsCorrectly) {
+  RequestBatch batch{{2, 1.0, 0}, {2, 1.0, 1}, {0, 1.0, 2}};
+  const auto counts = requests_per_object(batch, 4);
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{1, 0, 2, 0}));
+}
+
+TEST(RequestsPerObject, OutOfRangeThrows) {
+  RequestBatch batch{{9, 1.0, 0}};
+  EXPECT_THROW(requests_per_object(batch, 4), std::out_of_range);
+}
+
+TEST(RequestsPerObject, EmptyBatch) {
+  const auto counts = requests_per_object({}, 3);
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace mobi::workload

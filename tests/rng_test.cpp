@@ -1,0 +1,209 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mobi::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformU64FullRangeDoesNotCrash) {
+  Rng rng(6);
+  // span == 0 path (full 64-bit range)
+  (void)rng.uniform_u64(0, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(7);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[std::size_t(rng.uniform_int(0, 9))];
+  for (int c : counts) EXPECT_NEAR(double(c), n / 10.0, n / 10.0 * 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsBadRate) {
+  Rng rng(11);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(14);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, PermutationCoversRange) {
+  Rng rng(15);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(16);
+  Rng child = parent.split();
+  // Streams should differ from each other and from a fresh parent.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (parent.next() != child.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// Property sweep: bounded sampling stays in range for many ranges.
+class RngBoundsTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(RngBoundsTest, AlwaysInRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(std::uint64_t(lo * 31 + hi));
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngBoundsTest,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 0},
+                      std::pair<std::int64_t, std::int64_t>{0, 1},
+                      std::pair<std::int64_t, std::int64_t>{-5, 5},
+                      std::pair<std::int64_t, std::int64_t>{1, 20},
+                      std::pair<std::int64_t, std::int64_t>{100, 1000},
+                      std::pair<std::int64_t, std::int64_t>{-1000, -900}));
+
+}  // namespace
+}  // namespace mobi::util

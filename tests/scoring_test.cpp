@@ -1,0 +1,121 @@
+#include "core/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mobi::core {
+namespace {
+
+TEST(Scoring, MeetingTargetScoresOne) {
+  ReciprocalScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.score(0.8, 0.8), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.score(0.9, 0.5), 1.0);  // exceeding also scores 1
+}
+
+TEST(Scoring, ReciprocalFormula) {
+  ReciprocalScorer scorer;
+  // f_C(x) = 1 / (1 + |x/C - 1|); x = 0.5, C = 1 -> 1/1.5.
+  EXPECT_DOUBLE_EQ(scorer.score(0.5, 1.0), 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(scorer.score(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(scorer.score(0.25, 0.5), 1.0 / 1.5);
+}
+
+TEST(Scoring, ExponentialFormula) {
+  ExponentialScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.score(0.5, 1.0), std::exp(-0.5));
+  EXPECT_DOUBLE_EQ(scorer.score(0.0, 1.0), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(scorer.score(1.0, 1.0), 1.0);
+}
+
+TEST(Scoring, StepIsAllOrNothing) {
+  StepScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.score(0.999, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.score(0.0, 0.5), 0.0);
+}
+
+TEST(Scoring, BenefitIsComplement) {
+  ReciprocalScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.benefit(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.benefit(0.0, 1.0), 0.5);
+  EXPECT_NEAR(scorer.benefit(0.5, 1.0), 1.0 - 1.0 / 1.5, 1e-12);
+}
+
+TEST(Scoring, ArgumentValidation) {
+  ReciprocalScorer scorer;
+  EXPECT_THROW(scorer.score(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(scorer.score(1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(scorer.score(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(scorer.score(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Scoring, FactoryByName) {
+  EXPECT_EQ(make_scorer("reciprocal")->name(), "reciprocal");
+  EXPECT_EQ(make_scorer("exponential")->name(), "exponential");
+  EXPECT_EQ(make_scorer("step")->name(), "step");
+  EXPECT_THROW(make_scorer("bogus"), std::invalid_argument);
+}
+
+// Property sweep over (x, c) grids for all scorers.
+class ScorerPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScorerPropertyTest, ScoresStayInUnitInterval) {
+  const auto scorer = make_scorer(GetParam());
+  for (int xi = 0; xi <= 20; ++xi) {
+    for (int ci = 1; ci <= 20; ++ci) {
+      const double x = xi / 20.0;
+      const double c = ci / 20.0;
+      const double s = scorer->score(x, c);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      if (x >= c) {
+        EXPECT_DOUBLE_EQ(s, 1.0);
+      }
+    }
+  }
+}
+
+TEST_P(ScorerPropertyTest, MonotoneInRecency) {
+  const auto scorer = make_scorer(GetParam());
+  for (int ci = 1; ci <= 10; ++ci) {
+    const double c = ci / 10.0;
+    double previous = -1.0;
+    for (int xi = 0; xi <= 100; ++xi) {
+      const double s = scorer->score(xi / 100.0, c);
+      EXPECT_GE(s, previous) << "x=" << xi / 100.0 << " c=" << c;
+      previous = s;
+    }
+  }
+}
+
+TEST_P(ScorerPropertyTest, BenefitComplementsScore) {
+  const auto scorer = make_scorer(GetParam());
+  for (int xi = 0; xi <= 10; ++xi) {
+    const double x = xi / 10.0;
+    EXPECT_NEAR(scorer->score(x, 1.0) + scorer->benefit(x, 1.0), 1.0, 1e-12);
+  }
+}
+
+TEST_P(ScorerPropertyTest, StricterTargetNeverScoresHigher) {
+  const auto scorer = make_scorer(GetParam());
+  // For a fixed cached copy, a more demanding client (larger C) can only
+  // be less satisfied.
+  for (int xi = 0; xi <= 10; ++xi) {
+    const double x = xi / 10.0;
+    double previous = 2.0;
+    for (int ci = 1; ci <= 10; ++ci) {
+      const double s = scorer->score(x, ci / 10.0);
+      EXPECT_LE(s, previous + 1e-12);
+      previous = s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorers, ScorerPropertyTest,
+                         ::testing::Values("reciprocal", "exponential",
+                                           "step"));
+
+}  // namespace
+}  // namespace mobi::core

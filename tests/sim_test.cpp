@@ -1,0 +1,170 @@
+#include "sim/simulator.hpp"
+#include "sim/series.hpp"
+#include "sim/tick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mobi::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1.0, [&] { ++ran; });
+  sim.schedule_at(10.0, [&] { ++ran; });
+  const auto count = sim.run_until(5.0);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now(), 5.0);  // advanced to horizon
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1.0, [&] { ++ran; });
+  sim.schedule_at(2.0, [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ScheduleEveryRecurs) {
+  Simulator sim;
+  int fires = 0;
+  sim.schedule_every(0.0, 2.0, [&] { ++fires; });
+  sim.run_until(9.0);  // fires at 0, 2, 4, 6, 8
+  EXPECT_EQ(fires, 5);
+  EXPECT_THROW(sim.schedule_every(0.0, 0.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(double(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(TickDriver, PhasesRunInPriorityOrder) {
+  TickDriver driver;
+  std::vector<int> order;
+  driver.add_phase(10, [&](Tick) { order.push_back(10); });
+  driver.add_phase(1, [&](Tick) { order.push_back(1); });
+  driver.add_phase(5, [&](Tick) { order.push_back(5); });
+  driver.run(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 10, 1, 5, 10}));
+}
+
+TEST(TickDriver, PassesTickNumbers) {
+  TickDriver driver;
+  std::vector<Tick> ticks;
+  driver.add_phase(0, [&](Tick t) { ticks.push_back(t); });
+  driver.run(3);
+  EXPECT_EQ(ticks, (std::vector<Tick>{0, 1, 2}));
+  driver.run_more(2);
+  EXPECT_EQ(ticks.back(), 4);
+}
+
+TEST(TickDriver, EqualPriorityKeepsRegistrationOrder) {
+  TickDriver driver;
+  std::vector<int> order;
+  driver.add_phase(0, [&](Tick) { order.push_back(1); });
+  driver.add_phase(0, [&](Tick) { order.push_back(2); });
+  driver.run(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TickDriver, RejectsEmptyPhaseAndNegativeCount) {
+  TickDriver driver;
+  EXPECT_THROW(driver.add_phase(0, nullptr), std::invalid_argument);
+  EXPECT_THROW(driver.run_more(-1), std::invalid_argument);
+}
+
+TEST(Series, RecordsAndSummarizes) {
+  Series s("metric");
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+  s.record(2.0, 3.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.summary().mean(), 2.0);
+  EXPECT_EQ(s.name(), "metric");
+}
+
+TEST(Series, WindowedSummaryExcludesOutside) {
+  Series s("m");
+  for (int t = 0; t < 10; ++t) s.record(double(t), double(t));
+  const auto window = s.summary_window(3.0, 6.0);  // t = 3, 4, 5
+  EXPECT_EQ(window.count(), 3u);
+  EXPECT_DOUBLE_EQ(window.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum_window(3.0, 6.0), 12.0);
+}
+
+TEST(Series, RejectsBackwardsTime) {
+  Series s("m");
+  s.record(5.0, 1.0);
+  EXPECT_THROW(s.record(4.0, 1.0), std::logic_error);
+  s.record(5.0, 2.0);  // equal time is fine
+}
+
+}  // namespace
+}  // namespace mobi::sim

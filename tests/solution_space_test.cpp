@@ -1,0 +1,174 @@
+#include "exp/solution_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace mobi::exp {
+namespace {
+
+SolutionSpaceConfig small_config() {
+  SolutionSpaceConfig config;
+  config.object_count = 100;
+  config.total_size = 1000;
+  config.total_requests = 1000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(SolutionSpace, InstanceHitsExactTotals) {
+  const auto inst = build_instance(small_config());
+  EXPECT_EQ(inst.catalog.total_size(), 1000);
+  const auto total_requests = std::accumulate(
+      inst.num_requests.begin(), inst.num_requests.end(), std::uint64_t{0});
+  EXPECT_EQ(total_requests, 1000u);
+  EXPECT_EQ(inst.candidates.total_requests, 1000u);
+}
+
+TEST(SolutionSpace, PaperScaleInstance) {
+  SolutionSpaceConfig config;  // paper defaults: 500 objects, 5000/5000
+  const auto inst = build_instance(config);
+  EXPECT_EQ(inst.catalog.size(), 500u);
+  EXPECT_EQ(inst.catalog.total_size(), 5000);
+  EXPECT_EQ(inst.candidates.total_requests, 5000u);
+}
+
+TEST(SolutionSpace, RecencyWithinRange) {
+  const auto inst = build_instance(small_config());
+  for (double x : inst.cache_recency) {
+    EXPECT_GE(x, 0.1);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(SolutionSpace, ConstantRequestsMode) {
+  auto config = small_config();
+  config.constant_requests = true;
+  config.requests_constant = 10;
+  const auto inst = build_instance(config);
+  for (auto r : inst.num_requests) EXPECT_EQ(r, 10u);
+  EXPECT_EQ(inst.candidates.total_requests, 1000u);
+}
+
+TEST(SolutionSpace, CorrelationsAreRealized) {
+  auto config = small_config();
+  config.size_vs_requests = object::Correlation::kPositive;
+  config.size_vs_recency = object::Correlation::kNegative;
+  const auto inst = build_instance(config);
+  std::vector<double> sizes, requests;
+  for (std::size_t i = 0; i < inst.catalog.size(); ++i) {
+    sizes.push_back(double(inst.catalog.object_size(object::ObjectId(i))));
+    requests.push_back(double(inst.num_requests[i]));
+  }
+  // Integer attributes tie heavily, so demand strong (not perfect) rank
+  // correlation of the right sign.
+  EXPECT_GT(util::spearman(sizes, requests), 0.9);
+  EXPECT_LT(util::spearman(sizes, inst.cache_recency), -0.95);
+}
+
+TEST(SolutionSpace, CurveIsMonotoneAndEndsAtOne) {
+  const auto inst = build_instance(small_config());
+  const auto curve = average_score_curve(inst, 50);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].average_score, curve[i - 1].average_score);
+  }
+  EXPECT_NEAR(curve.back().average_score, 1.0, 1e-9);
+  EXPECT_EQ(curve.back().budget, 1000);
+  EXPECT_EQ(curve.front().budget, 0);
+  EXPECT_LT(curve.front().average_score, 1.0);
+}
+
+TEST(SolutionSpace, ZeroBudgetScoreIsBaseline) {
+  const auto inst = build_instance(small_config());
+  const double expected = inst.candidates.baseline_score_sum /
+                          double(inst.candidates.total_requests);
+  EXPECT_NEAR(average_score_at(inst, 0), expected, 1e-12);
+}
+
+TEST(SolutionSpace, Figure4Shape) {
+  // "large objects high scores" rises fastest early; "large objects low
+  // scores" rises gradually; uncorrelated lies in between.
+  auto config = small_config();
+  config.constant_requests = true;
+  config.requests_constant = 10;
+
+  config.size_vs_recency = object::Correlation::kPositive;
+  const auto positive = build_instance(config);
+  config.size_vs_recency = object::Correlation::kNegative;
+  const auto negative = build_instance(config);
+  config.size_vs_recency = object::Correlation::kNone;
+  const auto none = build_instance(config);
+
+  // Compare "fraction of the score gap closed" at a quarter of the budget.
+  auto progress = [](const SolutionSpaceInstance& inst) {
+    const double at_zero = average_score_at(inst, 0);
+    const double at_quarter = average_score_at(inst, 250);
+    return (at_quarter - at_zero) / (1.0 - at_zero);
+  };
+  EXPECT_GT(progress(positive), progress(none));
+  EXPECT_GT(progress(none), progress(negative));
+}
+
+TEST(SolutionSpace, Figure5Shape) {
+  // Small objects hot -> converges with less data than large objects hot.
+  auto config = small_config();
+  config.size_vs_recency = object::Correlation::kNone;
+
+  config.size_vs_requests = object::Correlation::kNegative;  // small hot
+  const auto small_hot = build_instance(config);
+  config.size_vs_requests = object::Correlation::kPositive;  // large hot
+  const auto large_hot = build_instance(config);
+
+  const auto small_needed = budget_reaching_score(small_hot, 0.95);
+  const auto large_needed = budget_reaching_score(large_hot, 0.95);
+  EXPECT_LT(small_needed, large_needed);
+}
+
+TEST(SolutionSpace, Figure6Shape) {
+  // Large objects with high recency scores -> fast convergence; small
+  // objects with the high scores -> slow convergence.
+  auto config = small_config();
+  config.size_vs_requests = object::Correlation::kNone;
+
+  config.size_vs_recency = object::Correlation::kPositive;  // 6(b)
+  const auto large_fresh = build_instance(config);
+  config.size_vs_recency = object::Correlation::kNegative;  // 6(a)
+  const auto small_fresh = build_instance(config);
+
+  EXPECT_LT(budget_reaching_score(large_fresh, 0.95),
+            budget_reaching_score(small_fresh, 0.95));
+}
+
+TEST(SolutionSpace, DeterministicUnderSeed) {
+  const auto a = build_instance(small_config());
+  const auto b = build_instance(small_config());
+  EXPECT_EQ(a.catalog.sizes(), b.catalog.sizes());
+  EXPECT_EQ(a.num_requests, b.num_requests);
+  EXPECT_EQ(a.cache_recency, b.cache_recency);
+}
+
+TEST(SolutionSpace, Validation) {
+  auto config = small_config();
+  config.object_count = 0;
+  EXPECT_THROW(build_instance(config), std::invalid_argument);
+  config = small_config();
+  config.recency_lo = 0.0;
+  EXPECT_THROW(build_instance(config), std::invalid_argument);
+  const auto inst = build_instance(small_config());
+  EXPECT_THROW(average_score_curve(inst, 0), std::invalid_argument);
+  EXPECT_THROW(budget_reaching_score(inst, 0.5, 0), std::invalid_argument);
+}
+
+TEST(SolutionSpace, BudgetReachingScoreIsMinimal) {
+  const auto inst = build_instance(small_config());
+  const auto needed = budget_reaching_score(inst, 0.9, 10);
+  EXPECT_GE(average_score_at(inst, needed), 0.9);
+  if (needed >= 10) {
+    EXPECT_LT(average_score_at(inst, needed - 10), 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace mobi::exp

@@ -1,0 +1,173 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobi::util {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Rng rng(1);
+  Summary all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+  EXPECT_THROW(h.bucket_lo(5), std::out_of_range);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(-5.0);  // clamped to bucket 0
+  h.add(50.0);  // clamped to bucket 4
+  h.add(10.0);  // right edge -> bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(double(i) + 0.5);
+  const double median = h.quantile(0.5);
+  EXPECT_NEAR(median, 50.0, 10.0);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRendersEveryBucket) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Ranks, SimpleOrdering) {
+  const std::vector<double> xs{30.0, 10.0, 20.0};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Ranks, TiesAveraged) {
+  const std::vector<double> xs{5.0, 1.0, 5.0, 9.0};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, MismatchThrows) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(double(i));
+    ys.push_back(std::exp(0.1 * i));  // monotone but nonlinear
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentNearZero) {
+  Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(spearman(xs, ys), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mobi::util

@@ -1,0 +1,96 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobi::workload {
+namespace {
+
+TEST(Trace, RecordsAndRetrievesBatches) {
+  Trace trace;
+  trace.record(0, Request{1, 1.0, 0});
+  trace.record(0, Request{2, 0.9, 1});
+  trace.record(3, Request{1, 0.8, 2});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.last_tick(), 3);
+  EXPECT_EQ(trace.batch_at(0).size(), 2u);
+  EXPECT_TRUE(trace.batch_at(1).empty());
+  EXPECT_EQ(trace.batch_at(3).size(), 1u);
+  EXPECT_EQ(trace.batch_at(3)[0].object, 1u);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.last_tick(), -1);
+  EXPECT_TRUE(trace.batch_at(0).empty());
+}
+
+TEST(Trace, RejectsDecreasingTicks) {
+  Trace trace;
+  trace.record(5, Request{});
+  EXPECT_THROW(trace.record(4, Request{}), std::logic_error);
+  trace.record(5, Request{});  // equal is fine
+}
+
+TEST(Trace, RecordBatch) {
+  Trace trace;
+  RequestBatch batch{{0, 1.0, 0}, {1, 1.0, 1}};
+  trace.record_batch(2, batch);
+  EXPECT_EQ(trace.batch_at(2).size(), 2u);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace trace;
+  trace.record(0, Request{3, 0.75, 10});
+  trace.record(1, Request{1, 1.0, 11});
+  const auto csv = trace.to_csv();
+  const Trace loaded = Trace::from_csv(csv);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].tick, 0);
+  EXPECT_EQ(loaded.entries()[0].request.object, 3u);
+  EXPECT_DOUBLE_EQ(loaded.entries()[0].request.target_recency, 0.75);
+  EXPECT_EQ(loaded.entries()[0].request.client, 10u);
+  EXPECT_EQ(loaded.entries()[1].tick, 1);
+}
+
+TEST(Trace, FromCsvRejectsMissingHeader) {
+  EXPECT_THROW(Trace::from_csv("1,2,3,4\n"), std::invalid_argument);
+}
+
+TEST(Trace, FromCsvRejectsMalformedLine) {
+  EXPECT_THROW(Trace::from_csv("tick,object,target,client\n1,2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Trace::from_csv("tick,object,target,client\nx,2,0.5,1\n"),
+               std::invalid_argument);
+}
+
+TEST(Trace, FromCsvEmptyInput) {
+  const Trace trace = Trace::from_csv("");
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(GenerateTrace, ProducesBatchPerTick) {
+  util::Rng rng(1);
+  RequestGenerator gen(make_uniform_access(5), ConstantTarget{1.0}, 10, rng);
+  const Trace trace = generate_trace(gen, 7);
+  EXPECT_EQ(trace.size(), 70u);
+  for (sim::Tick t = 0; t < 7; ++t) {
+    EXPECT_EQ(trace.batch_at(t).size(), 10u);
+  }
+}
+
+TEST(GenerateTrace, ReplayMatchesOriginalExactly) {
+  RequestGenerator gen(make_zipf_access(20, 1.0), UniformTarget{0.5, 1.0}, 5,
+                       util::Rng(3));
+  const Trace trace = generate_trace(gen, 4);
+  const Trace loaded = Trace::from_csv(trace.to_csv());
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].tick, trace.entries()[i].tick);
+    EXPECT_EQ(loaded.entries()[i].request.object,
+              trace.entries()[i].request.object);
+  }
+}
+
+}  // namespace
+}  // namespace mobi::workload

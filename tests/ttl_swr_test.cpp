@@ -1,0 +1,148 @@
+#include "cache/ttl.hpp"
+#include "core/swr_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+#include "object/builders.hpp"
+
+namespace mobi {
+namespace {
+
+server::FetchResult fetched(server::Version version = 1,
+                            object::Units size = 1) {
+  return server::FetchResult{version, 0, size};
+}
+
+TEST(TtlView, Validation) {
+  cache::Cache store(2, cache::make_harmonic_decay());
+  EXPECT_THROW(cache::TtlView(store, 0), std::invalid_argument);
+  EXPECT_THROW(cache::TtlView(store, -3), std::invalid_argument);
+}
+
+TEST(TtlView, AgeTracksFetchTime) {
+  cache::Cache store(2, cache::make_harmonic_decay());
+  store.refresh(0, fetched(), 10);
+  const cache::TtlView view(store, 5);
+  EXPECT_FALSE(view.age(1, 12).has_value());
+  EXPECT_EQ(*view.age(0, 10), 0);
+  EXPECT_EQ(*view.age(0, 17), 7);
+  EXPECT_THROW(view.age(0, 9), std::invalid_argument);
+}
+
+TEST(TtlView, FreshWithinTtl) {
+  cache::Cache store(1, cache::make_harmonic_decay());
+  store.refresh(0, fetched(), 0);
+  const cache::TtlView view(store, 5);
+  EXPECT_TRUE(view.fresh(0, 0));
+  EXPECT_TRUE(view.fresh(0, 5));   // boundary counts as fresh
+  EXPECT_FALSE(view.fresh(0, 6));
+}
+
+TEST(TtlView, SyntheticRecencyRamp) {
+  cache::Cache store(1, cache::make_harmonic_decay());
+  store.refresh(0, fetched(), 0);
+  const cache::TtlView view(store, 4);
+  EXPECT_DOUBLE_EQ(view.recency(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(view.recency(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(view.recency(0, 5), 0.5);        // first expired period
+  EXPECT_DOUBLE_EQ(view.recency(0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(view.recency(0, 9), 1.0 / 3.0);  // second
+  cache::Cache empty(1, cache::make_harmonic_decay());
+  EXPECT_DOUBLE_EQ(cache::TtlView(empty, 4).recency(0, 0), 0.0);
+}
+
+struct World {
+  object::Catalog catalog;
+  server::ServerPool servers;
+  cache::Cache cache;
+  core::ReciprocalScorer scorer;
+
+  explicit World(std::vector<object::Units> sizes)
+      : catalog(std::move(sizes)),
+        servers(catalog, 1),
+        cache(catalog.size(), cache::make_harmonic_decay()) {}
+
+  core::PolicyContext context(object::Units budget, sim::Tick now) {
+    core::PolicyContext ctx;
+    ctx.catalog = &catalog;
+    ctx.cache = &cache;
+    ctx.servers = &servers;
+    ctx.scorer = &scorer;
+    ctx.now = now;
+    ctx.budget = budget;
+    return ctx;
+  }
+};
+
+workload::RequestBatch requests_for(std::vector<object::ObjectId> ids) {
+  workload::RequestBatch batch;
+  workload::ClientId client = 0;
+  for (auto id : ids) batch.push_back({id, 1.0, client++});
+  return batch;
+}
+
+TEST(SwrPolicy, Validation) {
+  EXPECT_THROW(core::StaleWhileRevalidatePolicy(0), std::invalid_argument);
+  core::StaleWhileRevalidatePolicy policy(3);
+  core::PolicyContext empty;
+  EXPECT_THROW(policy.select({}, empty), std::invalid_argument);
+}
+
+TEST(SwrPolicy, FreshEntriesAreNotRevalidated) {
+  World world({1, 1});
+  world.cache.refresh(0, world.servers.fetch(0), 10);
+  core::StaleWhileRevalidatePolicy policy(5);
+  // At tick 12 object 0 is fresh-by-TTL; object 1 absent -> revalidate.
+  const auto selected =
+      policy.select(requests_for({0, 1}), world.context(-1, 12));
+  EXPECT_EQ(selected, (std::vector<object::ObjectId>{1}));
+}
+
+TEST(SwrPolicy, ExpiredEntriesAreRevalidated) {
+  World world({1});
+  world.cache.refresh(0, world.servers.fetch(0), 0);
+  core::StaleWhileRevalidatePolicy policy(5);
+  const auto selected = policy.select(requests_for({0}), world.context(-1, 6));
+  EXPECT_EQ(selected, (std::vector<object::ObjectId>{0}));
+}
+
+TEST(SwrPolicy, TtlLieIgnoresServerUpdates) {
+  World world({1});
+  world.cache.refresh(0, world.servers.fetch(0), 0);
+  world.servers.apply_update(0, 1);  // master changed...
+  core::StaleWhileRevalidatePolicy policy(5);
+  // ...but the copy is fresh-by-TTL, so SWR does not refresh it.
+  EXPECT_TRUE(policy.select(requests_for({0}), world.context(-1, 2)).empty());
+}
+
+TEST(SwrPolicy, PopularityOrdersRevalidation) {
+  World world({1, 1, 1});
+  core::StaleWhileRevalidatePolicy policy(5);
+  // All absent; object 2 requested twice, budget fits only one.
+  const auto selected =
+      policy.select(requests_for({0, 1, 2, 2}), world.context(1, 0));
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 2u);
+}
+
+TEST(SwrPolicy, BudgetRespected) {
+  World world({3, 3, 3});
+  core::StaleWhileRevalidatePolicy policy(5);
+  const auto selected =
+      policy.select(requests_for({0, 1, 2}), world.context(7, 0));
+  object::Units used = 0;
+  for (auto id : selected) used += world.catalog.object_size(id);
+  EXPECT_LE(used, 7);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(SwrPolicy, FactoryAndName) {
+  const auto policy = core::make_policy("stale-while-revalidate");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_NE(policy->name().find("stale-while-revalidate"), std::string::npos);
+  EXPECT_EQ(core::StaleWhileRevalidatePolicy(7).ttl(), 7);
+}
+
+}  // namespace
+}  // namespace mobi

@@ -1,0 +1,100 @@
+#include "workload/updates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mobi::workload {
+namespace {
+
+std::vector<object::ObjectId> collect(UpdateProcess& process, sim::Tick tick) {
+  std::vector<object::ObjectId> ids;
+  process.for_each_updated(tick, [&](object::ObjectId id) { ids.push_back(id); });
+  return ids;
+}
+
+TEST(PeriodicSynchronized, FiresAllAtMultiples) {
+  auto process = make_periodic_synchronized(5, 3);
+  EXPECT_EQ(collect(*process, 0).size(), 5u);
+  EXPECT_TRUE(collect(*process, 1).empty());
+  EXPECT_TRUE(collect(*process, 2).empty());
+  EXPECT_EQ(collect(*process, 3).size(), 5u);
+  EXPECT_EQ(collect(*process, 6).size(), 5u);
+}
+
+TEST(PeriodicSynchronized, PeriodOneFiresEveryTick) {
+  auto process = make_periodic_synchronized(3, 1);
+  for (sim::Tick t = 0; t < 5; ++t) EXPECT_EQ(collect(*process, t).size(), 3u);
+}
+
+TEST(PeriodicSynchronized, RejectsBadPeriod) {
+  EXPECT_THROW(make_periodic_synchronized(3, 0), std::invalid_argument);
+  EXPECT_THROW(make_periodic_synchronized(3, -2), std::invalid_argument);
+}
+
+TEST(PeriodicStaggered, SpreadsUpdatesAcrossTicks) {
+  auto process = make_periodic_staggered(10, 5);
+  // Every tick touches object_count / period objects.
+  for (sim::Tick t = 0; t < 10; ++t) {
+    EXPECT_EQ(collect(*process, t).size(), 2u) << "tick " << t;
+  }
+}
+
+TEST(PeriodicStaggered, EveryObjectUpdatedOncePerPeriod) {
+  auto process = make_periodic_staggered(10, 5);
+  std::multiset<object::ObjectId> seen;
+  for (sim::Tick t = 0; t < 5; ++t) {
+    for (auto id : collect(*process, t)) seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (object::ObjectId id = 0; id < 10; ++id) EXPECT_EQ(seen.count(id), 1u);
+}
+
+TEST(PeriodicStaggered, SameAggregateRateAsSynchronized) {
+  auto staggered = make_periodic_staggered(100, 4);
+  auto synchronized = make_periodic_synchronized(100, 4);
+  std::size_t stag_count = 0, sync_count = 0;
+  for (sim::Tick t = 0; t < 40; ++t) {
+    stag_count += collect(*staggered, t).size();
+    sync_count += collect(*synchronized, t).size();
+  }
+  EXPECT_EQ(stag_count, sync_count);
+}
+
+TEST(BernoulliUpdates, RateZeroNeverFires) {
+  auto process = make_bernoulli_updates(10, 0.0, util::Rng(1));
+  for (sim::Tick t = 0; t < 20; ++t) EXPECT_TRUE(collect(*process, t).empty());
+}
+
+TEST(BernoulliUpdates, RateOneAlwaysFires) {
+  auto process = make_bernoulli_updates(10, 1.0, util::Rng(2));
+  EXPECT_EQ(collect(*process, 0).size(), 10u);
+}
+
+TEST(BernoulliUpdates, ApproximatesRate) {
+  auto process = make_bernoulli_updates(100, 0.2, util::Rng(3));
+  std::size_t total = 0;
+  const sim::Tick ticks = 500;
+  for (sim::Tick t = 0; t < ticks; ++t) total += collect(*process, t).size();
+  EXPECT_NEAR(double(total), 0.2 * 100 * double(ticks), 700.0);
+}
+
+TEST(BernoulliUpdates, RejectsBadRate) {
+  EXPECT_THROW(make_bernoulli_updates(5, -0.1, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_bernoulli_updates(5, 1.1, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(UpdateProcesses, NamesDescribeParameters) {
+  EXPECT_NE(make_periodic_synchronized(5, 3)->name().find("periodic-sync"),
+            std::string::npos);
+  EXPECT_NE(make_periodic_staggered(5, 3)->name().find("staggered"),
+            std::string::npos);
+  EXPECT_NE(make_bernoulli_updates(5, 0.5, util::Rng(1))->name().find("bernoulli"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobi::workload
