@@ -9,6 +9,8 @@
 
 #include "bench_common.hpp"
 #include "exp/fig2.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobi;
@@ -39,5 +41,16 @@ int main(int argc, char** argv) {
                   std::to_string(config.measure_ticks) + " ticks, " +
                   std::to_string(config.object_count) + " objects)",
               "fig2", table);
+
+  // Per-tick observability for one representative point (zipf at the
+  // median request rate) alongside the aggregate curves.
+  if (flags.has("out")) {
+    obs::MetricsRegistry registry;
+    obs::SeriesRecorder recorder(registry);
+    const std::size_t rate =
+        config.request_rates[config.request_rates.size() / 2];
+    exp::run_fig2_once(config, exp::AccessPattern::kZipf, rate, &recorder);
+    bench::emit_metrics(flags, "fig2", recorder);
+  }
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include "bench_common.hpp"
 #include "exp/fig3.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobi;
@@ -36,6 +38,17 @@ int main(int argc, char** argv) {
     }
     bench::emit(flags, std::string("Figure 3: ") + label,
                 period == 10 ? "fig3_low" : "fig3_high", table);
+
+    // Per-tick observability for one representative point (on-demand at
+    // the median budget) alongside the aggregate curve.
+    if (flags.has("out")) {
+      obs::MetricsRegistry registry;
+      obs::SeriesRecorder recorder(registry);
+      const object::Units budget = config.budgets[config.budgets.size() / 2];
+      exp::run_fig3_once(config, budget, /*on_demand=*/true, &recorder);
+      bench::emit_metrics(flags, period == 10 ? "fig3_low" : "fig3_high",
+                          recorder);
+    }
   }
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "cache/decay.hpp"
 #include "core/base_station.hpp"
 #include "object/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "workload/access.hpp"
@@ -57,6 +59,37 @@ void BM_BaseStationTick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BaseStationTick)->Range(64, 1024);
+
+// Same tick loop with the full observability stack attached (registry on
+// station + cache + downlink + servers, recorder sampling every tick).
+// Compare against BM_BaseStationTick to measure instrumentation overhead;
+// the null-registry path of that benchmark is the <5% regression budget.
+void BM_BaseStationTickInstrumented(benchmark::State& state) {
+  const auto objects = std::size_t(state.range(0));
+  util::Rng rng(1);
+  const auto catalog = object::make_random_catalog(objects, 1, 10, rng);
+  server::ServerPool servers(catalog, 1);
+  core::BaseStationConfig config;
+  config.download_budget = object::Units(objects) / 4;
+  core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
+                            std::make_unique<core::ReciprocalScorer>(),
+                            core::make_policy("on-demand-knapsack"), config);
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  station.set_metrics(&registry);
+  servers.set_metrics(&registry);
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(objects, 1.0), workload::ConstantTarget{1.0},
+      objects / 2, rng.split());
+  sim::Tick t = 0;
+  for (auto _ : state) {
+    station.process_batch(generator.next_batch(), t);
+    recorder.sample(t);
+    ++t;
+  }
+  state.counters["series"] = double(recorder.series_names().size());
+}
+BENCHMARK(BM_BaseStationTickInstrumented)->Range(64, 1024);
 
 void BM_EventKernel(benchmark::State& state) {
   const auto events = std::size_t(state.range(0));

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mobi::cache {
 
 Cache::Cache(std::size_t object_count,
@@ -35,6 +37,10 @@ void Cache::refresh(object::ObjectId id, const server::FetchResult& fetch,
   slot->fetched_at = now;
   ++slot->refreshes;
   ++stats_.refreshes;
+  if (metrics_) {
+    inst_.refreshes->add();
+    inst_.occupancy->set(double(resident_));
+  }
 }
 
 void Cache::on_server_update(object::ObjectId id) {
@@ -43,6 +49,7 @@ void Cache::on_server_update(object::ObjectId id) {
   if (!slot) return;
   slot->recency = decay_->decayed(slot->recency);
   ++stats_.decays;
+  if (metrics_) inst_.decays->add();
 }
 
 std::optional<double> Cache::recency(object::ObjectId id) const {
@@ -76,8 +83,10 @@ void Cache::record_read(object::ObjectId id) {
   if (slot) {
     ++slot->hits;
     ++stats_.hits;
+    if (metrics_) inst_.hits->add();
   } else {
     ++stats_.misses;
+    if (metrics_) inst_.misses->add();
   }
 }
 
@@ -87,7 +96,25 @@ bool Cache::evict(object::ObjectId id) {
   if (!slot) return false;
   slot.reset();
   --resident_;
+  if (metrics_) {
+    inst_.evictions->add();
+    inst_.occupancy->set(double(resident_));
+  }
   return true;
+}
+
+void Cache::set_metrics(obs::MetricsRegistry* registry,
+                        const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  if (!registry) return;
+  inst_.hits = &registry->register_counter(prefix + ".hits");
+  inst_.misses = &registry->register_counter(prefix + ".misses");
+  inst_.refreshes = &registry->register_counter(prefix + ".refreshes");
+  inst_.decays = &registry->register_counter(prefix + ".decays");
+  inst_.evictions = &registry->register_counter(prefix + ".evictions");
+  inst_.occupancy = &registry->register_gauge(prefix + ".occupancy");
+  inst_.occupancy->set(double(resident_));
 }
 
 const Entry& Cache::entry(object::ObjectId id) const {

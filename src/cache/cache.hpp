@@ -11,12 +11,19 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cache/decay.hpp"
 #include "object/object.hpp"
 #include "server/remote_server.hpp"
 #include "sim/tick.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace mobi::obs
 
 namespace mobi::cache {
 
@@ -78,13 +85,31 @@ class Cache {
   /// Number of objects currently cached.
   std::size_t resident() const noexcept { return resident_; }
 
+  /// Registers hit/miss/refresh/decay/eviction counters and an occupancy
+  /// gauge under `prefix` (e.g. `<prefix>.hits`) in `registry` and keeps
+  /// them updated from here on; nullptr detaches. The detached path costs
+  /// one branch per event.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "cache");
+
  private:
   void check(object::ObjectId id) const;
+
+  struct Instruments {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* refreshes = nullptr;
+    obs::Counter* decays = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Gauge* occupancy = nullptr;
+  };
 
   std::vector<std::optional<Entry>> entries_;
   std::shared_ptr<const DecayModel> decay_;
   CacheStats stats_;
   std::size_t resident_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments inst_;
 };
 
 }  // namespace mobi::cache

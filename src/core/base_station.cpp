@@ -1,7 +1,11 @@
 #include "core/base_station.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mobi::core {
 
@@ -52,26 +56,58 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   ctx.scorer = scorer_.get();
   ctx.now = now;
   ctx.budget = config_.download_budget;
-  const std::vector<object::ObjectId> to_fetch = policy_->select(batch, ctx);
+  std::vector<object::ObjectId> to_fetch;
+  {
+    obs::ScopedTrace span(trace_, "bs.select", now);
+    if (metrics_) {
+      // Wall-clock solve time is observational only: the select call is
+      // identical on both branches, so enabling metrics cannot change
+      // what gets fetched.
+      const auto t0 = std::chrono::steady_clock::now();
+      to_fetch = policy_->select(batch, ctx);
+      inst_.solve_time_us->observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      to_fetch = policy_->select(batch, ctx);
+    }
+  }
 
   // Fetch the selected objects over the fixed network.
   std::vector<object::Units> transfer_sizes;
   transfer_sizes.reserve(to_fetch.size());
-  for (object::ObjectId id : to_fetch) {
-    if (config_.fetch_failure_rate > 0.0 &&
-        failure_rng_.bernoulli(config_.fetch_failure_rate)) {
-      ++result.failed_fetches;  // fault: no transfer, cache untouched
-      continue;
+  {
+    obs::ScopedTrace span(trace_, "bs.fetch", now);
+    for (object::ObjectId id : to_fetch) {
+      if (config_.fetch_failure_rate > 0.0 &&
+          failure_rng_.bernoulli(config_.fetch_failure_rate)) {
+        ++result.failed_fetches;  // fault: no transfer, cache untouched
+        continue;
+      }
+      const server::FetchResult fetched = servers_->fetch(id);
+      cache_.refresh(id, fetched, now);
+      transfer_sizes.push_back(fetched.size);
+      result.units_downloaded += fetched.size;
+      ++result.objects_downloaded;
     }
-    const server::FetchResult fetched = servers_->fetch(id);
-    cache_.refresh(id, fetched, now);
-    transfer_sizes.push_back(fetched.size);
-    result.units_downloaded += fetched.size;
-    ++result.objects_downloaded;
+    if (!transfer_sizes.empty()) {
+      result.fetch_latency = network_.batch_completion_time(transfer_sizes);
+      network_.submit_batch(transfer_sizes);
+    }
   }
-  if (!transfer_sizes.empty()) {
-    result.fetch_latency = network_.batch_completion_time(transfer_sizes);
-    network_.submit_batch(transfer_sizes);
+  if (metrics_) {
+    inst_.fetches->add(result.objects_downloaded);
+    inst_.failed_fetches->add(result.failed_fetches);
+    inst_.units_downloaded->add(std::uint64_t(result.units_downloaded));
+    inst_.budget_spent->set(double(result.units_downloaded));
+    inst_.budget_left->set(
+        config_.download_budget < 0
+            ? -1.0
+            : double(config_.download_budget - result.units_downloaded));
+    if (!transfer_sizes.empty()) {
+      inst_.fetch_latency->observe(result.fetch_latency);
+    }
   }
 
   // Serve every request from the (now partially refreshed) cache and push
@@ -82,23 +118,76 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   if (config_.coalesce_downlink) {
     already_sent.assign(catalog_->size(), false);
   }
-  for (const workload::Request& request : batch) {
-    cache_.record_read(request.object);
-    const double x = cache_.recency_or_zero(request.object);
-    result.recency_sum += x;
-    result.score_sum += scorer_->score(x, request.target_recency);
-    if (cache_.contains(request.object)) {
-      if (config_.coalesce_downlink) {
-        if (already_sent[request.object]) continue;
-        already_sent[request.object] = true;
+  {
+    obs::ScopedTrace span(trace_, "bs.serve", now);
+    for (const workload::Request& request : batch) {
+      cache_.record_read(request.object);
+      const double x = cache_.recency_or_zero(request.object);
+      result.recency_sum += x;
+      result.score_sum += scorer_->score(x, request.target_recency);
+      const bool cached = cache_.contains(request.object);
+      if (metrics_) {
+        if (cached) {
+          inst_.hits->add();
+          if (cache_.is_stale(request.object,
+                              servers_->version(request.object))) {
+            inst_.stale_serves->add();
+          } else {
+            inst_.fresh_serves->add();
+          }
+        } else {
+          inst_.misses->add();
+        }
       }
-      downlink_.enqueue(catalog_->object_size(request.object));
+      if (cached) {
+        if (config_.coalesce_downlink) {
+          if (already_sent[request.object]) {
+            if (metrics_) inst_.coalesced_responses->add();
+            continue;
+          }
+          already_sent[request.object] = true;
+        }
+        downlink_.enqueue(catalog_->object_size(request.object));
+      }
     }
+    result.downlink_delivered = downlink_.tick();
   }
-  result.downlink_delivered = downlink_.tick();
+  if (metrics_) {
+    inst_.requests->add(result.requests);
+    inst_.tick_score_avg->set(result.average_score());
+  }
 
   totals_.add(result);
   return result;
+}
+
+void BaseStation::set_metrics(obs::MetricsRegistry* registry,
+                              const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  cache_.set_metrics(registry, prefix + ".cache");
+  downlink_.set_metrics(registry, prefix + ".downlink");
+  if (!registry) return;
+  inst_.requests = &registry->register_counter(prefix + ".requests");
+  inst_.hits = &registry->register_counter(prefix + ".hits");
+  inst_.misses = &registry->register_counter(prefix + ".misses");
+  inst_.stale_serves = &registry->register_counter(prefix + ".stale_serves");
+  inst_.fresh_serves = &registry->register_counter(prefix + ".fresh_serves");
+  inst_.fetches = &registry->register_counter(prefix + ".fetches");
+  inst_.failed_fetches =
+      &registry->register_counter(prefix + ".failed_fetches");
+  inst_.units_downloaded =
+      &registry->register_counter(prefix + ".units_downloaded");
+  inst_.coalesced_responses =
+      &registry->register_counter(prefix + ".coalesced_responses");
+  inst_.budget_spent = &registry->register_gauge(prefix + ".budget_spent");
+  inst_.budget_left = &registry->register_gauge(prefix + ".budget_left");
+  inst_.tick_score_avg =
+      &registry->register_gauge(prefix + ".tick_score_avg");
+  inst_.solve_time_us = &registry->register_histogram(
+      prefix + ".solve_time_us", 0.0, 1000.0, 50);
+  inst_.fetch_latency =
+      &registry->register_histogram(prefix + ".fetch_latency", 0.0, 100.0, 50);
 }
 
 }  // namespace mobi::core

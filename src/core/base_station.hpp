@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -23,6 +24,14 @@
 #include "sim/tick.hpp"
 #include "workload/requests.hpp"
 #include "workload/updates.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class FixedHistogram;
+class TraceSink;
+}  // namespace mobi::obs
 
 namespace mobi::core {
 
@@ -114,6 +123,24 @@ class BaseStation {
     config_.download_budget = budget;
   }
 
+  /// Registers this station's metrics under `prefix` — serve mix
+  /// (`<prefix>.requests/.hits/.stale_serves/.fresh_serves`), fetch
+  /// accounting (`.fetches/.failed_fetches/.units_downloaded/
+  /// .coalesced_responses`), per-tick budget gauges (`.budget_spent/
+  /// .budget_left`), a per-tick score gauge (`.tick_score_avg`) and
+  /// wall-clock histograms (`.solve_time_us`, `.fetch_latency`) — and
+  /// wires the owned cache (`<prefix>.cache.*`) and downlink
+  /// (`<prefix>.downlink.*`) into the same registry. Pass nullptr to
+  /// detach; the detached hot path costs one branch per tick section.
+  /// Wall-clock histograms are observational only and never feed back
+  /// into simulation state.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "bs");
+
+  /// Attaches scoped tracing of the per-tick phases (select/fetch/serve);
+  /// nullptr (the default) disables it.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
  private:
   const object::Catalog* catalog_;
   server::ServerPool* servers_;
@@ -125,6 +152,26 @@ class BaseStation {
   net::WirelessDownlink downlink_;
   util::Rng failure_rng_;
   RunTotals totals_;
+
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* stale_serves = nullptr;
+    obs::Counter* fresh_serves = nullptr;
+    obs::Counter* fetches = nullptr;
+    obs::Counter* failed_fetches = nullptr;
+    obs::Counter* units_downloaded = nullptr;
+    obs::Counter* coalesced_responses = nullptr;
+    obs::Gauge* budget_spent = nullptr;
+    obs::Gauge* budget_left = nullptr;
+    obs::Gauge* tick_score_avg = nullptr;
+    obs::FixedHistogram* solve_time_us = nullptr;
+    obs::FixedHistogram* fetch_latency = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  Instruments inst_;
 };
 
 }  // namespace mobi::core

@@ -9,6 +9,7 @@
 #include "core/policy.hpp"
 #include "core/scoring.hpp"
 #include "object/builders.hpp"
+#include "obs/recorder.hpp"
 #include "server/remote_server.hpp"
 #include "util/rng.hpp"
 #include "workload/access.hpp"
@@ -42,6 +43,12 @@ std::shared_ptr<const workload::AccessDistribution> make_access(
 
 object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
                             std::size_t request_rate) {
+  return run_fig2_once(config, pattern, request_rate, nullptr);
+}
+
+object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
+                            std::size_t request_rate,
+                            obs::SeriesRecorder* recorder) {
   const object::Catalog catalog =
       object::make_uniform_catalog(config.object_count, config.object_size);
   server::ServerPool servers(catalog, 1);
@@ -54,6 +61,10 @@ object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
       catalog, servers, cache::make_harmonic_decay(),
       std::make_unique<core::ReciprocalScorer>(),
       std::make_unique<core::OnDemandStaleOnlyPolicy>(), bs_config);
+  if (recorder) {
+    station.set_metrics(&recorder->registry());
+    servers.set_metrics(&recorder->registry());
+  }
 
   auto updates = workload::make_periodic_synchronized(config.object_count,
                                                       config.update_period);
@@ -68,6 +79,7 @@ object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
   for (sim::Tick t = 0; t < total; ++t) {
     station.apply_updates(*updates, t);
     const auto result = station.process_batch(generator.next_batch(), t);
+    if (recorder) recorder->sample(t);
     if (t >= config.warmup_ticks) measured += result.units_downloaded;
   }
   return measured;

@@ -16,6 +16,10 @@
 #include "object/object.hpp"
 #include "sim/tick.hpp"
 
+namespace mobi::obs {
+class SeriesRecorder;
+}  // namespace mobi::obs
+
 namespace mobi::exp {
 
 enum class AccessPattern { kUniform, kRankLinear, kZipf };
@@ -57,6 +61,13 @@ struct Fig2Result {
 /// stale-only policy during the measure window.
 object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
                             std::size_t request_rate);
+
+/// Same single simulation with per-tick metrics snapshotted into
+/// `recorder` (base station + cache + downlink + servers); nullptr is
+/// identical to the plain overload.
+object::Units run_fig2_once(const Fig2Config& config, AccessPattern pattern,
+                            std::size_t request_rate,
+                            obs::SeriesRecorder* recorder);
 
 /// Full sweep over request rates and the three access patterns.
 Fig2Result run_fig2(const Fig2Config& config);

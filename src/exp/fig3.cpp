@@ -9,6 +9,7 @@
 #include "core/policy.hpp"
 #include "core/scoring.hpp"
 #include "object/builders.hpp"
+#include "obs/recorder.hpp"
 #include "server/remote_server.hpp"
 #include "util/rng.hpp"
 #include "workload/access.hpp"
@@ -32,7 +33,8 @@ workload::Trace build_trace(const Fig3Config& config) {
 }
 
 double run_trace(const Fig3Config& config, const workload::Trace& trace,
-                 object::Units budget, bool on_demand) {
+                 object::Units budget, bool on_demand,
+                 obs::SeriesRecorder* recorder = nullptr) {
   const object::Catalog catalog =
       object::make_uniform_catalog(config.object_count, 1);
   server::ServerPool servers(catalog, 1);
@@ -50,6 +52,10 @@ double run_trace(const Fig3Config& config, const workload::Trace& trace,
                             cache::make_harmonic_decay(config.decay_c),
                             std::make_unique<core::ReciprocalScorer>(),
                             std::move(policy), bs_config);
+  if (recorder) {
+    station.set_metrics(&recorder->registry());
+    servers.set_metrics(&recorder->registry());
+  }
   auto updates = workload::make_periodic_synchronized(config.object_count,
                                                       config.update_period);
   double recency_sum = 0.0;
@@ -58,6 +64,7 @@ double run_trace(const Fig3Config& config, const workload::Trace& trace,
   for (sim::Tick t = 0; t < total; ++t) {
     station.apply_updates(*updates, t);
     const auto result = station.process_batch(trace.batch_at(t), t);
+    if (recorder) recorder->sample(t);
     if (t >= config.warmup_ticks) {
       recency_sum += result.recency_sum;
       measured_requests += result.requests;
@@ -72,6 +79,12 @@ double run_fig3_once(const Fig3Config& config, object::Units budget,
                      bool on_demand) {
   const workload::Trace trace = build_trace(config);
   return run_trace(config, trace, budget, on_demand);
+}
+
+double run_fig3_once(const Fig3Config& config, object::Units budget,
+                     bool on_demand, obs::SeriesRecorder* recorder) {
+  const workload::Trace trace = build_trace(config);
+  return run_trace(config, trace, budget, on_demand, recorder);
 }
 
 Fig3Result run_fig3(const Fig3Config& config) {

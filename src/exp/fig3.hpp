@@ -16,6 +16,10 @@
 #include "object/object.hpp"
 #include "sim/tick.hpp"
 
+namespace mobi::obs {
+class SeriesRecorder;
+}  // namespace mobi::obs
+
 namespace mobi::exp {
 
 struct Fig3Config {
@@ -46,6 +50,11 @@ struct Fig3Result {
 /// delivered during the measure window. `on_demand` false = round robin.
 double run_fig3_once(const Fig3Config& config, object::Units budget,
                      bool on_demand);
+
+/// Same single simulation with per-tick metrics snapshotted into
+/// `recorder`; nullptr is identical to the plain overload.
+double run_fig3_once(const Fig3Config& config, object::Units budget,
+                     bool on_demand, obs::SeriesRecorder* recorder);
 
 Fig3Result run_fig3(const Fig3Config& config);
 

@@ -8,6 +8,7 @@
 #include "core/policy.hpp"
 #include "core/scoring.hpp"
 #include "object/builders.hpp"
+#include "obs/recorder.hpp"
 #include "server/remote_server.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -17,6 +18,11 @@
 namespace mobi::exp {
 
 PolicySimResult run_policy_sim(const PolicySimConfig& config) {
+  return run_policy_sim(config, nullptr);
+}
+
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               obs::SeriesRecorder* recorder) {
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -33,6 +39,10 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config) {
                             cache::make_harmonic_decay(config.decay_c),
                             core::make_scorer(config.scorer),
                             core::make_policy(config.policy), bs_config);
+  if (recorder) {
+    station.set_metrics(&recorder->registry());
+    servers.set_metrics(&recorder->registry());
+  }
 
   std::shared_ptr<const workload::AccessDistribution> access;
   switch (config.access) {
@@ -66,6 +76,7 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config) {
     station.apply_updates(*updates, t);
     const auto batch = generator.next_batch();
     const auto tick = station.process_batch(batch, t);
+    if (recorder) recorder->sample(t);
     if (t < config.warmup_ticks) continue;
     score_sum += tick.score_sum;
     recency_sum += tick.recency_sum;

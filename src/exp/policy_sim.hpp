@@ -13,6 +13,10 @@
 #include "sim/tick.hpp"
 #include "workload/requests.hpp"
 
+namespace mobi::obs {
+class SeriesRecorder;
+}  // namespace mobi::obs
+
 namespace mobi::exp {
 
 struct PolicySimConfig {
@@ -49,5 +53,15 @@ struct PolicySimResult {
 };
 
 PolicySimResult run_policy_sim(const PolicySimConfig& config);
+
+/// Same simulation with per-tick observability: the base station, its
+/// cache/downlink, and the server pool register their metrics in
+/// `recorder`'s registry and the recorder snapshots them once per tick
+/// (warmup included — series carry the tick index, so consumers can crop).
+/// Passing nullptr is identical to the plain overload. Instrumentation is
+/// read-only; results are bit-identical either way (the determinism suite
+/// enforces this).
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               obs::SeriesRecorder* recorder);
 
 }  // namespace mobi::exp

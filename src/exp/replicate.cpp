@@ -40,6 +40,19 @@ Replication replicate_parallel(
   return summarize(summary);
 }
 
+Replication replicate_parallel(
+    const std::function<double(std::uint64_t)>& metric,
+    const std::vector<std::uint64_t>& seeds, util::ThreadPool& pool) {
+  if (!metric) throw std::invalid_argument("replicate_parallel: null metric");
+  std::vector<double> values(seeds.size());
+  util::parallel_for(pool, 0, seeds.size(), [&](std::size_t i) {
+    values[i] = metric(seeds[i]);
+  });
+  util::Summary summary;
+  for (double v : values) summary.add(v);
+  return summarize(summary);
+}
+
 std::vector<std::uint64_t> seed_ladder(std::uint64_t base, std::size_t count) {
   std::vector<std::uint64_t> seeds(count);
   for (std::size_t i = 0; i < count; ++i) seeds[i] = base + i;

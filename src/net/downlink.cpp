@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mobi::net {
 
 WirelessDownlink::WirelessDownlink(object::Units capacity_per_tick)
@@ -16,6 +18,10 @@ void WirelessDownlink::enqueue(object::Units units) {
   if (units == 0) return;
   pending_.push_back(units);
   queued_ += units;
+  if (metrics_) {
+    inst_.enqueued_units->add(std::uint64_t(units));
+    inst_.queue_depth->set(double(queued_));
+  }
 }
 
 object::Units WirelessDownlink::tick() {
@@ -31,7 +37,25 @@ object::Units WirelessDownlink::tick() {
     if (head == 0) pending_.pop_front();
   }
   idle_ += budget;
+  if (metrics_) {
+    inst_.delivered_units->add(std::uint64_t(capacity_ - budget));
+    inst_.idle_units->add(std::uint64_t(budget));
+    inst_.queue_depth->set(double(queued_));
+  }
   return capacity_ - budget;
+}
+
+void WirelessDownlink::set_metrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  if (!registry) return;
+  inst_.enqueued_units = &registry->register_counter(prefix + ".enqueued_units");
+  inst_.delivered_units =
+      &registry->register_counter(prefix + ".delivered_units");
+  inst_.idle_units = &registry->register_counter(prefix + ".idle_units");
+  inst_.queue_depth = &registry->register_gauge(prefix + ".queue_depth");
+  inst_.queue_depth->set(double(queued_));
 }
 
 double WirelessDownlink::utilization() const noexcept {

@@ -9,8 +9,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "object/object.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace mobi::obs
 
 namespace mobi::net {
 
@@ -35,7 +42,19 @@ class WirelessDownlink {
   /// Fraction of downlink capacity used so far (0 if no ticks have run).
   double utilization() const noexcept;
 
+  /// Registers enqueued/delivered/idle unit counters and a queue-depth
+  /// gauge under `prefix` and keeps them updated; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "downlink");
+
  private:
+  struct Instruments {
+    obs::Counter* enqueued_units = nullptr;
+    obs::Counter* delivered_units = nullptr;
+    obs::Counter* idle_units = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
+
   object::Units capacity_;
   object::Units queued_ = 0;
   object::Units delivered_ = 0;
@@ -44,6 +63,8 @@ class WirelessDownlink {
   // Per-item queue retained for inspection; aggregate counters drive the
   // fast path.
   std::deque<object::Units> pending_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments inst_;
 };
 
 }  // namespace mobi::net

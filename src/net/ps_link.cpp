@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mobi::net {
 
 PsLink::PsLink(sim::Simulator& simulator, double bandwidth)
@@ -23,7 +25,24 @@ void PsLink::submit(object::Units size,
   transfer.start = simulator_->now();
   transfer.on_done = std::move(on_done);
   transfers_.push_back(std::move(transfer));
+  if (metrics_) {
+    inst_.submitted->add();
+    inst_.units_moved->add(std::uint64_t(size));
+    inst_.in_flight->set(double(transfers_.size()));
+  }
   advance_and_reschedule();
+}
+
+void PsLink::set_metrics(obs::MetricsRegistry* registry,
+                         const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  if (!registry) return;
+  inst_.submitted = &registry->register_counter(prefix + ".submitted");
+  inst_.completed = &registry->register_counter(prefix + ".completed");
+  inst_.units_moved = &registry->register_counter(prefix + ".units_moved");
+  inst_.in_flight = &registry->register_gauge(prefix + ".in_flight");
+  inst_.in_flight->set(double(transfers_.size()));
 }
 
 void PsLink::advance_and_reschedule() {
@@ -45,11 +64,13 @@ void PsLink::advance_and_reschedule() {
       if (it->remaining <= 1e-9) {
         if (it->on_done) it->on_done(it->start, now);
         ++completed_;
+        if (metrics_) inst_.completed->add();
         it = transfers_.erase(it);
       } else {
         ++it;
       }
     }
+    if (metrics_) inst_.in_flight->set(double(transfers_.size()));
     if (transfers_.empty()) return;
 
     // Next completion: the smallest remaining volume at the current share.

@@ -12,9 +12,16 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <string>
 
 #include "object/object.hpp"
 #include "sim/simulator.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace mobi::obs
 
 namespace mobi::net {
 
@@ -35,6 +42,11 @@ class PsLink {
   double bandwidth() const noexcept { return bandwidth_; }
   std::uint64_t completed() const noexcept { return completed_; }
 
+  /// Registers submitted/completed counters, a units-moved counter and an
+  /// in-flight gauge under `prefix`; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "ps_link");
+
  private:
   struct Transfer {
     double remaining = 0.0;
@@ -53,6 +65,15 @@ class PsLink {
   // Guards stale completion events: only the latest scheduled event acts.
   std::uint64_t schedule_generation_ = 0;
   std::uint64_t completed_ = 0;
+
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* units_moved = nullptr;
+    obs::Gauge* in_flight = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments inst_;
 };
 
 }  // namespace mobi::net

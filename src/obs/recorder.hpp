@@ -1,0 +1,49 @@
+// SeriesRecorder: per-tick snapshots of every scalar metric (counter or
+// gauge) in a registry, accumulated into aligned time series. Counters are
+// recorded cumulatively — downstream tooling diffs adjacent samples for
+// per-tick rates. Histograms are not sampled per tick; their final state
+// is exported once alongside the series.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/tick.hpp"
+#include "util/table.hpp"
+
+namespace mobi::obs {
+
+class SeriesRecorder {
+ public:
+  /// The registry must outlive the recorder.
+  explicit SeriesRecorder(MetricsRegistry& registry) : registry_(&registry) {}
+
+  MetricsRegistry& registry() noexcept { return *registry_; }
+  const MetricsRegistry& registry() const noexcept { return *registry_; }
+
+  /// Snapshots every counter and gauge currently registered. A metric
+  /// registered after the first sample joins with zeros backfilled for the
+  /// ticks it missed, so every series stays aligned with ticks().
+  void sample(sim::Tick tick);
+
+  std::size_t samples() const noexcept { return ticks_.size(); }
+  const std::vector<sim::Tick>& ticks() const noexcept { return ticks_; }
+  /// Throws std::out_of_range for a name never sampled.
+  const std::vector<double>& series(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+
+  /// {"schema":"mobicache.metrics.v1","ticks":[...],
+  ///  "series":{name:[...]},"histograms":{name:{...final state...}}}
+  std::string to_json() const;
+  /// One row per tick, one column per series (plus the tick column).
+  util::Table to_table() const;
+
+ private:
+  MetricsRegistry* registry_;
+  std::vector<sim::Tick> ticks_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace mobi::obs

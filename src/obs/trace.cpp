@@ -1,0 +1,30 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace mobi::obs {
+
+util::Summary TraceSink::summary(const std::string& name) const {
+  util::Summary result;
+  for (const TraceEvent& event : events_) {
+    if (event.name == name) result.add(event.duration_us);
+  }
+  return result;
+}
+
+std::string TraceSink::to_json() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"name\":\"" << json::escape(events_[i].name)
+        << "\",\"tick\":" << events_[i].tick
+        << ",\"us\":" << json::number(events_[i].duration_us) << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace mobi::obs

@@ -1,0 +1,72 @@
+// Lightweight scoped tracing: a ScopedTrace measures the wall-clock
+// duration of a block and records it, tagged with the simulation tick,
+// into a TraceSink. The sink pointer defaults to null and the disabled
+// path is a single branch — safe to leave in hot loops.
+//
+// Wall-clock durations are observational only: they never feed back into
+// simulation state, so tracing cannot perturb results (the determinism
+// suite enforces this).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "sim/tick.hpp"
+#include "util/stats.hpp"
+
+namespace mobi::obs {
+
+struct TraceEvent {
+  std::string name;
+  sim::Tick tick = 0;
+  double duration_us = 0.0;  // wall clock
+};
+
+class TraceSink {
+ public:
+  void record(std::string name, sim::Tick tick, double duration_us) {
+    events_.push_back(TraceEvent{std::move(name), tick, duration_us});
+  }
+
+  std::size_t size() const noexcept { return events_.size(); }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() noexcept { events_.clear(); }
+
+  /// Duration statistics over all events with this name.
+  util::Summary summary(const std::string& name) const;
+
+  /// [{"name":...,"tick":...,"us":...}, ...]
+  std::string to_json() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. `name` must outlive the span (string literals do).
+class ScopedTrace {
+ public:
+  ScopedTrace(TraceSink* sink, const char* name, sim::Tick tick) noexcept
+      : sink_(sink), name_(name), tick_(tick) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  ~ScopedTrace() {
+    if (!sink_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->record(
+        name_, tick_,
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  sim::Tick tick_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mobi::obs

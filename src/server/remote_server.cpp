@@ -1,5 +1,7 @@
 #include "server/remote_server.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mobi::server {
 
 RemoteServer::RemoteServer(const object::Catalog& catalog)
@@ -46,10 +48,21 @@ std::size_t ServerPool::server_for(object::ObjectId id) const {
 
 void ServerPool::apply_update(object::ObjectId id, sim::Tick tick) {
   servers_[server_for(id)].apply_update(id, tick);
+  if (metrics_) inst_.updates->add();
 }
 
 FetchResult ServerPool::fetch(object::ObjectId id) const {
+  if (metrics_) inst_.fetches->add();
   return servers_[server_for(id)].fetch(id);
+}
+
+void ServerPool::set_metrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  if (!registry) return;
+  inst_.fetches = &registry->register_counter(prefix + ".fetches");
+  inst_.updates = &registry->register_counter(prefix + ".updates");
 }
 
 Version ServerPool::version(object::ObjectId id) const {

@@ -8,10 +8,16 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "object/object.hpp"
 #include "sim/tick.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace mobi::obs
 
 namespace mobi::server {
 
@@ -73,9 +79,22 @@ class ServerPool {
   Version version(object::ObjectId id) const;
   sim::Tick updated_at(object::ObjectId id) const;
 
+  /// Registers fetch/update counters under `prefix` and keeps them
+  /// updated; nullptr detaches. Counting a fetch mutates only the
+  /// registry, so the pool itself stays logically const.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "servers");
+
  private:
   std::vector<RemoteServer> servers_;
   std::size_t object_count_;
+
+  struct Instruments {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* updates = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments inst_;
 };
 
 }  // namespace mobi::server

@@ -9,17 +9,36 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed partway: the destructor will not run, so the
+    // workers already started must be shut down here or they would block
+    // on cv_ forever (and the process would abort at thread destruction).
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    for (auto& worker : workers_) worker.join();
+    throw;
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;  // idempotent; workers already joined or joining
     stopping_ = true;
+    // Under the lock for the same reason as submit(): an unlocked notify
+    // could interleave with a racing submit between its stopping_ check
+    // and its wait, losing the wakeup.
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 

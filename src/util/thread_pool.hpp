@@ -27,8 +27,16 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Stops accepting work, drains every queued task, and joins the
+  /// workers. Idempotent; the destructor calls it. Safe to race with
+  /// submit() from other threads: each concurrent submit either enqueues
+  /// before the stop (and its task runs to completion) or throws — no
+  /// task is ever silently dropped.
+  void shutdown();
+
   /// Enqueues a task; the future resolves when it finishes. Exceptions
-  /// thrown by the task propagate through the future.
+  /// thrown by the task propagate through the future. Every queued task
+  /// runs before the destructor returns, so dropping the future is safe.
   template <typename F>
   std::future<void> submit(F&& task) {
     auto packaged =
@@ -38,8 +46,11 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
       queue_.emplace_back([packaged] { (*packaged)(); });
+      // Notify while still holding the lock: an unlocked notify could
+      // touch cv_ after a concurrent destructor (serialized behind this
+      // mutex) has already torn the pool down.
+      cv_.notify_one();
     }
-    cv_.notify_one();
     return result;
   }
 

@@ -1,0 +1,206 @@
+// Determinism suite: (a) parallel replication is bit-identical to serial
+// replication regardless of pool size, and (b) attaching the observability
+// layer (registry + recorder + trace sink) never perturbs simulation
+// results. These tests pin the "observation is read-only" contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/base_station.hpp"
+#include "exp/fig2.hpp"
+#include "exp/fig3.hpp"
+#include "exp/policy_sim.hpp"
+#include "exp/replicate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mobi {
+namespace {
+
+exp::PolicySimConfig small_sim_config() {
+  exp::PolicySimConfig config;
+  config.object_count = 40;
+  config.requests_per_tick = 20;
+  config.warmup_ticks = 5;
+  config.measure_ticks = 20;
+  config.budget = 10;
+  config.update_period = 3;
+  return config;
+}
+
+// EXPECT_EQ on doubles is deliberate throughout: the contract is
+// bit-identical, not approximately equal.
+void expect_identical(const exp::PolicySimResult& a,
+                      const exp::PolicySimResult& b) {
+  EXPECT_EQ(a.average_score, b.average_score);
+  EXPECT_EQ(a.average_recency, b.average_recency);
+  EXPECT_EQ(a.units_downloaded, b.units_downloaded);
+  EXPECT_EQ(a.objects_downloaded, b.objects_downloaded);
+  EXPECT_EQ(a.downlink_utilization, b.downlink_utilization);
+  EXPECT_EQ(a.mean_fetch_latency, b.mean_fetch_latency);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.score_p10, b.score_p10);
+  EXPECT_EQ(a.min_score, b.min_score);
+}
+
+void expect_identical(const exp::Replication& a, const exp::Replication& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.ci95_halfwidth, b.ci95_halfwidth);
+}
+
+TEST(Determinism, ParallelReplicateMatchesSerialForAllPoolSizes) {
+  const auto metric = [](std::uint64_t seed) {
+    exp::PolicySimConfig config = small_sim_config();
+    config.seed = seed;
+    return exp::run_policy_sim(config).average_score;
+  };
+  const auto seeds = exp::seed_ladder(1000, 6);
+  const exp::Replication serial = exp::replicate(metric, seeds);
+  EXPECT_EQ(serial.runs, 6u);
+
+  for (std::size_t pool_size : {1u, 2u, 8u}) {
+    util::ThreadPool pool(pool_size);
+    const exp::Replication parallel =
+        exp::replicate_parallel(metric, seeds, pool);
+    expect_identical(serial, parallel);
+  }
+  // The default-pool overload must agree too.
+  expect_identical(serial, exp::replicate_parallel(metric, seeds));
+}
+
+TEST(Determinism, InstrumentedPolicySimBitIdenticalToPlain) {
+  const exp::PolicySimConfig config = small_sim_config();
+  const exp::PolicySimResult plain = exp::run_policy_sim(config);
+
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  const exp::PolicySimResult instrumented = exp::run_policy_sim(config, &recorder);
+
+  expect_identical(plain, instrumented);
+  // And the recorder really observed the run: one sample per tick
+  // (warmup + measure), with the request counter matching the totals it
+  // watched (warmup requests included, so >= the measured count).
+  EXPECT_EQ(recorder.samples(),
+            std::size_t(config.warmup_ticks + config.measure_ticks));
+  const std::vector<double>& requests = recorder.series("bs.requests");
+  EXPECT_GE(requests.back(), double(plain.requests));
+  EXPECT_GT(registry.find_counter("bs.fetches")->value(), 0u);
+
+  // nullptr recorder routes through the same overload and must also match.
+  expect_identical(plain, exp::run_policy_sim(config, nullptr));
+}
+
+TEST(Determinism, InstrumentedFig2AndFig3BitIdenticalToPlain) {
+  exp::Fig2Config fig2;
+  fig2.object_count = 60;
+  fig2.warmup_ticks = 10;
+  fig2.measure_ticks = 40;
+  const object::Units plain2 = exp::run_fig2_once(fig2, exp::AccessPattern::kZipf, 30);
+  obs::MetricsRegistry registry2;
+  obs::SeriesRecorder recorder2(registry2);
+  EXPECT_EQ(plain2,
+            exp::run_fig2_once(fig2, exp::AccessPattern::kZipf, 30, &recorder2));
+  EXPECT_EQ(recorder2.samples(),
+            std::size_t(fig2.warmup_ticks + fig2.measure_ticks));
+
+  exp::Fig3Config fig3;
+  fig3.object_count = 50;
+  fig3.requests_per_tick = 25;
+  fig3.warmup_ticks = 10;
+  fig3.measure_ticks = 20;
+  const double plain3 = exp::run_fig3_once(fig3, 5, true);
+  obs::MetricsRegistry registry3;
+  obs::SeriesRecorder recorder3(registry3);
+  EXPECT_EQ(plain3, exp::run_fig3_once(fig3, 5, true, &recorder3));
+  EXPECT_GT(recorder3.samples(), 0u);
+}
+
+// Drives two identically-configured BaseStations through the same request
+// stream — one bare, one with registry + recorder + trace sink attached —
+// and requires every TickResult field to match exactly. Fetch failures are
+// enabled so the failure RNG consumption is covered too.
+TEST(Determinism, InstrumentedBaseStationBitIdenticalToBare) {
+  const std::vector<object::Units> sizes(16, 2);
+  core::BaseStationConfig config;
+  config.download_budget = 6;
+  config.fetch_failure_rate = 0.3;
+  config.coalesce_downlink = true;
+
+  object::Catalog catalog_a(sizes), catalog_b(sizes);
+  server::ServerPool servers_a(catalog_a, 1), servers_b(catalog_b, 1);
+  core::BaseStation bare(catalog_a, servers_a, cache::make_harmonic_decay(),
+                         std::make_unique<core::ReciprocalScorer>(),
+                         core::make_policy("on-demand-knapsack"), config);
+  core::BaseStation instrumented(
+      catalog_b, servers_b, cache::make_harmonic_decay(),
+      std::make_unique<core::ReciprocalScorer>(),
+      core::make_policy("on-demand-knapsack"), config);
+
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  obs::TraceSink sink;
+  instrumented.set_metrics(&registry);
+  servers_b.set_metrics(&registry);
+  instrumented.set_trace(&sink);
+
+  std::mt19937 rng(0xC0FFEE);
+  std::size_t expected_requests = 0;
+  for (sim::Tick t = 0; t < 40; ++t) {
+    if (t % 4 == 3) {
+      const object::ObjectId updated = rng() % sizes.size();
+      bare.on_server_update(updated, t);
+      instrumented.on_server_update(updated, t);
+    }
+    workload::RequestBatch batch;
+    const std::size_t count = 1 + rng() % 8;
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back({object::ObjectId(rng() % sizes.size()), 0.8,
+                       workload::ClientId(i)});
+    }
+    expected_requests += count;
+
+    const core::TickResult a = bare.process_batch(batch, t);
+    const core::TickResult b = instrumented.process_batch(batch, t);
+    recorder.sample(t);
+
+    EXPECT_EQ(a.requests, b.requests) << "tick " << t;
+    EXPECT_EQ(a.objects_downloaded, b.objects_downloaded) << "tick " << t;
+    EXPECT_EQ(a.units_downloaded, b.units_downloaded) << "tick " << t;
+    EXPECT_EQ(a.score_sum, b.score_sum) << "tick " << t;
+    EXPECT_EQ(a.recency_sum, b.recency_sum) << "tick " << t;
+    EXPECT_EQ(a.fetch_latency, b.fetch_latency) << "tick " << t;
+    EXPECT_EQ(a.failed_fetches, b.failed_fetches) << "tick " << t;
+    EXPECT_EQ(a.downlink_delivered, b.downlink_delivered) << "tick " << t;
+  }
+
+  // The observer agrees with the ground truth the station itself reports.
+  EXPECT_EQ(instrumented.totals().requests, expected_requests);
+  EXPECT_EQ(registry.find_counter("bs.requests")->value(), expected_requests);
+  EXPECT_EQ(registry.find_counter("bs.fetches")->value(),
+            instrumented.totals().objects_downloaded);
+  EXPECT_EQ(registry.find_counter("bs.units_downloaded")->value(),
+            std::uint64_t(instrumented.totals().units_downloaded));
+  const std::uint64_t hits = registry.find_counter("bs.hits")->value();
+  const std::uint64_t misses = registry.find_counter("bs.misses")->value();
+  EXPECT_EQ(hits + misses, expected_requests);
+  EXPECT_EQ(registry.find_counter("bs.stale_serves")->value() +
+                registry.find_counter("bs.fresh_serves")->value(),
+            hits);
+  EXPECT_EQ(recorder.samples(), 40u);
+  // Tracing captured all three per-tick phases.
+  EXPECT_EQ(sink.summary("bs.select").count(), 40u);
+  EXPECT_EQ(sink.summary("bs.serve").count(), 40u);
+  EXPECT_GT(sink.summary("bs.fetch").count(), 0u);
+}
+
+}  // namespace
+}  // namespace mobi

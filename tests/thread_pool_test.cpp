@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <random>
 #include <vector>
 
 namespace mobi::util {
@@ -82,6 +83,93 @@ TEST(ParallelFor, DefaultPoolOverloadWorks) {
 
 TEST(DefaultPool, IsSingleton) {
   EXPECT_EQ(&default_pool(), &default_pool());
+}
+
+// Destroying a pool with futures still outstanding must run every queued
+// task before joining, so dropped futures never dangle and no submission
+// is lost. Seeded, no sleeps — the interleavings come from scheduling
+// jitter across many construct/submit/destruct cycles.
+TEST(ThreadPoolStress, ConstructSubmitDestructHammer) {
+  std::mt19937 rng(0xD15EA5E);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t threads = 1 + rng() % 4;
+    const int tasks = int(rng() % 65);
+    const bool harvest_futures = (rng() % 2) == 0;
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(threads);
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < tasks; ++i) {
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+      }
+      if (harvest_futures) {
+        for (auto& f : futures) f.get();
+      }
+      // else: destructor races the workers with futures still pending.
+    }
+    EXPECT_EQ(ran.load(), tasks) << "round " << round;
+  }
+}
+
+// The destructor must leave dropped futures resolved: a queued task that
+// ran during shutdown satisfies its promise even if nobody ever calls
+// get().
+TEST(ThreadPoolStress, OutstandingFuturesResolveAfterDestruction) {
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::future<void>> futures;
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+      }
+    }
+    EXPECT_EQ(ran.load(), 32);
+    for (auto& f : futures) {
+      ASSERT_TRUE(f.valid());
+      EXPECT_NO_THROW(f.get());  // would throw broken_promise if dropped
+    }
+  }
+}
+
+TEST(ThreadPoolStress, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&ran] { ++ran; });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);  // queued work drained before join
+  EXPECT_NO_THROW(f.get());
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+// The race named in the audit: threads submitting while another thread
+// shuts the pool down. Every submit must either complete its task or
+// throw — accepted-then-dropped would show up as accepted > ran.
+TEST(ThreadPoolStress, SubmitRacesShutdown) {
+  std::mt19937 rng(0xBADF00D);
+  for (int round = 0; round < 100; ++round) {
+    ThreadPool pool(1 + rng() % 3);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    const int submitter_count = 2 + int(rng() % 3);
+    for (int s = 0; s < submitter_count; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 16; ++i) {
+          try {
+            pool.submit([&ran] { ++ran; });
+            ++accepted;
+          } catch (const std::runtime_error&) {
+            return;  // pool stopped; later submits would throw too
+          }
+        }
+      });
+    }
+    pool.shutdown();
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
 }
 
 }  // namespace
