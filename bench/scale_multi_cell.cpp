@@ -1,0 +1,154 @@
+// Scale-out bench: shards N independent cells across the thread pool and
+// reports wall-clock, speedup over the serial run, cells/sec and
+// client-requests/sec per thread count. Every run uses the same master
+// seed, and the bench cross-checks that the parallel aggregates are
+// bit-identical to the serial ones (the determinism contract the
+// multi_cell_test suite pins) — a speedup that changed the answer would
+// be reported as a failure, not a win.
+//
+// With --out=<dir> the instrumented run also writes
+// scale_multi_cell_metrics.json (schema mobicache.metrics.v1): per-tick
+// fleet-wide mc.* series aggregated across all cells.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "exp/multi_cell.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool same_aggregate(const mobi::client::CellResult& a,
+                    const mobi::client::CellResult& b) {
+  return a.requests == b.requests && a.served_locally == b.served_locally &&
+         a.served_by_base == b.served_by_base && a.score_sum == b.score_sum &&
+         a.base_downloaded == b.base_downloaded &&
+         a.sleeper_drops == b.sleeper_drops &&
+         a.disconnect_ticks == b.disconnect_ticks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobi;
+  const util::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+
+  exp::MultiCellConfig config;
+  config.seed = std::uint64_t(flags.get_int("seed", 42));
+  config.cell_count = std::size_t(flags.get_int("cells", quick ? 2 : 8));
+  config.cell.object_count =
+      std::size_t(flags.get_int("objects", quick ? 30 : 120));
+  config.cell.client_count =
+      std::size_t(flags.get_int("clients", quick ? 8 : 40));
+  config.cell.ticks = sim::Tick(flags.get_int("ticks", quick ? 30 : 200));
+
+  std::cout << "scale_multi_cell: " << config.cell_count << " cells x "
+            << config.cell.client_count << " clients x " << config.cell.ticks
+            << " ticks (seed " << config.seed << ", "
+            << std::thread::hardware_concurrency()
+            << " hardware threads)\n\n";
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  const exp::MultiCellResult serial = exp::run_multi_cell(config);
+  const double serial_seconds = seconds_since(serial_start);
+
+  util::Table table({"threads", "seconds", "speedup", "cells/s",
+                     "requests/s", "avg score"});
+  table.add_row({std::string("serial"), serial_seconds, 1.0,
+                 double(serial.cells) / serial_seconds,
+                 double(serial.total_requests) / serial_seconds,
+                 serial.aggregate.average_score()});
+
+  bool identical = true;
+  std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const exp::MultiCellResult parallel = exp::run_multi_cell(config, &pool);
+    const double elapsed = seconds_since(start);
+    identical =
+        identical && same_aggregate(serial.aggregate, parallel.aggregate);
+    table.add_row({std::to_string(threads), elapsed,
+                   serial_seconds / elapsed, double(parallel.cells) / elapsed,
+                   double(parallel.total_requests) / elapsed,
+                   parallel.aggregate.average_score()});
+  }
+  bench::emit(flags, "Sharded multi-cell throughput (same seed per row)",
+              "scale_multi_cell", table);
+  if (!identical) {
+    std::cerr << "FAIL: parallel aggregates diverged from the serial run\n";
+    return 1;
+  }
+  std::cout << "(all rows bit-identical to the serial aggregate)\n\n";
+
+  // Instrumented run: fleet-wide per-tick series, one JSON per bench run.
+  {
+    obs::MetricsRegistry registry;
+    obs::SeriesRecorder recorder(registry);
+    util::ThreadPool pool(quick ? 2 : 4);
+    const exp::MultiCellResult instrumented =
+        exp::run_multi_cell(config, &pool, &recorder);
+    if (!same_aggregate(serial.aggregate, instrumented.aggregate)) {
+      std::cerr << "FAIL: instrumented aggregate diverged\n";
+      return 1;
+    }
+    std::cout << "instrumented: " << recorder.samples() << " ticks x "
+              << recorder.series_names().size() << " mc.* series, "
+              << "final mc.requests = "
+              << registry.find_counter("mc.requests")->value() << "\n";
+    bench::emit_metrics(flags, "scale_multi_cell", recorder);
+  }
+
+  // Coop-cluster topology: shard = a neighbor-linked cluster.
+  {
+    exp::MultiCellConfig coop = config;
+    coop.topology = exp::CellTopology::kCoopClusters;
+    coop.cells_per_cluster = 2;
+    coop.cluster.object_count = config.cell.object_count;
+    coop.cluster.requests_per_tick_per_cell = quick ? 8 : 20;
+    coop.cluster.warmup_ticks = quick ? 5 : 20;
+    coop.cluster.measure_ticks = sim::Tick(config.cell.ticks);
+
+    const auto start = std::chrono::steady_clock::now();
+    const exp::MultiCellResult coop_serial = exp::run_multi_cell(coop);
+    const double coop_seconds = seconds_since(start);
+
+    util::ThreadPool pool(quick ? 2 : 4);
+    const auto pstart = std::chrono::steady_clock::now();
+    const exp::MultiCellResult coop_parallel =
+        exp::run_multi_cell(coop, &pool);
+    const double coop_parallel_seconds = seconds_since(pstart);
+
+    util::Table coop_table({"threads", "clusters", "seconds", "speedup",
+                            "requests/s", "neighbor frac"});
+    coop_table.add_row({std::string("serial"),
+                        (long long)(coop_serial.shards), coop_seconds, 1.0,
+                        double(coop_serial.total_requests) / coop_seconds,
+                        coop_serial.coop_aggregate.neighbor_fraction()});
+    coop_table.add_row(
+        {std::to_string(pool.size()), (long long)(coop_parallel.shards),
+         coop_parallel_seconds, coop_seconds / coop_parallel_seconds,
+         double(coop_parallel.total_requests) / coop_parallel_seconds,
+         coop_parallel.coop_aggregate.neighbor_fraction()});
+    bench::emit(flags, "Coop-cluster topology (cells_per_cluster = 2)",
+                "scale_multi_cell_coop", coop_table);
+    if (coop_serial.coop_aggregate.score_sum !=
+        coop_parallel.coop_aggregate.score_sum) {
+      std::cerr << "FAIL: coop parallel aggregate diverged\n";
+      return 1;
+    }
+  }
+  return 0;
+}

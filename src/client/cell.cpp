@@ -13,6 +13,11 @@
 namespace mobi::client {
 
 CellResult run_cell(const CellConfig& config) {
+  return run_cell(config, nullptr);
+}
+
+CellResult run_cell(const CellConfig& config,
+                    std::vector<CellResult>* per_tick) {
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -108,6 +113,14 @@ CellResult run_cell(const CellConfig& config) {
       if (!recency) continue;  // base had nothing either (cache-only policy)
       clients[requester[r]].store(request.object,
                                   servers.fetch(request.object), t, *recency);
+    }
+
+    if (per_tick) {
+      CellResult snapshot = result;
+      for (const auto& mobile : clients) {
+        snapshot.sleeper_drops += mobile.sleeper_drops();
+      }
+      per_tick->push_back(snapshot);
     }
   }
 

@@ -61,4 +61,13 @@ struct CellResult {
 
 CellResult run_cell(const CellConfig& config);
 
+/// Same simulation, additionally appending one cumulative CellResult
+/// snapshot per tick to `per_tick` (so per_tick->back() equals the return
+/// value). Passing nullptr is identical to the plain overload; the
+/// snapshots are read-only observation, so results are bit-identical
+/// either way. The multi-cell driver (exp/multi_cell.hpp) aggregates
+/// these shard-local series into registry-wide per-tick metrics.
+CellResult run_cell(const CellConfig& config,
+                    std::vector<CellResult>* per_tick);
+
 }  // namespace mobi::client

@@ -54,6 +54,11 @@ std::shared_ptr<const workload::AccessDistribution> make_access(
 }  // namespace
 
 CoopResult run_cooperative(const CoopConfig& config) {
+  return run_cooperative(config, nullptr);
+}
+
+CoopResult run_cooperative(const CoopConfig& config,
+                           std::vector<CoopResult>* per_tick) {
   if (config.cell_count == 0) {
     throw std::invalid_argument("run_cooperative: need >= 1 cell");
   }
@@ -142,6 +147,8 @@ CoopResult run_cooperative(const CoopConfig& config) {
         }
       }
     }
+
+    if (per_tick) per_tick->push_back(result);
   }
   return result;
 }

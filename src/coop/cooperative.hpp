@@ -72,4 +72,12 @@ struct CoopResult {
 
 CoopResult run_cooperative(const CoopConfig& config);
 
+/// Same simulation, additionally appending one cumulative CoopResult
+/// snapshot per tick (warmup ticks included — their rows simply carry
+/// zeros, keeping the series aligned with the tick index) so
+/// per_tick->back() equals the return value. Passing nullptr is identical
+/// to the plain overload.
+CoopResult run_cooperative(const CoopConfig& config,
+                           std::vector<CoopResult>* per_tick);
+
 }  // namespace mobi::coop

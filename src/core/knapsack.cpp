@@ -35,19 +35,23 @@ KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
   for (const auto& item : items) item_sizes_.push_back(item.size);
 
   values_.assign(cap + 1, 0.0);
-  take_.assign(n, std::vector<bool>(cap + 1, false));
+  row_words_ = (cap + 1 + 63) / 64;
+  take_bits_.assign(n * row_words_, 0);
   // Classic row-by-row DP; strict improvement keeps solutions minimal
-  // (zero-profit items are never taken).
-  for (std::size_t i = 0; i < n; ++i) {
+  // (zero-profit items are never taken). The decision matrix is a single
+  // flat allocation; each item touches only its own contiguous row, and
+  // the value scan walks values_ backwards at two fixed offsets — both
+  // streams prefetch-friendly, no per-row pointer chasing.
+  std::uint64_t* row = take_bits_.data();
+  for (std::size_t i = 0; i < n; ++i, row += row_words_) {
     const auto size = std::size_t(items[i].size);
     const double profit = items[i].profit;
     if (size > cap) continue;
-    auto& row = take_[i];
     for (std::size_t c = cap; c >= size; --c) {
       const double candidate = values_[c - size] + profit;
       if (candidate > values_[c]) {
         values_[c] = candidate;
-        row[c] = true;
+        row[c >> 6] |= std::uint64_t{1} << (c & 63);
       }
       if (c == size) break;  // avoid size_t underflow
     }
@@ -69,7 +73,7 @@ KnapsackSolution KnapsackProfile::solution_at(object::Units c) const {
   solution.value = values_[std::size_t(c)];
   auto remaining = std::size_t(c);
   for (std::size_t i = item_sizes_.size(); i-- > 0;) {
-    if (take_[i][remaining]) {
+    if (taken(i, remaining)) {
       solution.chosen.push_back(i);
       solution.used += item_sizes_[i];
       remaining -= std::size_t(item_sizes_[i]);

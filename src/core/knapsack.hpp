@@ -29,8 +29,12 @@ struct KnapsackSolution {
 };
 
 /// Exact optimal values for every capacity 0..max_capacity, with item
-/// reconstruction at any capacity. Memory: O(n * max_capacity) bits for
-/// the decision matrix plus O(max_capacity) doubles.
+/// reconstruction at any capacity. The decision matrix is one flat
+/// allocation of n rows x (max_capacity + 1) bits, packed into 64-bit
+/// words (each row padded to a whole word), so memory is exactly
+/// n * ceil((max_capacity + 1) / 64) words plus O(max_capacity) doubles —
+/// no per-row vector headers, and row i lives contiguously at
+/// [i * row_words, (i + 1) * row_words).
 class KnapsackProfile {
  public:
   KnapsackProfile(std::span<const KnapsackItem> items,
@@ -50,8 +54,14 @@ class KnapsackProfile {
   KnapsackSolution solution_at(object::Units c) const;
 
  private:
-  std::vector<double> values_;          // final row: best value per capacity
-  std::vector<std::vector<bool>> take_; // take_[i][c]: item i taken at cap c
+  bool taken(std::size_t item, std::size_t c) const noexcept {
+    return (take_bits_[item * row_words_ + (c >> 6)] >> (c & 63)) & 1u;
+  }
+
+  std::vector<double> values_;  // final row: best value per capacity
+  // Flat bit-matrix: bit c of row i set iff item i is taken at capacity c.
+  std::vector<std::uint64_t> take_bits_;
+  std::size_t row_words_ = 0;  // 64-bit words per row
   std::vector<object::Units> item_sizes_;
 };
 

@@ -1,0 +1,187 @@
+#include "exp/multi_cell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::exp {
+
+const char* cell_topology_name(CellTopology topology) noexcept {
+  switch (topology) {
+    case CellTopology::kSharded: return "sharded";
+    case CellTopology::kCoopClusters: return "coop-clusters";
+  }
+  return "?";
+}
+
+std::uint64_t shard_seed(std::uint64_t master, std::size_t index) noexcept {
+  // SplitMix64 advances its state by a fixed gamma per output, so seeding
+  // at master + gamma * index and taking one output *is* output `index`
+  // of the stream seeded at `master` — a random-access jump, no replay.
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  return util::SplitMix64(master + kGamma * std::uint64_t(index)).next();
+}
+
+namespace {
+
+void accumulate(client::CellResult& into, const client::CellResult& from) {
+  into.requests += from.requests;
+  into.served_locally += from.served_locally;
+  into.served_by_base += from.served_by_base;
+  into.score_sum += from.score_sum;
+  into.base_downloaded += from.base_downloaded;
+  into.sleeper_drops += from.sleeper_drops;
+  into.disconnect_ticks += from.disconnect_ticks;
+}
+
+void accumulate(coop::CoopResult& into, const coop::CoopResult& from) {
+  into.requests += from.requests;
+  into.score_sum += from.score_sum;
+  into.recency_sum += from.recency_sum;
+  into.origin_units += from.origin_units;
+  into.neighbor_units += from.neighbor_units;
+  into.origin_fetches += from.origin_fetches;
+  into.neighbor_fetches += from.neighbor_fetches;
+}
+
+// Shard series are cumulative, so summing shard rows at tick t gives the
+// fleet-wide cumulative state; counters advance by the per-tick delta.
+// Everything runs after the shards have joined, in shard order — the
+// recorder never observes scheduling.
+void record_sharded(obs::SeriesRecorder& recorder,
+                    const std::vector<std::vector<client::CellResult>>& series,
+                    std::size_t cells) {
+  obs::MetricsRegistry& registry = recorder.registry();
+  obs::Counter& requests = registry.register_counter("mc.requests");
+  obs::Counter& local_hits = registry.register_counter("mc.local_hits");
+  obs::Counter& base_serves = registry.register_counter("mc.base_serves");
+  obs::Counter& units = registry.register_counter("mc.units_downloaded");
+  obs::Counter& drops = registry.register_counter("mc.sleeper_drops");
+  obs::Counter& disconnects = registry.register_counter("mc.disconnect_ticks");
+  obs::Gauge& score_sum = registry.register_gauge("mc.score_sum");
+  obs::Gauge& average_score = registry.register_gauge("mc.average_score");
+  registry.register_gauge("mc.cells").set(double(cells));
+
+  const std::size_t ticks = series.empty() ? 0 : series.front().size();
+  client::CellResult prev;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    client::CellResult now;
+    for (const auto& shard : series) accumulate(now, shard[t]);
+    requests.add(now.requests - prev.requests);
+    local_hits.add(now.served_locally - prev.served_locally);
+    base_serves.add(now.served_by_base - prev.served_by_base);
+    units.add(std::uint64_t(now.base_downloaded - prev.base_downloaded));
+    drops.add(now.sleeper_drops - prev.sleeper_drops);
+    disconnects.add(now.disconnect_ticks - prev.disconnect_ticks);
+    score_sum.set(now.score_sum);
+    average_score.set(now.average_score());
+    recorder.sample(sim::Tick(t));
+    prev = now;
+  }
+}
+
+void record_coop(obs::SeriesRecorder& recorder,
+                 const std::vector<std::vector<coop::CoopResult>>& series,
+                 std::size_t cells) {
+  obs::MetricsRegistry& registry = recorder.registry();
+  obs::Counter& requests = registry.register_counter("mc.requests");
+  obs::Counter& origin_units = registry.register_counter("mc.origin_units");
+  obs::Counter& neighbor_units =
+      registry.register_counter("mc.neighbor_units");
+  obs::Counter& origin_fetches =
+      registry.register_counter("mc.origin_fetches");
+  obs::Counter& neighbor_fetches =
+      registry.register_counter("mc.neighbor_fetches");
+  obs::Gauge& score_sum = registry.register_gauge("mc.score_sum");
+  obs::Gauge& average_score = registry.register_gauge("mc.average_score");
+  registry.register_gauge("mc.cells").set(double(cells));
+
+  const std::size_t ticks = series.empty() ? 0 : series.front().size();
+  coop::CoopResult prev;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    coop::CoopResult now;
+    for (const auto& shard : series) accumulate(now, shard[t]);
+    requests.add(now.requests - prev.requests);
+    origin_units.add(std::uint64_t(now.origin_units - prev.origin_units));
+    neighbor_units.add(
+        std::uint64_t(now.neighbor_units - prev.neighbor_units));
+    origin_fetches.add(now.origin_fetches - prev.origin_fetches);
+    neighbor_fetches.add(now.neighbor_fetches - prev.neighbor_fetches);
+    score_sum.set(now.score_sum);
+    average_score.set(now.average_score());
+    recorder.sample(sim::Tick(t));
+    prev = now;
+  }
+}
+
+template <typename Fn>
+void dispatch_shards(util::ThreadPool* pool, std::size_t shards,
+                     const Fn& run_one) {
+  if (pool) {
+    util::parallel_for(*pool, 0, shards, run_one);
+  } else {
+    for (std::size_t i = 0; i < shards; ++i) run_one(i);
+  }
+}
+
+}  // namespace
+
+MultiCellResult run_multi_cell(const MultiCellConfig& config,
+                               util::ThreadPool* pool,
+                               obs::SeriesRecorder* recorder) {
+  if (config.cell_count == 0) {
+    throw std::invalid_argument("run_multi_cell: need >= 1 cell");
+  }
+  MultiCellResult result;
+  result.cells = config.cell_count;
+  const bool want_series = config.keep_series || recorder != nullptr;
+
+  if (config.topology == CellTopology::kSharded) {
+    const std::size_t shards = config.cell_count;
+    result.shards = shards;
+    result.per_cell.resize(shards);
+    std::vector<std::vector<client::CellResult>> series(want_series ? shards
+                                                                    : 0);
+    dispatch_shards(pool, shards, [&](std::size_t i) {
+      client::CellConfig cell = config.cell;
+      cell.seed = shard_seed(config.seed, i);
+      result.per_cell[i] =
+          client::run_cell(cell, want_series ? &series[i] : nullptr);
+    });
+    for (const auto& cell : result.per_cell) {
+      accumulate(result.aggregate, cell);
+    }
+    result.total_requests = result.aggregate.requests;
+    if (recorder) record_sharded(*recorder, series, config.cell_count);
+    if (config.keep_series) result.cell_series = std::move(series);
+    return result;
+  }
+
+  const std::size_t width = config.cells_per_cluster;
+  if (width == 0) {
+    throw std::invalid_argument("run_multi_cell: need >= 1 cell per cluster");
+  }
+  const std::size_t shards = (config.cell_count + width - 1) / width;
+  result.shards = shards;
+  result.per_cluster.resize(shards);
+  std::vector<std::vector<coop::CoopResult>> series(want_series ? shards : 0);
+  dispatch_shards(pool, shards, [&](std::size_t i) {
+    coop::CoopConfig cluster = config.cluster;
+    cluster.seed = shard_seed(config.seed, i);
+    cluster.cell_count = std::min(width, config.cell_count - i * width);
+    result.per_cluster[i] =
+        coop::run_cooperative(cluster, want_series ? &series[i] : nullptr);
+  });
+  for (const auto& cluster : result.per_cluster) {
+    accumulate(result.coop_aggregate, cluster);
+  }
+  result.total_requests = result.coop_aggregate.requests;
+  if (recorder) record_coop(*recorder, series, config.cell_count);
+  if (config.keep_series) result.cluster_series = std::move(series);
+  return result;
+}
+
+}  // namespace mobi::exp

@@ -1,0 +1,87 @@
+// Sharded multi-cell scale-out driver.
+//
+// The paper evaluates one base station per cell; a production deployment
+// runs many cells at once. Per-cell caching decisions are independent
+// (MobiCacher makes the same observation for small cells), so the natural
+// unit of parallelism is the *shard*: either a single client::run_cell
+// simulation, or — when cells are linked by cooperative neighbor fetch —
+// a whole coop::run_cooperative cluster (cells inside a cluster share
+// caches and must step together; distinct clusters never touch).
+//
+// Determinism contract: every shard draws from its own RNG stream whose
+// seed is a pure function of (master seed, shard index), and shards share
+// no mutable state, so a K-thread pool run is bit-identical to the serial
+// run for every K. tests/multi_cell_test.cpp pins this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/cell.hpp"
+#include "coop/cooperative.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mobi::obs {
+class SeriesRecorder;
+}  // namespace mobi::obs
+
+namespace mobi::exp {
+
+enum class CellTopology {
+  kSharded,       // independent cells; shard = one client::run_cell
+  kCoopClusters,  // neighbor-linked clusters; shard = one coop cluster
+};
+
+const char* cell_topology_name(CellTopology topology) noexcept;
+
+struct MultiCellConfig {
+  std::size_t cell_count = 8;
+  CellTopology topology = CellTopology::kSharded;
+  /// Sharded-mode template; `cell.seed` is overridden per cell with
+  /// shard_seed(seed, index).
+  client::CellConfig cell;
+  /// Coop-mode template; `cluster.seed` and `cluster.cell_count` are
+  /// overridden per cluster.
+  coop::CoopConfig cluster;
+  /// Coop mode: cells per cluster (the last cluster takes the remainder).
+  std::size_t cells_per_cluster = 3;
+  /// Retain the per-shard per-tick series in the result (the driver
+  /// always collects them internally when a recorder is attached).
+  bool keep_series = false;
+  std::uint64_t seed = 42;
+};
+
+struct MultiCellResult {
+  // Sharded mode, indexed by cell. cell_series[i] holds cell i's
+  // cumulative per-tick snapshots when keep_series was set.
+  std::vector<client::CellResult> per_cell;
+  std::vector<std::vector<client::CellResult>> cell_series;
+  client::CellResult aggregate;  // field-wise sum over cells
+
+  // Coop mode, indexed by cluster.
+  std::vector<coop::CoopResult> per_cluster;
+  std::vector<std::vector<coop::CoopResult>> cluster_series;
+  coop::CoopResult coop_aggregate;
+
+  std::size_t cells = 0;          // actual cell count simulated
+  std::size_t shards = 0;         // units of parallelism
+  std::size_t total_requests = 0; // mode-independent, for throughput math
+};
+
+/// Seed for shard `index` of master stream `master`: the index-th output
+/// of the SplitMix64 stream seeded by `master`. Position-addressable
+/// (SplitMix64's state advances by a fixed increment), so any shard can
+/// derive its seed without iterating the others — cells can be resharded
+/// across machines without replaying a sequential seed chain.
+std::uint64_t shard_seed(std::uint64_t master, std::size_t index) noexcept;
+
+/// Runs the configured cells. `pool == nullptr` runs shards serially in
+/// shard order; otherwise shards are dispatched onto the pool. With a
+/// recorder attached, per-tick shard series are summed (in shard order)
+/// into `mc.*` registry metrics and sampled once per tick after all
+/// shards complete — identical output whatever the pool size.
+MultiCellResult run_multi_cell(const MultiCellConfig& config,
+                               util::ThreadPool* pool = nullptr,
+                               obs::SeriesRecorder* recorder = nullptr);
+
+}  // namespace mobi::exp

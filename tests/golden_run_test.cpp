@@ -12,6 +12,7 @@
 
 #include "exp/fig2.hpp"
 #include "exp/fig3.hpp"
+#include "exp/multi_cell.hpp"
 #include "exp/policy_sim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -104,6 +105,35 @@ TEST(GoldenRun, PolicySimEndToEnd) {
   EXPECT_EQ(registry.find_counter("bs.units_downloaded")->value(), 570u);
   EXPECT_EQ(registry.find_counter("bs.cache.refreshes")->value(), 166u);
   EXPECT_EQ(registry.find_counter("servers.updates")->value(), 800u);
+}
+
+TEST(GoldenRun, MultiCellAggregates) {
+  exp::MultiCellConfig config;
+  config.cell_count = 4;
+  config.cell.object_count = 40;
+  config.cell.client_count = 10;
+  config.cell.ticks = 60;
+  config.cell.base_budget = 25;
+  config.seed = 42;
+
+  const exp::MultiCellResult result = exp::run_multi_cell(config);
+  EXPECT_EQ(result.aggregate.requests, 2340u);
+  EXPECT_EQ(result.aggregate.served_locally, 342u);
+  EXPECT_EQ(result.aggregate.served_by_base, 1998u);
+  EXPECT_EQ(result.aggregate.base_downloaded, 4706);
+  EXPECT_EQ(result.aggregate.sleeper_drops, 6u);
+  EXPECT_EQ(result.aggregate.disconnect_ticks, 60u);
+  EXPECT_NEAR(result.aggregate.score_sum, 2299.5749694749693, 1e-12);
+  EXPECT_NEAR(result.aggregate.average_score(), 0.98272434592947411, 1e-12);
+
+  // Shards draw from distinct seed-stream positions: same template
+  // config, different (pinned) per-cell outcomes.
+  ASSERT_EQ(result.per_cell.size(), 4u);
+  EXPECT_EQ(result.per_cell[0].requests, 588u);
+  EXPECT_EQ(result.per_cell[1].requests, 578u);
+  EXPECT_EQ(result.per_cell[2].requests, 587u);
+  EXPECT_EQ(result.per_cell[3].requests, 587u);
+  EXPECT_NEAR(result.per_cell[1].score_sum, 563.96984126984125, 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Differential fuzz suite for the flat bit-matrix KnapsackProfile: seeded
+// random instances — zero-profit items, items larger than the capacity,
+// capacity 0 — cross-checked against solve_dp, solve_branch_and_bound and
+// (for small n) solve_brute_force at *every* capacity in the profile.
+//
+// Profits are multiples of 0.5 well below 2^53, so every partial sum is
+// exactly representable and the comparisons are deliberately exact (==):
+// the solvers must agree to the bit, whatever order they add profits in.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::core {
+namespace {
+
+std::vector<KnapsackItem> random_items(util::Rng& rng, std::size_t n,
+                                       object::Units max_size) {
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.size = object::Units(rng.uniform_int(1, max_size));
+    // Exactly-representable profits; ~1 in 6 items is worthless.
+    item.profit = rng.bernoulli(1.0 / 6.0)
+                      ? 0.0
+                      : 0.5 * double(rng.uniform_int(1, 40));
+  }
+  return items;
+}
+
+// Recomputes value/used from the chosen indices and checks feasibility,
+// ordering, and exact agreement with the reported fields.
+void check_solution(const std::vector<KnapsackItem>& items,
+                    const KnapsackSolution& solution, object::Units capacity,
+                    double expected_value) {
+  double value = 0.0;
+  object::Units used = 0;
+  std::size_t previous = 0;
+  for (std::size_t k = 0; k < solution.chosen.size(); ++k) {
+    const std::size_t index = solution.chosen[k];
+    ASSERT_LT(index, items.size());
+    if (k > 0) {
+      ASSERT_GT(index, previous) << "indices not strictly ascending";
+    }
+    previous = index;
+    // Strict-improvement DP and the B&B never take worthless items.
+    EXPECT_GT(items[index].profit, 0.0);
+    value += items[index].profit;
+    used += items[index].size;
+  }
+  EXPECT_EQ(value, solution.value);
+  EXPECT_EQ(used, solution.used);
+  EXPECT_LE(used, capacity);
+  EXPECT_EQ(solution.value, expected_value);
+}
+
+TEST(KnapsackDiff, ProfileMatchesAllSolversOnRandomInstances) {
+  util::Rng rng(20260805);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = std::size_t(rng.uniform_int(0, 12));
+    // max item size up to 12 against capacities up to 25: a healthy
+    // fraction of items exceed small capacities outright.
+    const auto items = random_items(rng, n, 12);
+    const auto cap = object::Units(rng.uniform_int(0, 25));
+    const KnapsackProfile profile(items, cap);
+    ASSERT_EQ(profile.max_capacity(), cap);
+    ASSERT_EQ(profile.item_count(), n);
+
+    double previous = 0.0;
+    for (object::Units c = 0; c <= cap; ++c) {
+      const double value = profile.value_at(c);
+      EXPECT_GE(value, previous) << "value curve must be non-decreasing";
+      previous = value;
+
+      check_solution(items, profile.solution_at(c), c, value);
+      EXPECT_EQ(solve_dp(items, c).value, value) << "cap " << c;
+      EXPECT_EQ(solve_branch_and_bound(items, c).value, value)
+          << "cap " << c;
+      if (n <= 10) {
+        EXPECT_EQ(solve_brute_force(items, c).value, value) << "cap " << c;
+      }
+    }
+  }
+}
+
+TEST(KnapsackDiff, CapacityZeroTakesNothing) {
+  util::Rng rng(7);
+  const auto items = random_items(rng, 8, 5);
+  const KnapsackProfile profile(items, 0);
+  EXPECT_EQ(profile.value_at(0), 0.0);
+  const KnapsackSolution solution = profile.solution_at(0);
+  EXPECT_TRUE(solution.chosen.empty());
+  EXPECT_EQ(solution.used, 0);
+  EXPECT_EQ(solve_branch_and_bound(items, 0).value, 0.0);
+}
+
+TEST(KnapsackDiff, AllItemsLargerThanCapacity) {
+  std::vector<KnapsackItem> items{{10, 5.0}, {12, 3.0}, {11, 7.5}};
+  const KnapsackProfile profile(items, 9);
+  for (object::Units c = 0; c <= 9; ++c) {
+    EXPECT_EQ(profile.value_at(c), 0.0);
+    EXPECT_TRUE(profile.solution_at(c).chosen.empty());
+    EXPECT_EQ(solve_branch_and_bound(items, c).value, 0.0);
+  }
+}
+
+TEST(KnapsackDiff, ZeroProfitItemsNeverChosen) {
+  std::vector<KnapsackItem> items{{1, 0.0}, {2, 4.0}, {1, 0.0}, {3, 6.0}};
+  const KnapsackProfile profile(items, 6);
+  const KnapsackSolution solution = profile.solution_at(6);
+  EXPECT_EQ(solution.value, 10.0);
+  EXPECT_EQ(solution.chosen, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(solve_branch_and_bound(items, 6).value, 10.0);
+}
+
+TEST(KnapsackDiff, EmptyInstance) {
+  const std::vector<KnapsackItem> none;
+  const KnapsackProfile profile(none, 5);
+  for (object::Units c = 0; c <= 5; ++c) {
+    EXPECT_EQ(profile.value_at(c), 0.0);
+    EXPECT_TRUE(profile.solution_at(c).chosen.empty());
+  }
+}
+
+// Wide capacities exercise multi-word bit rows (row_words > 1) including
+// the word-boundary columns 63/64/127/128.
+TEST(KnapsackDiff, WideCapacityCrossesWordBoundaries) {
+  util::Rng rng(99);
+  const auto items = random_items(rng, 10, 40);
+  const object::Units cap = 200;
+  const KnapsackProfile profile(items, cap);
+  for (object::Units c : {0, 1, 63, 64, 65, 127, 128, 129, 199, 200}) {
+    const double value = profile.value_at(c);
+    check_solution(items, profile.solution_at(c), c, value);
+    EXPECT_EQ(solve_branch_and_bound(items, c).value, value);
+    EXPECT_EQ(solve_brute_force(items, c).value, value);
+  }
+}
+
+}  // namespace
+}  // namespace mobi::core

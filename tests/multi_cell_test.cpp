@@ -1,0 +1,192 @@
+// Determinism suite for the sharded multi-cell driver: a fixed-seed run
+// must produce bit-identical per-cell results and per-tick series for
+// 1, 2 and 8 pool threads, and match a no-pool serial run — scheduling
+// must never leak into simulation output. Also pins the shard-seed
+// stream's position-addressability and the recorder aggregation contract.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "exp/multi_cell.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mobi {
+namespace {
+
+exp::MultiCellConfig small_config() {
+  exp::MultiCellConfig config;
+  config.cell_count = 6;
+  config.cell.object_count = 30;
+  config.cell.client_count = 8;
+  config.cell.ticks = 40;
+  config.cell.base_budget = 20;
+  config.seed = 7;
+  return config;
+}
+
+// EXPECT_EQ on doubles is deliberate: the contract is bit-identical.
+void expect_identical(const client::CellResult& a,
+                      const client::CellResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served_locally, b.served_locally);
+  EXPECT_EQ(a.served_by_base, b.served_by_base);
+  EXPECT_EQ(a.score_sum, b.score_sum);
+  EXPECT_EQ(a.base_downloaded, b.base_downloaded);
+  EXPECT_EQ(a.sleeper_drops, b.sleeper_drops);
+  EXPECT_EQ(a.disconnect_ticks, b.disconnect_ticks);
+}
+
+void expect_identical(const coop::CoopResult& a, const coop::CoopResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.score_sum, b.score_sum);
+  EXPECT_EQ(a.recency_sum, b.recency_sum);
+  EXPECT_EQ(a.origin_units, b.origin_units);
+  EXPECT_EQ(a.neighbor_units, b.neighbor_units);
+  EXPECT_EQ(a.origin_fetches, b.origin_fetches);
+  EXPECT_EQ(a.neighbor_fetches, b.neighbor_fetches);
+}
+
+TEST(MultiCell, ShardSeedIsPositionAddressableSplitMixStream) {
+  const std::uint64_t master = 42;
+  util::SplitMix64 stream(master);
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint64_t seed = exp::shard_seed(master, i);
+    // The jump formula must agree with walking the stream output by
+    // output — that equivalence is what makes shards relocatable.
+    EXPECT_EQ(seed, stream.next()) << "index " << i;
+    seen.insert(seed);
+  }
+  EXPECT_EQ(seen.size(), 64u) << "shard seeds must be distinct";
+  EXPECT_NE(exp::shard_seed(1, 0), exp::shard_seed(2, 0));
+}
+
+TEST(MultiCell, PoolRunsBitIdenticalToSerialForAllPoolSizes) {
+  exp::MultiCellConfig config = small_config();
+  config.keep_series = true;
+  const exp::MultiCellResult serial = exp::run_multi_cell(config);
+  ASSERT_EQ(serial.per_cell.size(), config.cell_count);
+  ASSERT_EQ(serial.cell_series.size(), config.cell_count);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const exp::MultiCellResult parallel =
+        exp::run_multi_cell(config, &pool);
+    ASSERT_EQ(parallel.per_cell.size(), serial.per_cell.size());
+    for (std::size_t i = 0; i < serial.per_cell.size(); ++i) {
+      expect_identical(serial.per_cell[i], parallel.per_cell[i]);
+      ASSERT_EQ(parallel.cell_series[i].size(), serial.cell_series[i].size());
+      for (std::size_t t = 0; t < serial.cell_series[i].size(); ++t) {
+        expect_identical(serial.cell_series[i][t],
+                         parallel.cell_series[i][t]);
+      }
+    }
+    expect_identical(serial.aggregate, parallel.aggregate);
+  }
+}
+
+TEST(MultiCell, SeriesAreCumulativeAndEndAtTheCellResult) {
+  exp::MultiCellConfig config = small_config();
+  config.keep_series = true;
+  const exp::MultiCellResult result = exp::run_multi_cell(config);
+  for (std::size_t i = 0; i < result.per_cell.size(); ++i) {
+    const auto& series = result.cell_series[i];
+    ASSERT_EQ(series.size(), std::size_t(config.cell.ticks));
+    expect_identical(series.back(), result.per_cell[i]);
+    for (std::size_t t = 1; t < series.size(); ++t) {
+      EXPECT_GE(series[t].requests, series[t - 1].requests);
+      EXPECT_GE(series[t].base_downloaded, series[t - 1].base_downloaded);
+    }
+  }
+}
+
+TEST(MultiCell, RecorderAggregatesShardSumsAndPerturbsNothing) {
+  exp::MultiCellConfig config = small_config();
+  config.keep_series = true;
+  const exp::MultiCellResult bare = exp::run_multi_cell(config);
+
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  util::ThreadPool pool(2);
+  const exp::MultiCellResult observed =
+      exp::run_multi_cell(config, &pool, &recorder);
+  expect_identical(bare.aggregate, observed.aggregate);
+
+  ASSERT_EQ(recorder.samples(), std::size_t(config.cell.ticks));
+  const std::vector<double>& requests = recorder.series("mc.requests");
+  const std::vector<double>& units = recorder.series("mc.units_downloaded");
+  for (std::size_t t = 0; t < recorder.samples(); ++t) {
+    std::size_t want_requests = 0;
+    object::Units want_units = 0;
+    for (const auto& series : bare.cell_series) {
+      want_requests += series[t].requests;
+      want_units += series[t].base_downloaded;
+    }
+    EXPECT_EQ(requests[t], double(want_requests)) << "tick " << t;
+    EXPECT_EQ(units[t], double(want_units)) << "tick " << t;
+  }
+  EXPECT_EQ(requests.back(), double(bare.aggregate.requests));
+  EXPECT_EQ(registry.find_gauge("mc.cells")->value(),
+            double(config.cell_count));
+  EXPECT_EQ(registry.find_gauge("mc.average_score")->value(),
+            bare.aggregate.average_score());
+  EXPECT_EQ(registry.find_counter("mc.local_hits")->value(),
+            bare.aggregate.served_locally);
+}
+
+TEST(MultiCell, CoopClustersBitIdenticalAcrossPoolSizes) {
+  exp::MultiCellConfig config;
+  config.topology = exp::CellTopology::kCoopClusters;
+  config.cell_count = 5;
+  config.cells_per_cluster = 2;  // shards of 2, 2, 1 cells
+  config.cluster.object_count = 30;
+  config.cluster.requests_per_tick_per_cell = 10;
+  config.cluster.warmup_ticks = 5;
+  config.cluster.measure_ticks = 25;
+  config.seed = 11;
+  config.keep_series = true;
+
+  const exp::MultiCellResult serial = exp::run_multi_cell(config);
+  ASSERT_EQ(serial.shards, 3u);
+  ASSERT_EQ(serial.cells, 5u);
+  ASSERT_EQ(serial.per_cluster.size(), 3u);
+  ASSERT_EQ(serial.cluster_series.front().size(),
+            std::size_t(config.cluster.warmup_ticks +
+                        config.cluster.measure_ticks));
+  EXPECT_GT(serial.total_requests, 0u);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const exp::MultiCellResult parallel =
+        exp::run_multi_cell(config, &pool);
+    for (std::size_t i = 0; i < serial.per_cluster.size(); ++i) {
+      expect_identical(serial.per_cluster[i], parallel.per_cluster[i]);
+    }
+    expect_identical(serial.coop_aggregate, parallel.coop_aggregate);
+  }
+}
+
+TEST(MultiCell, RejectsDegenerateConfigs) {
+  exp::MultiCellConfig config = small_config();
+  config.cell_count = 0;
+  EXPECT_THROW(exp::run_multi_cell(config), std::invalid_argument);
+
+  exp::MultiCellConfig coop = small_config();
+  coop.topology = exp::CellTopology::kCoopClusters;
+  coop.cells_per_cluster = 0;
+  EXPECT_THROW(exp::run_multi_cell(coop), std::invalid_argument);
+}
+
+TEST(MultiCell, TopologyNames) {
+  EXPECT_STREQ(exp::cell_topology_name(exp::CellTopology::kSharded),
+               "sharded");
+  EXPECT_STREQ(exp::cell_topology_name(exp::CellTopology::kCoopClusters),
+               "coop-clusters");
+}
+
+}  // namespace
+}  // namespace mobi
