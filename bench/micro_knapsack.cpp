@@ -1,10 +1,30 @@
 // Google-benchmark microbenchmarks for the knapsack solvers — the inner
 // loop of the on-demand policy, executed once per request batch. DP cost
 // scales as O(n * capacity); greedy as O(n log n).
+//
+// Besides the google-benchmark suites, the binary always runs the select-
+// path hot-path measurement (docs/performance.md): candidate aggregation +
+// exact solve per batch, timed in the reference (map + fresh-construction,
+// the pre-workspace implementation) and reused (CandidateBuilder +
+// KnapsackWorkspace) variants. --quick runs only that measurement;
+// --out=<dir> writes it as mobicache.metrics.v1 JSON
+// (<dir>/micro_knapsack_metrics.json) for BENCH_hotpath.json trending.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
+#include "bench_common.hpp"
+#include "cache/decay.hpp"
+#include "core/benefit.hpp"
 #include "core/knapsack.hpp"
+#include "object/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "server/remote_server.hpp"
 #include "util/rng.hpp"
+#include "workload/access.hpp"
 
 namespace {
 
@@ -84,6 +104,151 @@ void BM_ProfileReconstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileReconstruction);
 
+// The select-path hot loop as the on-demand policy runs it per batch:
+// aggregate request benefits into candidates, then solve the knapsack at
+// the tick budget. The reference variant is the seed implementation
+// (ordered-map aggregation, freshly constructed profile + solution); the
+// reused variant is the PR 3 path (epoch-stamped CandidateBuilder,
+// workspace-borrowing solve_dp). Both must pick bit-identical values —
+// checked every round.
+void run_hotpath(const mobi::util::Flags& flags) {
+  using namespace mobi;
+  using Clock = std::chrono::steady_clock;
+  const bool quick = flags.get_bool("quick", false);
+  const std::size_t objects = std::size_t(flags.get_int("hot_objects", 512));
+  const std::size_t batch_size =
+      std::size_t(flags.get_int("hot_batch", objects / 2));
+  const Units budget = Units(flags.get_int("hot_budget", Units(objects) / 4));
+  const int rounds = int(flags.get_int("hot_rounds", quick ? 3 : 12));
+  const int solves = int(flags.get_int("hot_solves", quick ? 50 : 400));
+
+  util::Rng rng(1);
+  const auto catalog = object::make_random_catalog(objects, 1, 10, rng);
+  server::ServerPool servers(catalog, 1);
+  cache::Cache cache(objects, cache::make_harmonic_decay());
+  const core::ReciprocalScorer scorer;
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(objects, 1.0), workload::ConstantTarget{1.0},
+      batch_size, rng.split());
+  std::vector<workload::RequestBatch> batches;
+  for (int b = 0; b < 64; ++b) batches.push_back(generator.next_batch());
+  util::Rng update_rng(7);
+
+  obs::MetricsRegistry registry;
+  auto& ref_gauge = registry.register_gauge("hotpath.reference_ns_per_solve");
+  auto& new_gauge = registry.register_gauge("hotpath.reused_ns_per_solve");
+  auto& speedup_gauge = registry.register_gauge("hotpath.speedup");
+  obs::SeriesRecorder recorder(registry);
+
+  core::CandidateBuilder builder;
+  core::KnapsackWorkspace ws;
+  core::KnapsackSolution solution;
+  std::vector<KnapsackItem> items;
+  // Both variants run on the identical cache state each tick (the solve is
+  // read-only); the cache then evolves like the station's would — a few
+  // server updates per tick, and the chosen objects refreshed — so the
+  // steady-state mix of trivial and full solves matches the real select
+  // path. A warm-up pass fills caches and scratch buffers first.
+  sim::Tick now = 0;
+  const auto one_tick = [&](bool timed, double& ref_ns, double& new_ns,
+                            double& check_ref, double& check_new) {
+    const auto& batch = batches[std::size_t(now) % batches.size()];
+    for (int u = 0; u < 16; ++u) {
+      const auto id = object::ObjectId(
+          update_rng.uniform_int(0, std::int64_t(objects) - 1));
+      servers.apply_update(id, now);
+      cache.on_server_update(id);
+    }
+    const auto t0 = Clock::now();
+    const core::CandidateSet set =
+        core::build_candidates_reference(batch, catalog, cache, scorer);
+    std::vector<KnapsackItem> fresh_items;
+    fresh_items.reserve(set.candidates.size());
+    for (const auto& cand : set.candidates) {
+      fresh_items.push_back(KnapsackItem{cand.size, cand.profit});
+    }
+    const core::KnapsackProfile profile(fresh_items, budget);
+    const double ref_value = profile.solution_at(budget).value;
+    const auto t1 = Clock::now();
+    const core::CandidateSet& flat = builder.build(batch, catalog, cache, scorer);
+    items.clear();
+    for (const auto& cand : flat.candidates) {
+      items.push_back(KnapsackItem{cand.size, cand.profit});
+    }
+    core::solve_dp(items, budget, ws, solution);
+    const auto t2 = Clock::now();
+    if (timed) {
+      ref_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+      new_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+      check_ref += ref_value;
+      check_new += solution.value;
+    }
+    for (std::size_t index : solution.chosen) {
+      const object::ObjectId id = flat.candidates[index].object;
+      cache.refresh(id, servers.fetch(id), now);
+    }
+    ++now;
+  };
+  double ref_total = 0.0, new_total = 0.0;
+  {
+    double sink_ref = 0, sink_new = 0, sink_a = 0, sink_b = 0;
+    for (std::size_t w = 0; w < batches.size(); ++w) {
+      one_tick(false, sink_ref, sink_new, sink_a, sink_b);
+    }
+  }
+  for (int r = 0; r < rounds; ++r) {
+    double ref_ns = 0.0, new_ns = 0.0, check_ref = 0.0, check_new = 0.0;
+    for (int s = 0; s < solves; ++s) {
+      one_tick(true, ref_ns, new_ns, check_ref, check_new);
+    }
+    if (check_ref != check_new) {
+      std::fprintf(stderr,
+                   "hotpath: reference/reused divergence (%f vs %f)\n",
+                   check_ref, check_new);
+      std::exit(1);
+    }
+    ref_ns /= solves;
+    new_ns /= solves;
+    ref_total += ref_ns;
+    new_total += new_ns;
+    ref_gauge.set(ref_ns);
+    new_gauge.set(new_ns);
+    speedup_gauge.set(ref_ns / new_ns);
+    recorder.sample(sim::Tick(r));
+  }
+  std::printf(
+      "== micro_knapsack hotpath (select-path solve, %zu objects, budget "
+      "%lld) ==\nreference %.0f ns/solve, reused %.0f ns/solve, speedup "
+      "%.2fx\n\n",
+      objects, static_cast<long long>(budget), ref_total / rounds,
+      new_total / rounds, ref_total / new_total);
+  bench::emit_metrics(flags, "micro_knapsack", recorder);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const mobi::util::Flags flags(argc, argv);
+  run_hotpath(flags);
+  if (flags.get_bool("quick", false)) return 0;
+  // Strip our flags before handing argv to google-benchmark (it rejects
+  // unknown --flags).
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick" || arg.rfind("--out", 0) == 0 ||
+        arg.rfind("--hot_", 0) == 0) {
+      if ((arg == "--out" || arg.rfind("--hot_", 0) == 0) &&
+          arg.find('=') == std::string_view::npos && i + 1 < argc) {
+        ++i;  // skip the detached value token
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = int(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

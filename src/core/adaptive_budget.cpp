@@ -28,28 +28,29 @@ std::string AdaptiveKnapsackPolicy::name() const {
          (config_.rule == BoundRule::kMarginalKnee ? "knee" : "elbow") + ")";
 }
 
-std::vector<object::ObjectId> AdaptiveKnapsackPolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void AdaptiveKnapsackPolicy::select_into(const workload::RequestBatch& batch,
+                                         const PolicyContext& ctx,
+                                         std::vector<object::ObjectId>& out) {
   if (!ctx.catalog || !ctx.cache || !ctx.scorer) {
     throw std::invalid_argument("AdaptiveKnapsackPolicy: incomplete context");
   }
-  const CandidateSet set =
-      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  out.clear();
+  const CandidateSet& set =
+      builder_.build(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
   if (set.candidates.empty()) {
     last_budget_ = 0;
-    return {};
+    return;
   }
-  std::vector<KnapsackItem> items;
-  items.reserve(set.candidates.size());
+  items_.clear();
   object::Units demand = 0;
   for (const auto& cand : set.candidates) {
-    items.push_back(KnapsackItem{cand.size, cand.profit});
+    items_.push_back(KnapsackItem{cand.size, cand.profit});
     demand += cand.size;
   }
 
   // Build the profile over the full demand and estimate the worthwhile
   // bound from the current workload and cache state.
-  const KnapsackProfile profile(items, demand);
+  const KnapsackProfile profile(items_, demand, ws_);
   const BoundEstimate estimate =
       config_.rule == BoundRule::kMarginalKnee
           ? estimate_bound_marginal(profile,
@@ -72,13 +73,10 @@ std::vector<object::ObjectId> AdaptiveKnapsackPolicy::select(
   last_budget_ = budget;
   granted_ += budget;
 
-  const KnapsackSolution solution = profile.solution_at(std::min(budget, demand));
-  std::vector<object::ObjectId> selected;
-  selected.reserve(solution.chosen.size());
-  for (std::size_t index : solution.chosen) {
-    selected.push_back(set.candidates[index].object);
+  profile.solution_into(std::min(budget, demand), solution_);
+  for (std::size_t index : solution_.chosen) {
+    out.push_back(set.candidates[index].object);
   }
-  return selected;
 }
 
 }  // namespace mobi::core

@@ -37,8 +37,9 @@ class AdaptiveKnapsackPolicy final : public DownloadPolicy {
  public:
   explicit AdaptiveKnapsackPolicy(AdaptiveBudgetConfig config = {});
 
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override;
 
   /// The budget chosen on the most recent select() call.
@@ -51,6 +52,10 @@ class AdaptiveKnapsackPolicy final : public DownloadPolicy {
   double smoothed_ = -1.0;  // < 0 until the first estimate
   object::Units last_budget_ = 0;
   object::Units granted_ = 0;
+  CandidateBuilder builder_;
+  KnapsackWorkspace ws_;
+  std::vector<KnapsackItem> items_;
+  KnapsackSolution solution_;
 };
 
 }  // namespace mobi::core

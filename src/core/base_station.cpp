@@ -30,6 +30,9 @@ BaseStation::BaseStation(const object::Catalog& catalog,
   if (config.fetch_failure_rate < 0.0 || config.fetch_failure_rate > 1.0) {
     throw std::invalid_argument("BaseStation: fetch_failure_rate in [0, 1]");
   }
+  if (config.coalesce_downlink) {
+    sent_epoch_.assign(catalog.size(), 0);  // epoch 0 = never sent
+  }
 }
 
 void BaseStation::on_server_update(object::ObjectId id, sim::Tick now) {
@@ -56,7 +59,6 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   ctx.scorer = scorer_.get();
   ctx.now = now;
   ctx.budget = config_.download_budget;
-  std::vector<object::ObjectId> to_fetch;
   {
     obs::ScopedTrace span(trace_, "bs.select", now);
     if (metrics_) {
@@ -64,22 +66,21 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       // identical on both branches, so enabling metrics cannot change
       // what gets fetched.
       const auto t0 = std::chrono::steady_clock::now();
-      to_fetch = policy_->select(batch, ctx);
+      policy_->select_into(batch, ctx, to_fetch_);
       inst_.solve_time_us->observe(
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - t0)
               .count());
     } else {
-      to_fetch = policy_->select(batch, ctx);
+      policy_->select_into(batch, ctx, to_fetch_);
     }
   }
 
   // Fetch the selected objects over the fixed network.
-  std::vector<object::Units> transfer_sizes;
-  transfer_sizes.reserve(to_fetch.size());
+  transfer_sizes_.clear();
   {
     obs::ScopedTrace span(trace_, "bs.fetch", now);
-    for (object::ObjectId id : to_fetch) {
+    for (object::ObjectId id : to_fetch_) {
       if (config_.fetch_failure_rate > 0.0 &&
           failure_rng_.bernoulli(config_.fetch_failure_rate)) {
         ++result.failed_fetches;  // fault: no transfer, cache untouched
@@ -87,13 +88,13 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       }
       const server::FetchResult fetched = servers_->fetch(id);
       cache_.refresh(id, fetched, now);
-      transfer_sizes.push_back(fetched.size);
+      transfer_sizes_.push_back(fetched.size);
       result.units_downloaded += fetched.size;
       ++result.objects_downloaded;
     }
-    if (!transfer_sizes.empty()) {
-      result.fetch_latency = network_.batch_completion_time(transfer_sizes);
-      network_.submit_batch(transfer_sizes);
+    if (!transfer_sizes_.empty()) {
+      result.fetch_latency = network_.batch_completion_time(transfer_sizes_);
+      network_.record_batch(transfer_sizes_);
     }
   }
   if (metrics_) {
@@ -105,7 +106,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
         config_.download_budget < 0
             ? -1.0
             : double(config_.download_budget - result.units_downloaded));
-    if (!transfer_sizes.empty()) {
+    if (!transfer_sizes_.empty()) {
       inst_.fetch_latency->observe(result.fetch_latency);
     }
   }
@@ -113,11 +114,9 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // Serve every request from the (now partially refreshed) cache and push
   // the payload onto the downlink. In coalescing mode the downlink is a
   // broadcast: one transmission per distinct object serves all of its
-  // requesters this tick.
-  std::vector<bool> already_sent;
-  if (config_.coalesce_downlink) {
-    already_sent.assign(catalog_->size(), false);
-  }
+  // requesters this tick. "Sent this tick" is an epoch stamp, so starting
+  // a fresh tick is one counter bump instead of an O(catalog) clear.
+  ++serve_epoch_;
   {
     obs::ScopedTrace span(trace_, "bs.serve", now);
     for (const workload::Request& request : batch) {
@@ -141,11 +140,11 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       }
       if (cached) {
         if (config_.coalesce_downlink) {
-          if (already_sent[request.object]) {
+          if (sent_epoch_[request.object] == serve_epoch_) {
             if (metrics_) inst_.coalesced_responses->add();
             continue;
           }
-          already_sent[request.object] = true;
+          sent_epoch_[request.object] = serve_epoch_;
         }
         downlink_.enqueue(catalog_->object_size(request.object));
       }

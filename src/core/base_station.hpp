@@ -153,6 +153,14 @@ class BaseStation {
   util::Rng failure_rng_;
   RunTotals totals_;
 
+  // Per-batch scratch retained across ticks (docs/performance.md): fetch
+  // list, transfer sizes, and the epoch-stamped coalesce array that
+  // replaces a per-tick O(catalog) clear with one counter bump.
+  std::vector<object::ObjectId> to_fetch_;
+  std::vector<object::Units> transfer_sizes_;
+  std::vector<std::uint64_t> sent_epoch_;
+  std::uint64_t serve_epoch_ = 0;
+
   struct Instruments {
     obs::Counter* requests = nullptr;
     obs::Counter* hits = nullptr;

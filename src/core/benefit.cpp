@@ -1,14 +1,66 @@
 #include "core/benefit.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
 namespace mobi::core {
 
+const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
+                                            const object::Catalog& catalog,
+                                            const cache::Cache& cache,
+                                            const RecencyScorer& scorer) {
+  set_.candidates.clear();
+  set_.total_requests = batch.size();
+  set_.baseline_score_sum = 0.0;
+  if (stamp_.size() < catalog.size()) {
+    stamp_.resize(catalog.size(), 0);
+    slot_.resize(catalog.size());
+  }
+  ++epoch_;
+  for (const workload::Request& request : batch) {
+    const double x = cache.recency_or_zero(request.object);
+    const double cached_score = scorer.score(x, request.target_recency);
+    const object::ObjectId id = request.object;
+    if (id >= stamp_.size()) {
+      catalog.object_size(id);  // out-of-catalog id: throw as the map did
+    }
+    if (stamp_[id] != epoch_) {
+      stamp_[id] = epoch_;
+      slot_[id] = std::uint32_t(set_.candidates.size());
+      DownloadCandidate fresh;
+      fresh.object = id;
+      fresh.size = catalog.object_size(id);
+      set_.candidates.push_back(fresh);
+    }
+    DownloadCandidate& cand = set_.candidates[slot_[id]];
+    ++cand.requests;
+    cand.cached_score_sum += cached_score;
+    cand.profit += 1.0 - cached_score;
+    set_.baseline_score_sum += cached_score;
+  }
+  // First-encounter order -> id order, matching the reference map's
+  // iteration. Ids are distinct, so the sort result is unique and std::sort
+  // (in-place, allocation-free) is safe.
+  std::sort(set_.candidates.begin(), set_.candidates.end(),
+            [](const DownloadCandidate& a, const DownloadCandidate& b) {
+              return a.object < b.object;
+            });
+  return set_;
+}
+
 CandidateSet build_candidates(const workload::RequestBatch& batch,
                               const object::Catalog& catalog,
                               const cache::Cache& cache,
                               const RecencyScorer& scorer) {
+  CandidateBuilder builder;
+  return builder.build(batch, catalog, cache, scorer);
+}
+
+CandidateSet build_candidates_reference(const workload::RequestBatch& batch,
+                                        const object::Catalog& catalog,
+                                        const cache::Cache& cache,
+                                        const RecencyScorer& scorer) {
   // Aggregate per object in id order for deterministic output.
   std::map<object::ObjectId, DownloadCandidate> by_object;
   CandidateSet set;

@@ -43,6 +43,39 @@ CandidateSet build_candidates(const workload::RequestBatch& batch,
                               const cache::Cache& cache,
                               const RecencyScorer& scorer);
 
+/// Reference implementation of build_candidates using an ordered map —
+/// the original O(R log D) aggregation, kept verbatim as the oracle for
+/// the differential fuzz in tests/benefit_diff_test.cpp.
+CandidateSet build_candidates_reference(const workload::RequestBatch& batch,
+                                        const object::Catalog& catalog,
+                                        const cache::Cache& cache,
+                                        const RecencyScorer& scorer);
+
+/// Reusable aggregation state for build_candidates: an epoch-stamped dense
+/// slot array over the catalog turns the per-batch map into O(R + D) with
+/// zero allocations once the buffers reach their high-water size. Output
+/// is bit-identical to build_candidates_reference (per-object doubles
+/// accumulate in the same batch order; candidates are emitted in id
+/// order). One builder per policy — the returned set aliases internal
+/// storage and is valid until the next build() call.
+class CandidateBuilder {
+ public:
+  CandidateBuilder() = default;
+  CandidateBuilder(const CandidateBuilder&) = delete;
+  CandidateBuilder& operator=(const CandidateBuilder&) = delete;
+
+  const CandidateSet& build(const workload::RequestBatch& batch,
+                            const object::Catalog& catalog,
+                            const cache::Cache& cache,
+                            const RecencyScorer& scorer);
+
+ private:
+  std::vector<std::uint64_t> stamp_;  // per-object epoch of last touch
+  std::vector<std::uint32_t> slot_;   // object -> index into set_.candidates
+  std::uint64_t epoch_ = 0;           // 0 = never seen
+  CandidateSet set_;
+};
+
 /// Builds candidates directly from per-object aggregates — the §4 setup,
 /// where Cache Recency Score is itself the parameter ("the recency score
 /// of a cached object averaged over the clients who request the object").

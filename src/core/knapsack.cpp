@@ -21,36 +21,154 @@ void validate_items(std::span<const KnapsackItem> items) {
   }
 }
 
+/// Density order shared by the greedy solver and the DP shortcut: profit
+/// density descending, then size ascending, then index ascending. The
+/// comparator must stay identical in both places — the shortcut's
+/// optimality argument assumes the greedy's exact order.
+void density_order(std::span<const KnapsackItem> items,
+                   std::vector<std::size_t>& order) {
+  order.resize(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = items[a].profit / double(items[a].size);
+    const double db = items[b].profit / double(items[b].size);
+    if (da != db) return da > db;
+    if (items[a].size != items[b].size) return items[a].size < items[b].size;
+    return a < b;
+  });
+}
+
+/// Shortcut 1: when every positive-profit item fits within the capacity
+/// together, the optimum is forced — any optimal set contains all of them
+/// (dropping one loses its profit) and nothing else (the strict-improvement
+/// DP never takes zero-profit items). The DP reconstructs exactly this set
+/// and accumulates its value item-by-item in ascending index order, so the
+/// ascending fold below reproduces the DP's double bit-for-bit.
+bool take_all_shortcut(std::span<const KnapsackItem> items,
+                       object::Units capacity, KnapsackSolution& out) {
+  object::Units need = 0;
+  for (const KnapsackItem& item : items) {
+    if (item.profit > 0.0) {
+      need += item.size;
+      if (need > capacity) return false;
+    }
+  }
+  out.reset();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].profit > 0.0) {
+      out.chosen.push_back(i);
+      out.value += items[i].profit;
+      out.used += items[i].size;
+    }
+  }
+  return true;
+}
+
+/// Shortcut 2: when the density-greedy prefix fills the capacity *exactly*
+/// — no skipped item, no leftover — and there is a strict density gap to
+/// the first positive-profit item left out, the greedy value equals the
+/// fractional (LP) upper bound and the integral optimum is unique: every
+/// item outside the prefix has strictly lower density, so any other
+/// feasible set is strictly worse. The DP must therefore reconstruct this
+/// same set; value is folded in ascending index order to match its double.
+bool greedy_prefix_shortcut(std::span<const KnapsackItem> items,
+                            object::Units capacity,
+                            std::vector<std::size_t>& order,
+                            KnapsackSolution& out) {
+  density_order(items, order);
+  object::Units left = capacity;
+  std::size_t k = 0;
+  for (; k < order.size(); ++k) {
+    const KnapsackItem& item = items[order[k]];
+    if (item.profit <= 0.0) return false;  // positives ran out before fill
+    if (item.size > left) break;           // a skip: prefix ends short
+    left -= item.size;
+    if (left == 0) {
+      ++k;
+      break;
+    }
+  }
+  if (left != 0) return false;  // not an exact fill
+  if (k == 0) {                 // capacity 0: the empty set is the optimum
+    out.reset();
+    return true;
+  }
+  if (k < order.size()) {
+    const KnapsackItem& last = items[order[k - 1]];
+    const KnapsackItem& next = items[order[k]];
+    if (next.profit > 0.0) {
+      const double dl = last.profit / double(last.size);
+      const double dn = next.profit / double(next.size);
+      if (!(dl > dn)) return false;  // tie across the cut: not provably unique
+    }
+  }
+  out.reset();
+  out.chosen.assign(order.begin(), order.begin() + std::ptrdiff_t(k));
+  std::sort(out.chosen.begin(), out.chosen.end());
+  for (std::size_t index : out.chosen) {
+    out.value += items[index].profit;
+    out.used += items[index].size;
+  }
+  return true;
+}
+
 }  // namespace
 
 KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
-                                 object::Units max_capacity) {
+                                 object::Units max_capacity)
+    : ws_(&own_) {
   validate_items(items);
+  build(items, max_capacity);
+}
+
+KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
+                                 object::Units max_capacity,
+                                 KnapsackWorkspace& workspace)
+    : ws_(&workspace) {
+  validate_items(items);
+  build(items, max_capacity);
+}
+
+KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
+                                 object::Units max_capacity,
+                                 KnapsackWorkspace* workspace,
+                                 AlreadyValidated)
+    : ws_(workspace ? workspace : &own_) {
+  build(items, max_capacity);
+}
+
+void KnapsackProfile::build(std::span<const KnapsackItem> items,
+                            object::Units max_capacity) {
   if (max_capacity < 0) {
     throw std::invalid_argument("KnapsackProfile: negative capacity");
   }
   const std::size_t n = items.size();
   const auto cap = std::size_t(max_capacity);
-  item_sizes_.reserve(n);
-  for (const auto& item : items) item_sizes_.push_back(item.size);
+  // resize + fill instead of assign: once the workspace has seen its
+  // high-water capacity, later builds touch no allocator at all.
+  ws_->item_sizes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ws_->item_sizes_[i] = items[i].size;
 
-  values_.assign(cap + 1, 0.0);
+  ws_->values_.resize(cap + 1);
+  std::fill(ws_->values_.begin(), ws_->values_.end(), 0.0);
   row_words_ = (cap + 1 + 63) / 64;
-  take_bits_.assign(n * row_words_, 0);
+  ws_->take_bits_.resize(n * row_words_);
+  std::fill(ws_->take_bits_.begin(), ws_->take_bits_.end(), 0);
   // Classic row-by-row DP; strict improvement keeps solutions minimal
   // (zero-profit items are never taken). The decision matrix is a single
   // flat allocation; each item touches only its own contiguous row, and
   // the value scan walks values_ backwards at two fixed offsets — both
   // streams prefetch-friendly, no per-row pointer chasing.
-  std::uint64_t* row = take_bits_.data();
+  std::vector<double>& values = ws_->values_;
+  std::uint64_t* row = ws_->take_bits_.data();
   for (std::size_t i = 0; i < n; ++i, row += row_words_) {
     const auto size = std::size_t(items[i].size);
     const double profit = items[i].profit;
     if (size > cap) continue;
     for (std::size_t c = cap; c >= size; --c) {
-      const double candidate = values_[c - size] + profit;
-      if (candidate > values_[c]) {
-        values_[c] = candidate;
+      const double candidate = values[c - size] + profit;
+      if (candidate > values[c]) {
+        values[c] = candidate;
         row[c >> 6] |= std::uint64_t{1} << (c & 63);
       }
       if (c == size) break;  // avoid size_t underflow
@@ -62,89 +180,135 @@ double KnapsackProfile::value_at(object::Units c) const {
   if (c < 0 || c > max_capacity()) {
     throw std::out_of_range("KnapsackProfile::value_at");
   }
-  return values_[std::size_t(c)];
+  return ws_->values_[std::size_t(c)];
 }
 
 KnapsackSolution KnapsackProfile::solution_at(object::Units c) const {
+  KnapsackSolution solution;
+  solution_into(c, solution);
+  return solution;
+}
+
+void KnapsackProfile::solution_into(object::Units c,
+                                    KnapsackSolution& out) const {
   if (c < 0 || c > max_capacity()) {
     throw std::out_of_range("KnapsackProfile::solution_at");
   }
-  KnapsackSolution solution;
-  solution.value = values_[std::size_t(c)];
+  out.reset();
+  out.value = ws_->values_[std::size_t(c)];
   auto remaining = std::size_t(c);
-  for (std::size_t i = item_sizes_.size(); i-- > 0;) {
+  const std::vector<object::Units>& sizes = ws_->item_sizes_;
+  for (std::size_t i = sizes.size(); i-- > 0;) {
     if (taken(i, remaining)) {
-      solution.chosen.push_back(i);
-      solution.used += item_sizes_[i];
-      remaining -= std::size_t(item_sizes_[i]);
+      out.chosen.push_back(i);
+      out.used += sizes[i];
+      remaining -= std::size_t(sizes[i]);
     }
   }
-  std::reverse(solution.chosen.begin(), solution.chosen.end());
-  return solution;
+  std::reverse(out.chosen.begin(), out.chosen.end());
 }
 
 KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
                           object::Units capacity) {
-  return KnapsackProfile(items, capacity).solution_at(capacity);
+  KnapsackWorkspace ws;
+  KnapsackSolution out;
+  solve_dp(items, capacity, ws, out);
+  return out;
+}
+
+void solve_dp(std::span<const KnapsackItem> items, object::Units capacity,
+              KnapsackWorkspace& ws, KnapsackSolution& out) {
+  // The batch is validated exactly once here; the profile construction
+  // below skips re-validation (AlreadyValidated route).
+  validate_items(items);
+  if (capacity < 0) {
+    throw std::invalid_argument("KnapsackProfile: negative capacity");
+  }
+  if (take_all_shortcut(items, capacity, out)) return;
+  if (greedy_prefix_shortcut(items, capacity, ws.order_, out)) return;
+  const KnapsackProfile profile(items, capacity, &ws,
+                                KnapsackProfile::AlreadyValidated{});
+  profile.solution_into(capacity, out);
 }
 
 KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
                               object::Units capacity) {
+  KnapsackWorkspace ws;
+  KnapsackSolution out;
+  solve_greedy(items, capacity, ws, out);
+  return out;
+}
+
+void solve_greedy(std::span<const KnapsackItem> items, object::Units capacity,
+                  KnapsackWorkspace& ws, KnapsackSolution& out) {
   validate_items(items);
-  if (capacity < 0) throw std::invalid_argument("solve_greedy: negative capacity");
-  std::vector<std::size_t> order(items.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double da = items[a].profit / double(items[a].size);
-    const double db = items[b].profit / double(items[b].size);
-    if (da != db) return da > db;
-    if (items[a].size != items[b].size) return items[a].size < items[b].size;
-    return a < b;
-  });
-  KnapsackSolution greedy;
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_greedy: negative capacity");
+  }
+  density_order(items, ws.order_);
+  out.reset();
   object::Units left = capacity;
-  for (std::size_t index : order) {
+  for (std::size_t index : ws.order_) {
     if (items[index].profit <= 0.0) break;  // sorted: the rest are worthless
     if (items[index].size <= left) {
-      greedy.chosen.push_back(index);
-      greedy.value += items[index].profit;
-      greedy.used += items[index].size;
+      out.chosen.push_back(index);
+      out.value += items[index].profit;
+      out.used += items[index].size;
       left -= items[index].size;
     }
   }
   // 1/2-approximation guarantee needs max(greedy, best single item).
-  KnapsackSolution best_single;
+  std::size_t best_single = items.size();
+  double best_value = 0.0;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].size <= capacity && items[i].profit > best_single.value) {
-      best_single = KnapsackSolution{items[i].profit, items[i].size, {i}};
+    if (items[i].size <= capacity && items[i].profit > best_value) {
+      best_single = i;
+      best_value = items[i].profit;
     }
   }
-  if (best_single.value > greedy.value) return best_single;
-  std::sort(greedy.chosen.begin(), greedy.chosen.end());
-  return greedy;
+  if (best_value > out.value) {
+    out.reset();
+    out.chosen.push_back(best_single);
+    out.value = best_value;
+    out.used = items[best_single].size;
+    return;
+  }
+  std::sort(out.chosen.begin(), out.chosen.end());
 }
 
 KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
                              object::Units capacity, double epsilon) {
+  KnapsackWorkspace ws;
+  KnapsackSolution out;
+  solve_fptas(items, capacity, epsilon, ws, out);
+  return out;
+}
+
+void solve_fptas(std::span<const KnapsackItem> items, object::Units capacity,
+                 double epsilon, KnapsackWorkspace& ws,
+                 KnapsackSolution& out) {
   validate_items(items);
-  if (capacity < 0) throw std::invalid_argument("solve_fptas: negative capacity");
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_fptas: negative capacity");
+  }
   if (!(epsilon > 0.0) || epsilon >= 1.0) {
     throw std::invalid_argument("solve_fptas: epsilon must be in (0, 1)");
   }
+  out.reset();
   const std::size_t n = items.size();
   double max_profit = 0.0;
   for (const auto& item : items) {
     if (item.size <= capacity) max_profit = std::max(max_profit, item.profit);
   }
-  if (n == 0 || max_profit <= 0.0) return {};
+  if (n == 0 || max_profit <= 0.0) return;
 
   // Scale profits to integers: q_i = floor(p_i / K), K = eps * P / n.
   const double scale = epsilon * max_profit / double(n);
-  std::vector<std::uint64_t> scaled(n);
+  ws.scaled_.resize(n);
   std::uint64_t total_scaled = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    scaled[i] = std::uint64_t(items[i].profit / scale);
-    total_scaled += scaled[i];
+    ws.scaled_[i] = std::uint64_t(items[i].profit / scale);
+    total_scaled += ws.scaled_[i];
   }
   // Guard the decision-matrix footprint (bits = n * (total_scaled + 1)).
   constexpr std::uint64_t kMaxBits = 64ULL * 1024 * 1024 * 8;
@@ -154,46 +318,49 @@ KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
   }
 
   // min_weight[q] = least total size achieving scaled profit exactly q.
+  // The take matrix is flat 64-bit words, one padded row per item, reusing
+  // the workspace's bit buffer like the profile DP does.
   const auto q_max = std::size_t(total_scaled);
   constexpr object::Units kInfeasible = std::numeric_limits<object::Units>::max();
-  std::vector<object::Units> min_weight(q_max + 1, kInfeasible);
-  min_weight[0] = 0;
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(q_max + 1, false));
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto q_i = std::size_t(scaled[i]);
+  ws.min_weight_.resize(q_max + 1);
+  std::fill(ws.min_weight_.begin(), ws.min_weight_.end(), kInfeasible);
+  ws.min_weight_[0] = 0;
+  const std::size_t row_words = (q_max + 1 + 63) / 64;
+  ws.take_bits_.resize(n * row_words);
+  std::fill(ws.take_bits_.begin(), ws.take_bits_.end(), 0);
+  std::uint64_t* row = ws.take_bits_.data();
+  for (std::size_t i = 0; i < n; ++i, row += row_words) {
+    const auto q_i = std::size_t(ws.scaled_[i]);
     if (q_i == 0) continue;  // adds no scaled profit; skip (keeps DP tight)
-    auto& row = take[i];
     for (std::size_t q = q_max; q >= q_i; --q) {
-      if (min_weight[q - q_i] == kInfeasible) {
+      if (ws.min_weight_[q - q_i] == kInfeasible) {
         if (q == q_i) break;
         continue;
       }
-      const object::Units weight = min_weight[q - q_i] + items[i].size;
-      if (weight < min_weight[q]) {
-        min_weight[q] = weight;
-        row[q] = true;
+      const object::Units weight = ws.min_weight_[q - q_i] + items[i].size;
+      if (weight < ws.min_weight_[q]) {
+        ws.min_weight_[q] = weight;
+        row[q >> 6] |= std::uint64_t{1} << (q & 63);
       }
       if (q == q_i) break;
     }
   }
   std::size_t best_q = 0;
   for (std::size_t q = 0; q <= q_max; ++q) {
-    if (min_weight[q] <= capacity) best_q = q;
+    if (ws.min_weight_[q] <= capacity) best_q = q;
   }
   // Reconstruct and report the *true* (unscaled) value of the chosen set.
-  KnapsackSolution solution;
   std::size_t q = best_q;
   for (std::size_t i = n; i-- > 0;) {
     if (q == 0) break;
-    if (take[i][q]) {
-      solution.chosen.push_back(i);
-      solution.value += items[i].profit;
-      solution.used += items[i].size;
-      q -= std::size_t(scaled[i]);
+    if ((ws.take_bits_[i * row_words + (q >> 6)] >> (q & 63)) & 1u) {
+      out.chosen.push_back(i);
+      out.value += items[i].profit;
+      out.used += items[i].size;
+      q -= std::size_t(ws.scaled_[i]);
     }
   }
-  std::reverse(solution.chosen.begin(), solution.chosen.end());
-  return solution;
+  std::reverse(out.chosen.begin(), out.chosen.end());
 }
 
 KnapsackSolution solve_brute_force(std::span<const KnapsackItem> items,

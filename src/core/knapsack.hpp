@@ -7,6 +7,13 @@
 // downloaded) and what the bound estimator (§6 future work) consumes.
 // A greedy density heuristic and an FPTAS are provided as the polynomial
 // approximations the paper mentions.
+//
+// The solve is the per-batch hot path of every cell (docs/performance.md),
+// so every solver can borrow a KnapsackWorkspace: a bundle of scratch
+// buffers that grow to the high-water mark of the instances seen and are
+// then reused allocation-free across batches. Workspace-backed solves are
+// bit-identical to fresh-construction solves (locked by the differential
+// fuzz in tests/knapsack_diff_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,43 @@ struct KnapsackSolution {
   double value = 0.0;
   object::Units used = 0;
   std::vector<std::size_t> chosen;  // indices into the item span, ascending
+
+  /// Resets to the empty solution; `chosen` keeps its capacity so a
+  /// KnapsackSolution retained across batches never reallocates.
+  void reset() noexcept {
+    value = 0.0;
+    used = 0;
+    chosen.clear();
+  }
+};
+
+class KnapsackProfile;
+
+/// Reusable scratch for the solvers and for KnapsackProfile. Buffers only
+/// ever grow (capacity high-water mark); contents are overwritten by each
+/// borrowing solve, so a workspace must not back two live profiles at
+/// once. One workspace per policy/thread — it is not synchronized.
+class KnapsackWorkspace {
+ public:
+  KnapsackWorkspace() = default;
+  KnapsackWorkspace(const KnapsackWorkspace&) = delete;
+  KnapsackWorkspace& operator=(const KnapsackWorkspace&) = delete;
+
+ private:
+  friend class KnapsackProfile;
+  friend void solve_dp(std::span<const KnapsackItem>, object::Units,
+                       KnapsackWorkspace&, KnapsackSolution&);
+  friend void solve_greedy(std::span<const KnapsackItem>, object::Units,
+                           KnapsackWorkspace&, KnapsackSolution&);
+  friend void solve_fptas(std::span<const KnapsackItem>, object::Units,
+                          double, KnapsackWorkspace&, KnapsackSolution&);
+
+  std::vector<double> values_;          // profile value curve
+  std::vector<std::uint64_t> take_bits_;  // profile / FPTAS decision bits
+  std::vector<object::Units> item_sizes_;
+  std::vector<std::size_t> order_;      // density order (greedy, shortcuts)
+  std::vector<std::uint64_t> scaled_;   // FPTAS scaled profits
+  std::vector<object::Units> min_weight_;  // FPTAS weight-per-profit row
 };
 
 /// Exact optimal values for every capacity 0..max_capacity, with item
@@ -35,44 +79,77 @@ struct KnapsackSolution {
 /// n * ceil((max_capacity + 1) / 64) words plus O(max_capacity) doubles —
 /// no per-row vector headers, and row i lives contiguously at
 /// [i * row_words, (i + 1) * row_words).
+///
+/// Constructed with an external KnapsackWorkspace the profile borrows the
+/// workspace's buffers instead of allocating its own; the profile is then
+/// valid only while the workspace outlives it and until the workspace is
+/// lent to another solve. Profiles are neither copyable nor movable.
 class KnapsackProfile {
  public:
   KnapsackProfile(std::span<const KnapsackItem> items,
                   object::Units max_capacity);
+  KnapsackProfile(std::span<const KnapsackItem> items,
+                  object::Units max_capacity, KnapsackWorkspace& workspace);
+
+  KnapsackProfile(const KnapsackProfile&) = delete;
+  KnapsackProfile& operator=(const KnapsackProfile&) = delete;
 
   object::Units max_capacity() const noexcept {
-    return object::Units(values_.size()) - 1;
+    return object::Units(ws_->values_.size()) - 1;
   }
-  std::size_t item_count() const noexcept { return item_sizes_.size(); }
+  std::size_t item_count() const noexcept { return ws_->item_sizes_.size(); }
 
   /// Optimal total profit at capacity c (0 <= c <= max_capacity).
   double value_at(object::Units c) const;
-  /// The full value curve, indexed by capacity.
-  const std::vector<double>& values() const noexcept { return values_; }
+  /// The full value curve, indexed by capacity (size max_capacity + 1).
+  const std::vector<double>& values() const noexcept { return ws_->values_; }
 
   /// An optimal item subset at capacity c.
   KnapsackSolution solution_at(object::Units c) const;
+  /// Same, written into `out` (cleared first) — allocation-free once
+  /// out.chosen has capacity.
+  void solution_into(object::Units c, KnapsackSolution& out) const;
 
  private:
+  struct AlreadyValidated {};
+  KnapsackProfile(std::span<const KnapsackItem> items,
+                  object::Units max_capacity, KnapsackWorkspace* workspace,
+                  AlreadyValidated);
+  friend void solve_dp(std::span<const KnapsackItem>, object::Units,
+                       KnapsackWorkspace&, KnapsackSolution&);
+
+  void build(std::span<const KnapsackItem> items, object::Units max_capacity);
+
   bool taken(std::size_t item, std::size_t c) const noexcept {
-    return (take_bits_[item * row_words_ + (c >> 6)] >> (c & 63)) & 1u;
+    return (ws_->take_bits_[item * row_words_ + (c >> 6)] >> (c & 63)) & 1u;
   }
 
-  std::vector<double> values_;  // final row: best value per capacity
-  // Flat bit-matrix: bit c of row i set iff item i is taken at capacity c.
-  std::vector<std::uint64_t> take_bits_;
-  std::size_t row_words_ = 0;  // 64-bit words per row
-  std::vector<object::Units> item_sizes_;
+  KnapsackWorkspace own_;        // backs ws_ when no workspace was lent
+  KnapsackWorkspace* ws_;        // &own_ or the external workspace
+  std::size_t row_words_ = 0;    // 64-bit words per row
 };
 
 /// Exact DP solution at a single capacity.
 KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
                           object::Units capacity);
 
+/// Allocation-free exact solve into `out`, borrowing `ws` for scratch.
+/// Bit-identical to the other overload. Items are validated exactly once
+/// here; two cheap exactness shortcuts (docs/performance.md) skip the
+/// O(n * capacity) DP when the optimal set is provably forced:
+///  * every positive-profit item fits within the capacity, or
+///  * the density-greedy prefix fills the capacity exactly with a strict
+///    density gap to the first item left out (the greedy value then meets
+///    the fractional upper bound, and the optimum is unique).
+void solve_dp(std::span<const KnapsackItem> items, object::Units capacity,
+              KnapsackWorkspace& ws, KnapsackSolution& out);
+
 /// Greedy by profit density (profit/size), with the classic best-single-
 /// item fallback; a 1/2-approximation. O(n log n).
 KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
                               object::Units capacity);
+void solve_greedy(std::span<const KnapsackItem> items, object::Units capacity,
+                  KnapsackWorkspace& ws, KnapsackSolution& out);
 
 /// Fully polynomial approximation scheme via profit scaling: returns a
 /// feasible solution with value >= (1 - epsilon) * OPT.
@@ -80,6 +157,8 @@ KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
 /// if that would exceed ~64 MiB (keep n or 1/epsilon moderate).
 KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
                              object::Units capacity, double epsilon);
+void solve_fptas(std::span<const KnapsackItem> items, object::Units capacity,
+                 double epsilon, KnapsackWorkspace& ws, KnapsackSolution& out);
 
 /// Exhaustive search; only for tests (throws if items.size() > 30).
 KnapsackSolution solve_brute_force(std::span<const KnapsackItem> items,

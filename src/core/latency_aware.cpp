@@ -19,35 +19,32 @@ std::string OnDemandLatencyAwarePolicy::name() const {
   return "on-demand-latency-aware(overhead=" + std::to_string(overhead_) + ")";
 }
 
-std::vector<object::ObjectId> OnDemandLatencyAwarePolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void OnDemandLatencyAwarePolicy::select_into(
+    const workload::RequestBatch& batch, const PolicyContext& ctx,
+    std::vector<object::ObjectId>& out) {
   if (!ctx.catalog || !ctx.cache || !ctx.scorer) {
     throw std::invalid_argument("OnDemandLatencyAwarePolicy: incomplete context");
   }
-  const CandidateSet set =
-      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
-  if (set.candidates.empty()) return {};
+  out.clear();
+  const CandidateSet& set =
+      builder_.build(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  if (set.candidates.empty()) return;
 
   if (ctx.budget < 0) {
-    std::vector<object::ObjectId> all;
     for (const auto& cand : set.candidates) {
-      if (cand.profit > 0.0) all.push_back(cand.object);
+      if (cand.profit > 0.0) out.push_back(cand.object);
     }
-    return all;
+    return;
   }
 
-  std::vector<KnapsackItem> items;
-  items.reserve(set.candidates.size());
+  items_.clear();
   for (const auto& cand : set.candidates) {
-    items.push_back(KnapsackItem{cand.size + overhead_, cand.profit});
+    items_.push_back(KnapsackItem{cand.size + overhead_, cand.profit});
   }
-  const KnapsackSolution solution = solve_dp(items, ctx.budget);
-  std::vector<object::ObjectId> selected;
-  selected.reserve(solution.chosen.size());
-  for (std::size_t index : solution.chosen) {
-    selected.push_back(set.candidates[index].object);
+  solve_dp(items_, ctx.budget, ws_, solution_);
+  for (std::size_t index : solution_.chosen) {
+    out.push_back(set.candidates[index].object);
   }
-  return selected;
 }
 
 }  // namespace mobi::core

@@ -23,14 +23,19 @@ class OnDemandLatencyAwarePolicy final : public DownloadPolicy {
   /// bandwidth). Must be >= 0.
   explicit OnDemandLatencyAwarePolicy(object::Units overhead_units);
 
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override;
 
   object::Units overhead_units() const noexcept { return overhead_; }
 
  private:
   object::Units overhead_;
+  CandidateBuilder builder_;
+  KnapsackWorkspace ws_;
+  std::vector<KnapsackItem> items_;
+  KnapsackSolution solution_;
 };
 
 }  // namespace mobi::core

@@ -5,7 +5,6 @@
 #include "core/swr_policy.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
 
 namespace mobi::core {
@@ -24,12 +23,15 @@ void check_context(const PolicyContext& ctx, bool needs_scorer = false,
   if (needs_servers) require(ctx.servers != nullptr, "PolicyContext: servers null");
 }
 
-/// Distinct requested objects, ascending id.
-std::vector<object::ObjectId> distinct_objects(
-    const workload::RequestBatch& batch) {
-  std::set<object::ObjectId> ids;
-  for (const auto& request : batch) ids.insert(request.object);
-  return {ids.begin(), ids.end()};
+/// Distinct requested objects, ascending id, into a reused buffer —
+/// sort+unique replaces the reference std::set with zero allocations once
+/// `out` is at capacity.
+void distinct_objects_into(const workload::RequestBatch& batch,
+                           std::vector<object::ObjectId>& out) {
+  out.clear();
+  for (const auto& request : batch) out.push_back(request.object);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 }  // namespace
@@ -56,118 +58,122 @@ std::string OnDemandKnapsackPolicy::name() const {
   return std::string("on-demand-knapsack(") + solver_name(solver_) + ")";
 }
 
-std::vector<object::ObjectId> OnDemandKnapsackPolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void OnDemandKnapsackPolicy::select_into(const workload::RequestBatch& batch,
+                                         const PolicyContext& ctx,
+                                         std::vector<object::ObjectId>& out) {
   check_context(ctx, /*needs_scorer=*/true);
-  const CandidateSet set =
-      build_candidates(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
-  if (set.candidates.empty()) return {};
+  out.clear();
+  const CandidateSet& set =
+      builder_.build(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  if (set.candidates.empty()) return;
 
   // Unlimited budget: take everything with positive profit.
   if (ctx.budget < 0) {
-    std::vector<object::ObjectId> all;
     for (const auto& cand : set.candidates) {
-      if (cand.profit > 0.0) all.push_back(cand.object);
+      if (cand.profit > 0.0) out.push_back(cand.object);
     }
-    return all;
+    return;
   }
 
-  std::vector<KnapsackItem> items;
-  items.reserve(set.candidates.size());
+  items_.clear();
   for (const auto& cand : set.candidates) {
-    items.push_back(KnapsackItem{cand.size, cand.profit});
+    items_.push_back(KnapsackItem{cand.size, cand.profit});
   }
-  KnapsackSolution solution;
   switch (solver_) {
     case KnapsackSolver::kExactDp:
-      solution = solve_dp(items, ctx.budget);
+      solve_dp(items_, ctx.budget, ws_, solution_);
       break;
     case KnapsackSolver::kGreedy:
-      solution = solve_greedy(items, ctx.budget);
+      solve_greedy(items_, ctx.budget, ws_, solution_);
       break;
     case KnapsackSolver::kFptas:
-      solution = solve_fptas(items, ctx.budget, fptas_epsilon_);
+      solve_fptas(items_, ctx.budget, fptas_epsilon_, ws_, solution_);
       break;
   }
-  std::vector<object::ObjectId> selected;
-  selected.reserve(solution.chosen.size());
-  for (std::size_t index : solution.chosen) {
-    selected.push_back(set.candidates[index].object);
+  for (std::size_t index : solution_.chosen) {
+    out.push_back(set.candidates[index].object);
   }
-  return selected;
 }
 
-std::vector<object::ObjectId> OnDemandLowestRecencyPolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void OnDemandLowestRecencyPolicy::select_into(
+    const workload::RequestBatch& batch, const PolicyContext& ctx,
+    std::vector<object::ObjectId>& out) {
   check_context(ctx);
-  auto ids = distinct_objects(batch);
+  distinct_objects_into(batch, ids_);
   // Ascending cached recency; absent entries count as 0 (most urgent).
-  std::stable_sort(ids.begin(), ids.end(),
-                   [&](object::ObjectId a, object::ObjectId b) {
-                     return ctx.cache->recency_or_zero(a) <
-                            ctx.cache->recency_or_zero(b);
-                   });
-  if (ctx.budget < 0) return ids;
-  std::vector<object::ObjectId> selected;
+  // Pair sort over (recency, id): ids_ is ascending and distinct, so the
+  // id tie-break reproduces the reference stable_sort exactly.
+  by_recency_.clear();
+  for (object::ObjectId id : ids_) {
+    by_recency_.emplace_back(ctx.cache->recency_or_zero(id), id);
+  }
+  std::sort(by_recency_.begin(), by_recency_.end());
+  out.clear();
+  if (ctx.budget < 0) {
+    for (const auto& [recency, id] : by_recency_) out.push_back(id);
+    return;
+  }
   object::Units left = ctx.budget;
-  for (object::ObjectId id : ids) {
+  for (const auto& [recency, id] : by_recency_) {
     const object::Units size = ctx.catalog->object_size(id);
     if (size <= left) {
-      selected.push_back(id);
+      out.push_back(id);
       left -= size;
     }
   }
-  return selected;
 }
 
-std::vector<object::ObjectId> OnDemandStaleOnlyPolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void OnDemandStaleOnlyPolicy::select_into(const workload::RequestBatch& batch,
+                                          const PolicyContext& ctx,
+                                          std::vector<object::ObjectId>& out) {
   check_context(ctx, /*needs_scorer=*/false, /*needs_servers=*/true);
-  std::vector<object::ObjectId> selected;
-  for (object::ObjectId id : distinct_objects(batch)) {
+  distinct_objects_into(batch, ids_);
+  out.clear();
+  for (object::ObjectId id : ids_) {
     if (ctx.cache->is_stale(id, ctx.servers->version(id))) {
-      selected.push_back(id);
+      out.push_back(id);
     }
   }
-  // A budget, when set, truncates in id order (the paper uses no budget).
+  // A budget, when set, truncates in id order (the paper uses no budget);
+  // in-place compaction replaces the reference's second vector.
   if (ctx.budget >= 0) {
     object::Units left = ctx.budget;
-    std::vector<object::ObjectId> fitting;
-    for (object::ObjectId id : selected) {
+    std::size_t kept = 0;
+    for (object::ObjectId id : out) {
       const object::Units size = ctx.catalog->object_size(id);
       if (size <= left) {
-        fitting.push_back(id);
+        out[kept++] = id;
         left -= size;
       }
     }
-    selected = std::move(fitting);
+    out.resize(kept);
   }
-  return selected;
 }
 
-std::vector<object::ObjectId> AsyncRoundRobinPolicy::select(
-    const workload::RequestBatch& /*batch*/, const PolicyContext& ctx) {
+void AsyncRoundRobinPolicy::select_into(const workload::RequestBatch& /*batch*/,
+                                        const PolicyContext& ctx,
+                                        std::vector<object::ObjectId>& out) {
   check_context(ctx);
   require(ctx.budget >= 0, "AsyncRoundRobinPolicy: needs a finite budget");
+  out.clear();
   const auto n = object::ObjectId(ctx.catalog->size());
-  if (n == 0) return {};
-  std::vector<object::ObjectId> selected;
+  if (n == 0) return;
   object::Units left = ctx.budget;
   for (object::ObjectId visited = 0; visited < n; ++visited) {
     const object::ObjectId id = cursor_;
     const object::Units size = ctx.catalog->object_size(id);
     if (size > left) break;  // fixed order: stop at the first non-fit
-    selected.push_back(id);
+    out.push_back(id);
     left -= size;
     cursor_ = object::ObjectId((cursor_ + 1) % n);
   }
-  return selected;
 }
 
-std::vector<object::ObjectId> AsyncRefreshUpdatedPolicy::select(
-    const workload::RequestBatch& /*batch*/, const PolicyContext& ctx) {
+void AsyncRefreshUpdatedPolicy::select_into(
+    const workload::RequestBatch& /*batch*/, const PolicyContext& ctx,
+    std::vector<object::ObjectId>& out) {
   check_context(ctx, /*needs_scorer=*/false, /*needs_servers=*/true);
-  std::vector<object::ObjectId> selected;
+  out.clear();
   object::Units left = ctx.budget;
   for (object::ObjectId id = 0; id < ctx.catalog->size(); ++id) {
     if (!ctx.cache->is_stale(id, ctx.servers->version(id))) continue;
@@ -176,20 +182,21 @@ std::vector<object::ObjectId> AsyncRefreshUpdatedPolicy::select(
       if (size > left) continue;
       left -= size;
     }
-    selected.push_back(id);
+    out.push_back(id);
   }
-  return selected;
 }
 
-std::vector<object::ObjectId> DownloadAllPolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void DownloadAllPolicy::select_into(const workload::RequestBatch& batch,
+                                    const PolicyContext& ctx,
+                                    std::vector<object::ObjectId>& out) {
   check_context(ctx);
-  return distinct_objects(batch);
+  distinct_objects_into(batch, out);
 }
 
-std::vector<object::ObjectId> CacheOnlyPolicy::select(
-    const workload::RequestBatch& /*batch*/, const PolicyContext& /*ctx*/) {
-  return {};
+void CacheOnlyPolicy::select_into(const workload::RequestBatch& /*batch*/,
+                                  const PolicyContext& /*ctx*/,
+                                  std::vector<object::ObjectId>& out) {
+  out.clear();
 }
 
 std::unique_ptr<DownloadPolicy> make_policy(const std::string& name) {

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -44,9 +45,20 @@ struct PolicyContext {
 class DownloadPolicy {
  public:
   virtual ~DownloadPolicy() = default;
-  /// Objects to fetch this tick (each id at most once, any order).
-  virtual std::vector<object::ObjectId> select(
-      const workload::RequestBatch& batch, const PolicyContext& ctx) = 0;
+  /// Objects to fetch this tick (each id at most once, any order),
+  /// written into `out` (cleared first). The hot-path entry point:
+  /// policies reuse internal scratch, and a caller that retains `out`
+  /// across ticks allocates nothing once capacities are warm.
+  virtual void select_into(const workload::RequestBatch& batch,
+                           const PolicyContext& ctx,
+                           std::vector<object::ObjectId>& out) = 0;
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
+                                       const PolicyContext& ctx) {
+    std::vector<object::ObjectId> out;
+    select_into(batch, ctx, out);
+    return out;
+  }
   virtual std::string name() const = 0;
 };
 
@@ -59,33 +71,50 @@ class OnDemandKnapsackPolicy final : public DownloadPolicy {
  public:
   explicit OnDemandKnapsackPolicy(KnapsackSolver solver = KnapsackSolver::kExactDp,
                                   double fptas_epsilon = 0.1);
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override;
 
  private:
   KnapsackSolver solver_;
   double fptas_epsilon_;
+  CandidateBuilder builder_;
+  KnapsackWorkspace ws_;
+  std::vector<KnapsackItem> items_;
+  KnapsackSolution solution_;
 };
 
 class OnDemandLowestRecencyPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "on-demand-lowest-recency"; }
+
+ private:
+  // (recency, id) pairs: sorting pairs reproduces the reference
+  // stable_sort-by-recency over ascending ids.
+  std::vector<std::pair<double, object::ObjectId>> by_recency_;
+  std::vector<object::ObjectId> ids_;
 };
 
 class OnDemandStaleOnlyPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "on-demand-stale-only"; }
+
+ private:
+  std::vector<object::ObjectId> ids_;
 };
 
 class AsyncRoundRobinPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "async-round-robin"; }
 
  private:
@@ -96,22 +125,25 @@ class AsyncRoundRobinPolicy final : public DownloadPolicy {
 /// regardless of requests. Unbounded unless the context sets a budget.
 class AsyncRefreshUpdatedPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "async-refresh-updated"; }
 };
 
 class DownloadAllPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "download-all"; }
 };
 
 class CacheOnlyPolicy final : public DownloadPolicy {
  public:
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override { return "cache-only"; }
 };
 

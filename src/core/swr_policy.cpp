@@ -1,7 +1,6 @@
 #include "core/swr_policy.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "cache/ttl.hpp"
@@ -19,8 +18,9 @@ std::string StaleWhileRevalidatePolicy::name() const {
   return "stale-while-revalidate(ttl=" + std::to_string(ttl_) + ")";
 }
 
-std::vector<object::ObjectId> StaleWhileRevalidatePolicy::select(
-    const workload::RequestBatch& batch, const PolicyContext& ctx) {
+void StaleWhileRevalidatePolicy::select_into(
+    const workload::RequestBatch& batch, const PolicyContext& ctx,
+    std::vector<object::ObjectId>& out) {
   if (!ctx.catalog || !ctx.cache) {
     throw std::invalid_argument("StaleWhileRevalidatePolicy: incomplete context");
   }
@@ -28,31 +28,42 @@ std::vector<object::ObjectId> StaleWhileRevalidatePolicy::select(
 
   // Requested objects that are absent or TTL-expired, with their request
   // counts (popularity drives revalidation order, like proxy queues do).
-  std::map<object::ObjectId, std::uint32_t> stale_counts;
+  // Sort + run-length-encode replaces the reference's counting map; the
+  // (count desc, id asc) sort of distinct-id runs reproduces its
+  // stable_sort over the id-ordered map exactly.
+  stale_ids_.clear();
   for (const auto& request : batch) {
     if (!ttl_view.fresh(request.object, ctx.now)) {
-      ++stale_counts[request.object];
+      stale_ids_.push_back(request.object);
     }
   }
-  std::vector<object::ObjectId> order;
-  order.reserve(stale_counts.size());
-  for (const auto& [id, count] : stale_counts) order.push_back(id);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](object::ObjectId a, object::ObjectId b) {
-                     return stale_counts[a] > stale_counts[b];
-                   });
+  std::sort(stale_ids_.begin(), stale_ids_.end());
+  counts_.clear();
+  for (std::size_t i = 0; i < stale_ids_.size();) {
+    std::size_t j = i;
+    while (j < stale_ids_.size() && stale_ids_[j] == stale_ids_[i]) ++j;
+    counts_.emplace_back(std::uint32_t(j - i), stale_ids_[i]);
+    i = j;
+  }
+  std::sort(counts_.begin(), counts_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
 
-  if (ctx.budget < 0) return order;
-  std::vector<object::ObjectId> selected;
+  out.clear();
+  if (ctx.budget < 0) {
+    for (const auto& [count, id] : counts_) out.push_back(id);
+    return;
+  }
   object::Units left = ctx.budget;
-  for (object::ObjectId id : order) {
+  for (const auto& [count, id] : counts_) {
     const object::Units size = ctx.catalog->object_size(id);
     if (size <= left) {
-      selected.push_back(id);
+      out.push_back(id);
       left -= size;
     }
   }
-  return selected;
 }
 
 }  // namespace mobi::core

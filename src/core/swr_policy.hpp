@@ -24,14 +24,19 @@ class StaleWhileRevalidatePolicy final : public DownloadPolicy {
   /// fresh). Must be > 0.
   explicit StaleWhileRevalidatePolicy(sim::Tick ttl);
 
-  std::vector<object::ObjectId> select(const workload::RequestBatch& batch,
-                                       const PolicyContext& ctx) override;
+  void select_into(const workload::RequestBatch& batch,
+                   const PolicyContext& ctx,
+                   std::vector<object::ObjectId>& out) override;
   std::string name() const override;
 
   sim::Tick ttl() const noexcept { return ttl_; }
 
  private:
   sim::Tick ttl_;
+  std::vector<object::ObjectId> stale_ids_;
+  // (count, id) runs, sorted most-requested first (id breaks ties) —
+  // replaces the reference map + stable_sort.
+  std::vector<std::pair<std::uint32_t, object::ObjectId>> counts_;
 };
 
 }  // namespace mobi::core

@@ -27,14 +27,24 @@ void WirelessDownlink::enqueue(object::Units units) {
 object::Units WirelessDownlink::tick() {
   ++ticks_;
   object::Units budget = capacity_;
-  while (budget > 0 && !pending_.empty()) {
-    object::Units& head = pending_.front();
+  while (budget > 0 && head_ < pending_.size()) {
+    object::Units& head = pending_[head_];
     const object::Units moved = head <= budget ? head : budget;
     head -= moved;
     budget -= moved;
     queued_ -= moved;
     delivered_ += moved;
-    if (head == 0) pending_.pop_front();
+    if (head == 0) ++head_;
+  }
+  if (head_ == pending_.size()) {
+    // Drained: reset without releasing capacity.
+    pending_.clear();
+    head_ = 0;
+  } else if (head_ > 64 && head_ * 2 > pending_.size()) {
+    // Backlogged: drop the consumed prefix once it dominates the buffer
+    // (amortized O(1) per chunk, in-place move, no allocation).
+    pending_.erase(pending_.begin(), pending_.begin() + std::ptrdiff_t(head_));
+    head_ = 0;
   }
   idle_ += budget;
   if (metrics_) {

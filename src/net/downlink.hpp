@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "object/object.hpp"
 
@@ -60,9 +60,11 @@ class WirelessDownlink {
   object::Units delivered_ = 0;
   object::Units idle_ = 0;
   std::uint64_t ticks_ = 0;
-  // Per-item queue retained for inspection; aggregate counters drive the
-  // fast path.
-  std::deque<object::Units> pending_;
+  // Per-item FIFO as a vector + head cursor: enqueues append, tick()
+  // consumes from head_, and the consumed prefix is dropped wholesale —
+  // no per-chunk deque churn, no allocations once capacity is warm.
+  std::vector<object::Units> pending_;
+  std::size_t head_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments inst_;
 };

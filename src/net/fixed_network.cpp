@@ -32,6 +32,21 @@ std::vector<double> FixedNetwork::submit_batch(
   return completions;
 }
 
+void FixedNetwork::record_batch(const std::vector<object::Units>& sizes) {
+  const object::Units total =
+      std::accumulate(sizes.begin(), sizes.end(), object::Units{0});
+  for (object::Units own : sizes) {
+    if (own < 0) throw std::invalid_argument("FixedNetwork: negative size");
+    const double competing = contention_ * double(total - own);
+    const double time =
+        link_.latency() + (double(own) + competing) / link_.bandwidth();
+    link_.account(own);
+    ++stats_.transfers;
+    stats_.units += own;
+    stats_.total_time += time;
+  }
+}
+
 double FixedNetwork::batch_completion_time(
     const std::vector<object::Units>& sizes) const {
   if (sizes.empty()) return 0.0;

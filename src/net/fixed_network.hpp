@@ -37,6 +37,11 @@ class FixedNetwork {
   /// input size, in order.
   std::vector<double> submit_batch(const std::vector<object::Units>& sizes);
 
+  /// Same accounting as submit_batch (identical stats to the bit), without
+  /// materializing the per-transfer completion vector — the allocation-free
+  /// hot-path entry point for callers that discard the completions.
+  void record_batch(const std::vector<object::Units>& sizes);
+
   /// Time for the whole batch to finish (the last completion).
   double batch_completion_time(const std::vector<object::Units>& sizes) const;
 

@@ -1,0 +1,157 @@
+// Zero-allocation regression guard for the per-tick hot path
+// (docs/performance.md). Global counting operator new hooks observe every
+// heap allocation in the process; after a warm-up phase grows all the
+// retained scratch buffers (candidate builder, knapsack workspace, fetch
+// and transfer lists, downlink queue) to their high-water sizes, further
+// steady-state BaseStation::process_batch calls must perform *zero*
+// allocations. Runs under the `perf` ctest label.
+//
+// The downlink only reaches an allocation-free steady state when it
+// drains every tick (a persistent backlog grows the pending queue without
+// bound), so the stations here get ample downlink capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "cache/decay.hpp"
+#include "core/base_station.hpp"
+#include "object/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/access.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_allocations;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, std::size_t(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, std::size_t(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mobi {
+namespace {
+
+// Runs the BM_BaseStationTick-shaped workload: pre-generated zipf batches,
+// a few server updates per tick so the policy always has real work, and
+// asserts that `measured_passes` over the batch pool allocate nothing
+// after `warmup_passes` have grown every buffer.
+void run_steady_state(const std::string& policy, bool coalesce) {
+  SCOPED_TRACE(policy + (coalesce ? " +coalesce" : ""));
+  constexpr std::size_t kObjects = 256;
+  constexpr std::size_t kBatch = 128;
+  constexpr int kUpdatesPerTick = 8;
+
+  util::Rng rng(1);
+  const auto catalog = object::make_random_catalog(kObjects, 1, 8, rng);
+  server::ServerPool servers(catalog, 1);
+  core::BaseStationConfig config;
+  config.download_budget = object::Units(kObjects) / 4;
+  config.coalesce_downlink = coalesce;
+  config.downlink_capacity = 1 << 20;  // drains every tick (see header note)
+  core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
+                            std::make_unique<core::ReciprocalScorer>(),
+                            core::make_policy(policy), config);
+
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(kObjects, 1.0), workload::ConstantTarget{1.0},
+      kBatch, rng.split());
+  std::vector<workload::RequestBatch> batches;
+  for (int b = 0; b < 32; ++b) batches.push_back(generator.next_batch());
+  // Pre-drawn update ids: the measured region must not touch the id pool.
+  std::vector<object::ObjectId> update_ids;
+  for (std::size_t i = 0; i < batches.size() * kUpdatesPerTick; ++i) {
+    update_ids.push_back(
+        object::ObjectId(rng.uniform_int(0, std::int64_t(kObjects) - 1)));
+  }
+
+  sim::Tick now = 0;
+  const auto one_pass = [&] {
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      for (int u = 0; u < kUpdatesPerTick; ++u) {
+        station.on_server_update(update_ids[b * kUpdatesPerTick + u], now);
+      }
+      station.process_batch(batches[b], now);
+      ++now;
+    }
+  };
+
+  for (int pass = 0; pass < 2; ++pass) one_pass();  // warm-up
+  const std::uint64_t before = g_allocations.load();
+  for (int pass = 0; pass < 3; ++pass) one_pass();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " steady-state heap allocations";
+}
+
+TEST(AllocRegression, HooksObserveAllocations) {
+  const std::uint64_t before = g_allocations.load();
+  auto* p = new std::vector<int>(100);
+  delete p;
+  EXPECT_GT(g_allocations.load(), before);
+}
+
+TEST(AllocRegression, KnapsackPolicySteadyStateIsAllocationFree) {
+  run_steady_state("on-demand-knapsack", false);
+}
+
+TEST(AllocRegression, KnapsackPolicyCoalescingSteadyStateIsAllocationFree) {
+  run_steady_state("on-demand-knapsack", true);
+}
+
+TEST(AllocRegression, GreedyPolicySteadyStateIsAllocationFree) {
+  run_steady_state("on-demand-knapsack-greedy", false);
+}
+
+}  // namespace
+}  // namespace mobi

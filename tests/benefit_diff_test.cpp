@@ -1,0 +1,139 @@
+// Differential fuzz for the epoch-stamped CandidateBuilder against
+// build_candidates_reference (the seed's ordered-map aggregation, kept as
+// the oracle). Batches are adversarial for the flat path: heavy duplicate
+// objects (accumulation order must match the map's), uncached objects
+// (recency 0), decayed entries, and objects the builder has seen in prior
+// epochs but not the current one. All comparisons are exact (==): the two
+// implementations accumulate doubles in the same batch order, so they must
+// agree to the bit.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cache/decay.hpp"
+#include "core/benefit.hpp"
+#include "object/builders.hpp"
+#include "server/remote_server.hpp"
+#include "util/rng.hpp"
+
+namespace mobi::core {
+namespace {
+
+void expect_identical(const CandidateSet& flat, const CandidateSet& ref) {
+  ASSERT_EQ(flat.candidates.size(), ref.candidates.size());
+  EXPECT_EQ(flat.total_requests, ref.total_requests);
+  EXPECT_EQ(flat.baseline_score_sum, ref.baseline_score_sum);
+  for (std::size_t i = 0; i < ref.candidates.size(); ++i) {
+    const auto& a = flat.candidates[i];
+    const auto& b = ref.candidates[i];
+    EXPECT_EQ(a.object, b.object) << "slot " << i;
+    EXPECT_EQ(a.size, b.size) << "slot " << i;
+    EXPECT_EQ(a.profit, b.profit) << "slot " << i;
+    EXPECT_EQ(a.requests, b.requests) << "slot " << i;
+    EXPECT_EQ(a.cached_score_sum, b.cached_score_sum) << "slot " << i;
+  }
+}
+
+workload::RequestBatch random_batch(util::Rng& rng, std::size_t objects,
+                                    std::size_t size) {
+  workload::RequestBatch batch;
+  batch.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    workload::Request request;
+    // Sample from a narrow id range so most batches carry duplicates.
+    request.object =
+        object::ObjectId(rng.uniform_int(0, std::int64_t(objects) - 1) / 2);
+    request.target_recency = 0.05 * double(rng.uniform_int(1, 20));
+    request.client = workload::ClientId(i);
+    batch.push_back(request);
+  }
+  return batch;
+}
+
+TEST(BenefitDiff, BuilderMatchesReferenceOnRandomBatches) {
+  util::Rng rng(20260805);
+  const std::size_t objects = 64;
+  const auto catalog = object::make_random_catalog(objects, 1, 9, rng);
+  cache::Cache cache(objects, cache::make_harmonic_decay());
+  // Mixed cache states: absent (never refreshed), fresh, and decayed to
+  // varying depths — so recencies span {0} ∪ (0, 1].
+  for (object::ObjectId id = 0; id < objects; ++id) {
+    if (id % 5 == 0) continue;  // leave absent -> recency 0
+    cache.refresh(id, server::FetchResult{1, 0, catalog.object_size(id)}, 0);
+    for (object::ObjectId k = 0; k < id % 7; ++k) cache.on_server_update(id);
+  }
+  const ReciprocalScorer scorer;
+
+  CandidateBuilder builder;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto batch =
+        random_batch(rng, objects, std::size_t(rng.uniform_int(0, 96)));
+    const CandidateSet& flat = builder.build(batch, catalog, cache, scorer);
+    const CandidateSet ref =
+        build_candidates_reference(batch, catalog, cache, scorer);
+    expect_identical(flat, ref);
+    // The one-shot wrapper must agree with the reused builder too.
+    expect_identical(build_candidates(batch, catalog, cache, scorer), ref);
+  }
+}
+
+TEST(BenefitDiff, ReusedBuilderMatchesFreshBuilderAcrossEvolvingCache) {
+  util::Rng rng(77);
+  const std::size_t objects = 48;
+  const auto catalog = object::make_random_catalog(objects, 1, 6, rng);
+  cache::Cache cache(objects, cache::make_harmonic_decay());
+  const ReciprocalScorer scorer;
+
+  CandidateBuilder reused;
+  for (int trial = 0; trial < 100; ++trial) {
+    // Evolve the cache between batches: refresh a few ids, decay a few —
+    // the reused builder's stamps from earlier epochs must never leak.
+    for (int k = 0; k < 4; ++k) {
+      const auto id =
+          object::ObjectId(rng.uniform_int(0, std::int64_t(objects) - 1));
+      if (rng.bernoulli(0.5)) {
+        cache.refresh(id, server::FetchResult{std::uint64_t(trial) + 1, 0,
+                                              catalog.object_size(id)},
+                      sim::Tick(trial));
+      } else {
+        cache.on_server_update(id);
+      }
+    }
+    const auto batch =
+        random_batch(rng, objects, std::size_t(rng.uniform_int(1, 64)));
+    CandidateBuilder fresh;
+    expect_identical(reused.build(batch, catalog, cache, scorer),
+                     fresh.build(batch, catalog, cache, scorer));
+  }
+}
+
+TEST(BenefitDiff, EmptyBatchYieldsEmptySet) {
+  util::Rng rng(3);
+  const auto catalog = object::make_random_catalog(8, 1, 4, rng);
+  cache::Cache cache(8, cache::make_harmonic_decay());
+  const ReciprocalScorer scorer;
+  CandidateBuilder builder;
+  const CandidateSet& flat =
+      builder.build(workload::RequestBatch{}, catalog, cache, scorer);
+  EXPECT_TRUE(flat.candidates.empty());
+  EXPECT_EQ(flat.total_requests, 0u);
+  EXPECT_EQ(flat.baseline_score_sum, 0.0);
+}
+
+TEST(BenefitDiff, OutOfRangeObjectThrowsLikeReference) {
+  util::Rng rng(5);
+  const auto catalog = object::make_random_catalog(4, 1, 4, rng);
+  cache::Cache cache(4, cache::make_harmonic_decay());
+  const ReciprocalScorer scorer;
+  workload::RequestBatch batch(1);
+  batch[0].object = 99;  // beyond the catalog
+  CandidateBuilder builder;
+  EXPECT_THROW(builder.build(batch, catalog, cache, scorer),
+               std::out_of_range);
+  EXPECT_THROW(build_candidates_reference(batch, catalog, cache, scorer),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mobi::core

@@ -123,6 +123,66 @@ TEST(KnapsackDiff, EmptyInstance) {
   }
 }
 
+// The workspace overload of solve_dp takes exactness shortcuts (take-all
+// when everything fits, greedy-prefix when the density order is decisive)
+// before falling back to the dense DP. Sweeping every capacity of many
+// random instances hits all three code paths; chosen indices, value, and
+// used units must match the DP profile bit-for-bit in each one.
+TEST(KnapsackDiff, WorkspaceSolveDpMatchesProfileAtEveryCapacity) {
+  util::Rng rng(31337);
+  KnapsackWorkspace ws;
+  KnapsackSolution reused;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = std::size_t(rng.uniform_int(0, 14));
+    const auto items = random_items(rng, n, 10);
+    const auto cap = object::Units(rng.uniform_int(0, 60));
+    const KnapsackProfile profile(items, cap);
+    for (object::Units c = 0; c <= cap; ++c) {
+      const KnapsackSolution expected = profile.solution_at(c);
+      solve_dp(items, c, ws, reused);
+      EXPECT_EQ(reused.chosen, expected.chosen) << "cap " << c;
+      EXPECT_EQ(reused.value, expected.value) << "cap " << c;
+      EXPECT_EQ(reused.used, expected.used) << "cap " << c;
+    }
+  }
+}
+
+// A workspace borrowed across calls with growing *and* shrinking problem
+// sizes must behave exactly like a fresh solve every time — stale buffer
+// contents from a larger earlier instance must never leak into a smaller
+// later one. Covers all three workspace solvers.
+TEST(KnapsackDiff, WorkspaceReuseMatchesFreshAcrossVaryingSizes) {
+  util::Rng rng(4242);
+  KnapsackWorkspace ws;
+  KnapsackSolution reused;
+  // Capacities deliberately spike up then collapse, repeatedly.
+  const object::Units caps[] = {5, 120, 0, 37, 200, 3, 64, 1, 90, 12};
+  for (int round = 0; round < 8; ++round) {
+    for (object::Units cap : caps) {
+      const std::size_t n = std::size_t(rng.uniform_int(0, 20));
+      const auto items = random_items(rng, n, 15);
+
+      solve_dp(items, cap, ws, reused);
+      const KnapsackSolution fresh_dp = solve_dp(items, cap);
+      EXPECT_EQ(reused.chosen, fresh_dp.chosen);
+      EXPECT_EQ(reused.value, fresh_dp.value);
+      EXPECT_EQ(reused.used, fresh_dp.used);
+
+      solve_greedy(items, cap, ws, reused);
+      const KnapsackSolution fresh_greedy = solve_greedy(items, cap);
+      EXPECT_EQ(reused.chosen, fresh_greedy.chosen);
+      EXPECT_EQ(reused.value, fresh_greedy.value);
+      EXPECT_EQ(reused.used, fresh_greedy.used);
+
+      solve_fptas(items, cap, 0.3, ws, reused);
+      const KnapsackSolution fresh_fptas = solve_fptas(items, cap, 0.3);
+      EXPECT_EQ(reused.chosen, fresh_fptas.chosen);
+      EXPECT_EQ(reused.value, fresh_fptas.value);
+      EXPECT_EQ(reused.used, fresh_fptas.used);
+    }
+  }
+}
+
 // Wide capacities exercise multi-word bit rows (row_words > 1) including
 // the word-boundary columns 63/64/127/128.
 TEST(KnapsackDiff, WideCapacityCrossesWordBoundaries) {
