@@ -1,10 +1,12 @@
 #include "client/cell.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "cache/decay.hpp"
 #include "cache/invalidation.hpp"
 #include "core/base_station.hpp"
+#include "net/fault_injector.hpp"
 #include "object/builders.hpp"
 #include "server/remote_server.hpp"
 #include "workload/access.hpp"
@@ -21,15 +23,29 @@ CellResult run_cell(const CellConfig& config,
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
-  server::ServerPool servers(catalog, 1);
+  server::ServerPool servers(catalog, config.server_count);
 
   core::BaseStationConfig bs_config;
   bs_config.download_budget = config.base_budget;
   bs_config.downlink_capacity = std::max<object::Units>(
       1, object::Units(config.client_count) * config.size_hi);
+  bs_config.fetch_retry_limit = config.fetch_retry_limit;
   core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
                             std::make_unique<core::ReciprocalScorer>(),
                             core::make_policy(config.base_policy), bs_config);
+
+  // Nonzero fault plan: one injector per cell, reseeded from the cell's
+  // own seed so every shard's fault stream is independent of how cells
+  // are distributed over worker threads. An empty plan attaches nothing
+  // — the run is the fault-free code path, bit for bit.
+  std::optional<net::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    sim::FaultPlan plan = config.faults;
+    plan.seed = util::SplitMix64(plan.seed ^ config.seed).next();
+    injector.emplace(plan, servers.server_count());
+    station.set_fault_injector(&*injector);
+    servers.set_fault_injector(&*injector);
+  }
 
   cache::InvalidationLog log(config.object_count);
   auto updates = workload::make_periodic_staggered(config.object_count,
@@ -60,6 +76,10 @@ CellResult run_cell(const CellConfig& config,
   util::Rng request_rng = rng.split();
 
   for (sim::Tick t = 0; t < config.ticks; ++t) {
+    // 0. Open this tick's fault windows (idempotent — process_batch
+    //    would do it too, but handoff draws below need the tick open).
+    if (injector) injector->begin_tick(t);
+
     // 1. Server updates: base-station knowledge is immediate; clients
     //    must wait for the next report.
     updates->for_each_updated(t, [&](object::ObjectId id) {
@@ -81,6 +101,9 @@ CellResult run_cell(const CellConfig& config,
     std::vector<std::size_t> requester;  // client index per base request
     for (std::size_t i = 0; i < clients.size(); ++i) {
       MobileClient& mobile = clients[i];
+      if (injector && mobile.connected() && injector->draw_handoff()) {
+        mobile.begin_handoff(config.faults.handoff_ticks);
+      }
       mobile.step_connectivity(connectivity_rng);
       if (!mobile.connected()) {
         ++result.disconnect_ticks;
@@ -104,6 +127,10 @@ CellResult run_cell(const CellConfig& config,
     result.base_downloaded += tick_result.units_downloaded;
     result.served_by_base += to_base.size();
     result.score_sum += tick_result.score_sum;
+    result.failed_fetches += tick_result.failed_fetches;
+    result.retries += tick_result.retries;
+    result.retry_successes += tick_result.retry_successes;
+    result.degraded_serves += tick_result.degraded_serves;
 
     // Clients store what the base station served them, inheriting the
     // served copy's recency.
@@ -119,14 +146,18 @@ CellResult run_cell(const CellConfig& config,
       CellResult snapshot = result;
       for (const auto& mobile : clients) {
         snapshot.sleeper_drops += mobile.sleeper_drops();
+        snapshot.handoffs += mobile.handoff_count();
       }
+      snapshot.downlink_dropped = station.downlink().dropped_total();
       per_tick->push_back(snapshot);
     }
   }
 
   for (const auto& mobile : clients) {
     result.sleeper_drops += mobile.sleeper_drops();
+    result.handoffs += mobile.handoff_count();
   }
+  result.downlink_dropped = station.downlink().dropped_total();
   return result;
 }
 

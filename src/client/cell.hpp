@@ -22,6 +22,7 @@
 #include "client/mobile_client.hpp"
 #include "exp/fig2.hpp"
 #include "object/object.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/tick.hpp"
 
 namespace mobi::client {
@@ -40,6 +41,17 @@ struct CellConfig {
   object::Units base_budget = 60;
   std::string base_policy = "on-demand-knapsack";
   std::uint64_t seed = 42;
+  /// Servers behind the fixed network (objects assigned round-robin);
+  /// > 1 makes per-server outage faults partial rather than total.
+  std::size_t server_count = 1;
+  /// Retry budget handed to the base station (0 = fail once, serve
+  /// stale; see BaseStationConfig::fetch_retry_limit).
+  std::size_t fetch_retry_limit = 0;
+  /// Fault schedule. The default (empty) plan attaches no injector and
+  /// the run is bit-identical to the fault-free code path. A nonzero
+  /// plan is reseeded per cell (mixing faults.seed with `seed`), so
+  /// multi-cell shards stay deterministic for any thread-pool size.
+  sim::FaultPlan faults;
 };
 
 struct CellResult {
@@ -50,6 +62,13 @@ struct CellResult {
   object::Units base_downloaded = 0;  // fixed-network traffic
   std::uint64_t sleeper_drops = 0;
   std::uint64_t disconnect_ticks = 0;  // client-ticks spent disconnected
+  // Resilience accounting (all zero when CellConfig::faults is empty).
+  std::uint64_t failed_fetches = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_successes = 0;
+  std::uint64_t degraded_serves = 0;
+  std::uint64_t handoffs = 0;
+  object::Units downlink_dropped = 0;
 
   double average_score() const noexcept {
     return requests ? score_sum / double(requests) : 1.0;

@@ -1,5 +1,6 @@
 #include "client/mobile_client.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mobi::client {
@@ -20,7 +21,23 @@ MobileClient::MobileClient(std::uint32_t id, const object::Catalog& catalog,
   }
 }
 
+void MobileClient::begin_handoff(sim::Tick ticks) {
+  if (ticks <= 0) return;
+  if (!in_handoff()) ++handoffs_;
+  handoff_ticks_left_ = std::max(handoff_ticks_left_, ticks);
+  connectivity_ = Connectivity::kDisconnected;
+}
+
 bool MobileClient::step_connectivity(util::Rng& rng) {
+  if (handoff_ticks_left_ > 0) {
+    // Off the air mid-handoff: no disconnect/reconnect draws, so a
+    // fault-free run's RNG stream is untouched by this branch.
+    if (--handoff_ticks_left_ == 0) {
+      connectivity_ = Connectivity::kConnected;
+      return true;
+    }
+    return false;
+  }
   if (connectivity_ == Connectivity::kConnected) {
     if (rng.bernoulli(config_.disconnect_rate)) {
       connectivity_ = Connectivity::kDisconnected;

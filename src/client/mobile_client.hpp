@@ -54,8 +54,19 @@ class MobileClient {
 
   /// Advances the connectivity state machine one tick. Returns true if
   /// the client just reconnected (the caller should deliver a report or
-  /// let the sleeper rule fire on the next one).
+  /// let the sleeper rule fire on the next one). While a handoff is in
+  /// progress the random disconnect/reconnect draws are suspended (no
+  /// RNG is consumed) and the client reconnects deterministically when
+  /// the handoff window closes.
   bool step_connectivity(util::Rng& rng);
+
+  /// Forces the client off the air for `ticks` steps — a handoff to a
+  /// neighboring cell and back (fault injection). Idempotent while one
+  /// is already in progress: the longer window wins.
+  void begin_handoff(sim::Tick ticks);
+
+  bool in_handoff() const noexcept { return handoff_ticks_left_ > 0; }
+  std::uint64_t handoff_count() const noexcept { return handoffs_; }
 
   /// Tries to serve `id` locally. Returns the recency of the local copy
   /// if present (and records a hit), nullopt on miss.
@@ -84,6 +95,8 @@ class MobileClient {
   cache::BoundedCache cache_;
   cache::InvalidationListener listener_;
   Connectivity connectivity_ = Connectivity::kConnected;
+  sim::Tick handoff_ticks_left_ = 0;
+  std::uint64_t handoffs_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "net/fault_injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +34,40 @@ BaseStation::BaseStation(const object::Catalog& catalog,
   if (config.coalesce_downlink) {
     sent_epoch_.assign(catalog.size(), 0);  // epoch 0 = never sent
   }
+  if (config.fetch_retry_limit > 0) ensure_fault_scratch();
+}
+
+void BaseStation::set_fault_injector(net::FaultInjector* injector) {
+  fault_ = injector;
+  network_.set_fault_injector(injector);
+  downlink_.set_fault_injector(injector);
+  // An idle injector (empty plan) must be observably absent, so it gets
+  // no fault scratch: legacy-rate failures keep their pre-fault
+  // accounting (no failed-this-tick stamps, no degraded-serve counts).
+  if (injector && !injector->idle()) ensure_fault_scratch();
+}
+
+void BaseStation::ensure_fault_scratch() {
+  if (!failed_stamp_.empty()) return;
+  failed_stamp_.assign(catalog_->size(), 0);  // stamp 0 = never failed
+  retry_pending_.assign(catalog_->size(), 0);
+  retry_queue_.reserve(catalog_->size());
+  // Hard per-tick bound: at most one retry success plus one policy fetch
+  // per catalog object. Without faults the warm-up high-water suffices;
+  // with them, fault timing must never force a mid-run reallocation.
+  transfer_sizes_.reserve(2 * catalog_->size());
+}
+
+bool BaseStation::fetch_blocked(object::ObjectId id) {
+  if (config_.fetch_failure_rate > 0.0 &&
+      failure_rng_.bernoulli(config_.fetch_failure_rate)) {
+    return true;
+  }
+  if (fault_) {
+    if (fault_->draw_fetch_failure()) return true;
+    if (!servers_->available(id)) return true;
+  }
+  return false;
 }
 
 void BaseStation::on_server_update(object::ObjectId id, sim::Tick now) {
@@ -52,13 +87,74 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   result.tick = now;
   result.requests = batch.size();
 
+  // The serve epoch stamps both "sent this tick" (downlink coalescing)
+  // and "fetch failed this tick" (degraded-serve accounting), so bump it
+  // before any phase can stamp. Values only ever compare for equality,
+  // so bumping here rather than before the serve loop changes nothing.
+  ++serve_epoch_;
+  if (fault_) fault_->begin_tick(now);
+
+  // Budget left after the retry phase; the policy selects within it.
+  object::Units budget_left = config_.download_budget;
+  transfer_sizes_.clear();
+  const bool fault_scratch = !failed_stamp_.empty();
+
+  // Retry phase: previously failed fetches whose backoff expired go
+  // first, ahead of the policy's own picks — a refresh the station
+  // already promised outranks new speculation. In-place compaction keeps
+  // the surviving entries in insertion order without allocating.
+  if (!retry_queue_.empty()) {
+    obs::ScopedTrace span(trace_, "bs.retry", now);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < retry_queue_.size(); ++i) {
+      RetryEntry entry = retry_queue_[i];
+      if (entry.next_attempt > now) {
+        retry_queue_[keep++] = entry;
+        continue;
+      }
+      const object::Units size = catalog_->object_size(entry.id);
+      if (budget_left >= 0 && size > budget_left) {
+        // Not affordable this tick: keep waiting, no attempt consumed.
+        retry_queue_[keep++] = entry;
+        continue;
+      }
+      ++result.retries;
+      if (fetch_blocked(entry.id)) {
+        ++result.failed_fetches;
+        failed_stamp_[entry.id] = serve_epoch_;
+        ++entry.attempts;
+        if (entry.attempts - 1 >= config_.fetch_retry_limit) {
+          // Out of retries: drop the entry; requesters get the stale
+          // cached copy at its decayed score from here on.
+          ++result.retry_exhausted;
+          retry_pending_[entry.id] = 0;
+        } else {
+          entry.next_attempt =
+              now + (sim::Tick(1)
+                     << std::min<std::uint32_t>(entry.attempts - 1, 10));
+          retry_queue_[keep++] = entry;
+        }
+        continue;
+      }
+      const server::FetchResult fetched = servers_->fetch(entry.id);
+      cache_.refresh(entry.id, fetched, now);
+      transfer_sizes_.push_back(fetched.size);
+      result.units_downloaded += fetched.size;
+      ++result.objects_downloaded;
+      ++result.retry_successes;
+      if (budget_left >= 0) budget_left -= fetched.size;
+      retry_pending_[entry.id] = 0;
+    }
+    retry_queue_.resize(keep);
+  }
+
   PolicyContext ctx;
   ctx.catalog = catalog_;
   ctx.cache = &cache_;
   ctx.servers = servers_;
   ctx.scorer = scorer_.get();
   ctx.now = now;
-  ctx.budget = config_.download_budget;
+  ctx.budget = budget_left;
   {
     obs::ScopedTrace span(trace_, "bs.select", now);
     if (metrics_) {
@@ -76,14 +172,21 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
     }
   }
 
-  // Fetch the selected objects over the fixed network.
-  transfer_sizes_.clear();
+  // Fetch the selected objects over the fixed network. Retry successes
+  // recorded above share the same batch, so one congestion draw covers
+  // the whole tick's traffic.
   {
     obs::ScopedTrace span(trace_, "bs.fetch", now);
     for (object::ObjectId id : to_fetch_) {
-      if (config_.fetch_failure_rate > 0.0 &&
-          failure_rng_.bernoulli(config_.fetch_failure_rate)) {
+      if (fetch_blocked(id)) {
         ++result.failed_fetches;  // fault: no transfer, cache untouched
+        if (fault_scratch) {
+          failed_stamp_[id] = serve_epoch_;
+          if (config_.fetch_retry_limit > 0 && !retry_pending_[id]) {
+            retry_pending_[id] = 1;
+            retry_queue_.push_back(RetryEntry{id, now + 1, 1});
+          }
+        }
         continue;
       }
       const server::FetchResult fetched = servers_->fetch(id);
@@ -93,13 +196,20 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       ++result.objects_downloaded;
     }
     if (!transfer_sizes_.empty()) {
-      result.fetch_latency = network_.batch_completion_time(transfer_sizes_);
-      network_.record_batch(transfer_sizes_);
+      result.fetch_latency = network_.record_batch_completion(transfer_sizes_);
     }
   }
   if (metrics_) {
     inst_.fetches->add(result.objects_downloaded);
     inst_.failed_fetches->add(result.failed_fetches);
+    if (result.retries) inst_.fault_retries->add(result.retries);
+    if (result.retry_successes) {
+      inst_.fault_retry_successes->add(result.retry_successes);
+    }
+    if (result.retry_exhausted) {
+      inst_.fault_retry_exhausted->add(result.retry_exhausted);
+    }
+    inst_.fault_retry_queue_depth->set(double(retry_queue_.size()));
     inst_.units_downloaded->add(std::uint64_t(result.units_downloaded));
     inst_.budget_spent->set(double(result.units_downloaded));
     inst_.budget_left->set(
@@ -115,8 +225,8 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // the payload onto the downlink. In coalescing mode the downlink is a
   // broadcast: one transmission per distinct object serves all of its
   // requesters this tick. "Sent this tick" is an epoch stamp, so starting
-  // a fresh tick is one counter bump instead of an O(catalog) clear.
-  ++serve_epoch_;
+  // a fresh tick is one counter bump instead of an O(catalog) clear
+  // (the bump happened at the top of this function).
   {
     obs::ScopedTrace span(trace_, "bs.serve", now);
     for (const workload::Request& request : batch) {
@@ -125,6 +235,14 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       result.recency_sum += x;
       result.score_sum += scorer_->score(x, request.target_recency);
       const bool cached = cache_.contains(request.object);
+      if (fault_scratch && failed_stamp_[request.object] == serve_epoch_) {
+        // The refresh this request wanted failed this tick: it is served
+        // whatever decayed copy the cache holds (or a miss) — count it
+        // as a degraded serve. The score above already reflects the
+        // decay; degradation is graceful, not special-cased.
+        ++result.degraded_serves;
+        if (metrics_) inst_.fault_degraded_serves->add();
+      }
       if (metrics_) {
         if (cached) {
           inst_.hits->add();
@@ -179,6 +297,15 @@ void BaseStation::set_metrics(obs::MetricsRegistry* registry,
       &registry->register_counter(prefix + ".units_downloaded");
   inst_.coalesced_responses =
       &registry->register_counter(prefix + ".coalesced_responses");
+  inst_.fault_retries = &registry->register_counter(prefix + ".fault.retries");
+  inst_.fault_retry_successes =
+      &registry->register_counter(prefix + ".fault.retry_successes");
+  inst_.fault_retry_exhausted =
+      &registry->register_counter(prefix + ".fault.retry_exhausted");
+  inst_.fault_degraded_serves =
+      &registry->register_counter(prefix + ".fault.degraded_serves");
+  inst_.fault_retry_queue_depth =
+      &registry->register_gauge(prefix + ".fault.retry_queue_depth");
   inst_.budget_spent = &registry->register_gauge(prefix + ".budget_spent");
   inst_.budget_left = &registry->register_gauge(prefix + ".budget_left");
   inst_.tick_score_avg =

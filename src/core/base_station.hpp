@@ -54,6 +54,15 @@ struct BaseStationConfig {
   /// `failure_seed`.
   double fetch_failure_rate = 0.0;
   std::uint64_t failure_seed = 0x5eedf00dULL;
+  /// Maximum retry attempts per failed fetch (0 = seed behavior: fail
+  /// once, serve stale, never re-enqueue). With retries on, a failed
+  /// fetch is re-enqueued with exponential backoff — 1, 2, 4, ... ticks
+  /// between attempts — and retried ahead of the policy's own picks,
+  /// consuming budget first. After the limit is exhausted the object is
+  /// dropped from the retry queue and its requesters are served the
+  /// stale cached copy at its naturally decayed score (graceful
+  /// degradation rather than a stall).
+  std::size_t fetch_retry_limit = 0;
 };
 
 struct TickResult {
@@ -65,6 +74,10 @@ struct TickResult {
   double recency_sum = 0.0;        // summed raw recency of copies served
   double fetch_latency = 0.0;      // fixed-network completion time
   std::size_t failed_fetches = 0;  // injected fixed-network faults
+  std::size_t retries = 0;         // retry attempts made this tick
+  std::size_t retry_successes = 0;
+  std::size_t retry_exhausted = 0;  // objects dropped after the last retry
+  std::size_t degraded_serves = 0;  // requests served past a failed fetch
   object::Units downlink_delivered = 0;
 
   double average_score() const noexcept {
@@ -78,6 +91,11 @@ struct RunTotals {
   object::Units units_downloaded = 0;
   double score_sum = 0.0;
   double recency_sum = 0.0;
+  std::size_t failed_fetches = 0;
+  std::size_t retries = 0;
+  std::size_t retry_successes = 0;
+  std::size_t retry_exhausted = 0;
+  std::size_t degraded_serves = 0;
 
   void add(const TickResult& r) noexcept {
     requests += r.requests;
@@ -85,6 +103,11 @@ struct RunTotals {
     units_downloaded += r.units_downloaded;
     score_sum += r.score_sum;
     recency_sum += r.recency_sum;
+    failed_fetches += r.failed_fetches;
+    retries += r.retries;
+    retry_successes += r.retry_successes;
+    retry_exhausted += r.retry_exhausted;
+    degraded_serves += r.degraded_serves;
   }
   double average_score() const noexcept {
     return requests ? score_sum / double(requests) : 1.0;
@@ -141,7 +164,40 @@ class BaseStation {
   /// nullptr (the default) disables it.
   void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Attaches a fault injector: its per-tick windows are advanced at the
+  /// top of process_batch, fetch-failure draws gate every remote fetch,
+  /// congestion draws stretch fixed-network completions, and downlink-drop
+  /// draws are wired into the owned downlink. The shared ServerPool is
+  /// NOT wired here (it may serve several stations) — attach it to the
+  /// pool separately with ServerPool::set_fault_injector so outage
+  /// windows gate availability. nullptr detaches everything. An idle
+  /// injector (empty plan) draws nothing and the tick stream is
+  /// bit-identical to the detached path.
+  void set_fault_injector(net::FaultInjector* injector);
+
+  const net::FaultInjector* fault_injector() const noexcept { return fault_; }
+
+  /// Objects currently awaiting a backoff retry (tests/diagnostics).
+  std::size_t retry_queue_depth() const noexcept { return retry_queue_.size(); }
+
  private:
+  /// True when this fetch attempt must fail: legacy bernoulli fault
+  /// first (stream-compatible with the pre-injector code), then the
+  /// injector's fetch-failure draw, then the owning server's outage
+  /// window. Short-circuits, so an idle injector costs two branches.
+  bool fetch_blocked(object::ObjectId id);
+
+  /// Allocates the retry/degraded-serve scratch once (outside the steady
+  /// state): failure stamps, the retry-pending dedup bitmap, and a retry
+  /// queue reserved to catalog size so in-loop pushes never reallocate.
+  void ensure_fault_scratch();
+
+  struct RetryEntry {
+    object::ObjectId id;
+    sim::Tick next_attempt;
+    std::uint32_t attempts;  // failed attempts so far, initial included
+  };
+
   const object::Catalog* catalog_;
   server::ServerPool* servers_;
   cache::Cache cache_;
@@ -161,6 +217,17 @@ class BaseStation {
   std::vector<std::uint64_t> sent_epoch_;
   std::uint64_t serve_epoch_ = 0;
 
+  // Resilience state (allocated lazily by ensure_fault_scratch, only when
+  // an injector is attached or retries are enabled — the fault-free
+  // steady state never touches it). failed_stamp_[id] == serve_epoch_
+  // marks "fetch of id failed this tick" for degraded-serve accounting;
+  // retry_pending_ dedups queue entries so the preallocated retry queue
+  // is bounded by the catalog.
+  net::FaultInjector* fault_ = nullptr;
+  std::vector<RetryEntry> retry_queue_;
+  std::vector<std::uint8_t> retry_pending_;
+  std::vector<std::uint64_t> failed_stamp_;
+
   struct Instruments {
     obs::Counter* requests = nullptr;
     obs::Counter* hits = nullptr;
@@ -171,6 +238,11 @@ class BaseStation {
     obs::Counter* failed_fetches = nullptr;
     obs::Counter* units_downloaded = nullptr;
     obs::Counter* coalesced_responses = nullptr;
+    obs::Counter* fault_retries = nullptr;
+    obs::Counter* fault_retry_successes = nullptr;
+    obs::Counter* fault_retry_exhausted = nullptr;
+    obs::Counter* fault_degraded_serves = nullptr;
+    obs::Gauge* fault_retry_queue_depth = nullptr;
     obs::Gauge* budget_spent = nullptr;
     obs::Gauge* budget_left = nullptr;
     obs::Gauge* tick_score_avg = nullptr;

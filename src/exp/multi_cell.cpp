@@ -35,6 +35,12 @@ void accumulate(client::CellResult& into, const client::CellResult& from) {
   into.base_downloaded += from.base_downloaded;
   into.sleeper_drops += from.sleeper_drops;
   into.disconnect_ticks += from.disconnect_ticks;
+  into.failed_fetches += from.failed_fetches;
+  into.retries += from.retries;
+  into.retry_successes += from.retry_successes;
+  into.degraded_serves += from.degraded_serves;
+  into.handoffs += from.handoffs;
+  into.downlink_dropped += from.downlink_dropped;
 }
 
 void accumulate(coop::CoopResult& into, const coop::CoopResult& from) {
@@ -61,6 +67,8 @@ void record_sharded(obs::SeriesRecorder& recorder,
   obs::Counter& units = registry.register_counter("mc.units_downloaded");
   obs::Counter& drops = registry.register_counter("mc.sleeper_drops");
   obs::Counter& disconnects = registry.register_counter("mc.disconnect_ticks");
+  obs::Counter& failed = registry.register_counter("mc.failed_fetches");
+  obs::Counter& degraded = registry.register_counter("mc.degraded_serves");
   obs::Gauge& score_sum = registry.register_gauge("mc.score_sum");
   obs::Gauge& average_score = registry.register_gauge("mc.average_score");
   registry.register_gauge("mc.cells").set(double(cells));
@@ -76,6 +84,8 @@ void record_sharded(obs::SeriesRecorder& recorder,
     units.add(std::uint64_t(now.base_downloaded - prev.base_downloaded));
     drops.add(now.sleeper_drops - prev.sleeper_drops);
     disconnects.add(now.disconnect_ticks - prev.disconnect_ticks);
+    failed.add(now.failed_fetches - prev.failed_fetches);
+    degraded.add(now.degraded_serves - prev.degraded_serves);
     score_sum.set(now.score_sum);
     average_score.set(now.average_score());
     recorder.sample(sim::Tick(t));

@@ -1,6 +1,9 @@
 #include "exp/policy_sim.hpp"
 
 #include <memory>
+#include <optional>
+
+#include "net/fault_injector.hpp"
 
 #include "cache/decay.hpp"
 #include "core/base_station.hpp"
@@ -26,10 +29,11 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
-  server::ServerPool servers(catalog, 1);
+  server::ServerPool servers(catalog, config.server_count);
 
   core::BaseStationConfig bs_config;
   bs_config.download_budget = config.budget;
+  bs_config.fetch_retry_limit = config.fetch_retry_limit;
   // Size the downlink for the average response volume so utilization is a
   // meaningful signal rather than saturated at 1.
   const double mean_size = double(catalog.total_size()) / double(catalog.size());
@@ -39,9 +43,21 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
                             cache::make_harmonic_decay(config.decay_c),
                             core::make_scorer(config.scorer),
                             core::make_policy(config.policy), bs_config);
+  // Nonzero fault plan: one injector per run, reseeded from the run's
+  // own seed. An empty plan attaches nothing — fault-free path, bit for
+  // bit (the differential suite enforces this).
+  std::optional<net::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    sim::FaultPlan plan = config.faults;
+    plan.seed = util::SplitMix64(plan.seed ^ config.seed).next();
+    injector.emplace(plan, servers.server_count());
+    station.set_fault_injector(&*injector);
+    servers.set_fault_injector(&*injector);
+  }
   if (recorder) {
     station.set_metrics(&recorder->registry());
     servers.set_metrics(&recorder->registry());
+    if (injector) injector->set_metrics(&recorder->registry());
   }
 
   std::shared_ptr<const workload::AccessDistribution> access;
@@ -83,6 +99,10 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
     result.units_downloaded += tick.units_downloaded;
     result.objects_downloaded += tick.objects_downloaded;
     result.requests += tick.requests;
+    result.failed_fetches += tick.failed_fetches;
+    result.retries += tick.retries;
+    result.retry_successes += tick.retry_successes;
+    result.degraded_serves += tick.degraded_serves;
     if (tick.objects_downloaded > 0) latency.add(tick.fetch_latency);
     // Per-request scores for the fairness metrics (post-refresh state).
     for (const auto& request : batch) {
@@ -96,6 +116,7 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
     result.average_recency = recency_sum / double(result.requests);
   }
   result.downlink_utilization = station.downlink().utilization();
+  result.downlink_dropped = station.downlink().dropped_total();
   result.mean_fetch_latency = latency.mean();
   result.jain_fairness = core::jain_index(per_request_scores);
   result.score_p10 = core::score_quantile(per_request_scores, 0.10);

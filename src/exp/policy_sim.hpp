@@ -10,6 +10,7 @@
 
 #include "exp/fig2.hpp"
 #include "object/object.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/tick.hpp"
 #include "workload/requests.hpp"
 
@@ -36,6 +37,16 @@ struct PolicySimConfig {
   workload::TargetDistribution targets = workload::UniformTarget{0.5, 1.0};
   double decay_c = 1.0;
   std::uint64_t seed = 42;
+  /// Servers behind the fixed network; > 1 makes per-server outage
+  /// faults partial rather than total.
+  std::size_t server_count = 1;
+  /// Retry budget handed to the base station (0 = seed behavior).
+  std::size_t fetch_retry_limit = 0;
+  /// Fault schedule; the default (empty) plan attaches no injector and
+  /// is bit-identical to the fault-free code path. A nonzero plan is
+  /// reseeded with `seed` mixed in, so sweeps over seeds get
+  /// independent fault streams.
+  sim::FaultPlan faults;
 };
 
 struct PolicySimResult {
@@ -50,6 +61,13 @@ struct PolicySimResult {
   double jain_fairness = 1.0;   // 1 = perfectly equal
   double score_p10 = 1.0;       // 10th percentile per-request score
   double min_score = 1.0;
+  /// Resilience accounting over the measure window (all zero when
+  /// PolicySimConfig::faults is empty).
+  std::size_t failed_fetches = 0;
+  std::size_t retries = 0;
+  std::size_t retry_successes = 0;
+  std::size_t degraded_serves = 0;
+  object::Units downlink_dropped = 0;
 };
 
 PolicySimResult run_policy_sim(const PolicySimConfig& config);

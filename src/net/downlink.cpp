@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/fault_injector.hpp"
 #include "obs/metrics.hpp"
 
 namespace mobi::net {
@@ -18,6 +19,7 @@ void WirelessDownlink::enqueue(object::Units units) {
   if (units == 0) return;
   pending_.push_back(units);
   queued_ += units;
+  enqueued_ += units;
   if (metrics_) {
     inst_.enqueued_units->add(std::uint64_t(units));
     inst_.queue_depth->set(double(queued_));
@@ -27,13 +29,30 @@ void WirelessDownlink::enqueue(object::Units units) {
 object::Units WirelessDownlink::tick() {
   ++ticks_;
   object::Units budget = capacity_;
+  object::Units delivered_now = 0;
+  object::Units dropped_now = 0;
   while (budget > 0 && head_ < pending_.size()) {
     object::Units& head = pending_[head_];
     const object::Units moved = head <= budget ? head : budget;
+    if (fault_ && fault_->draw_downlink_drop()) {
+      // Dropped mid-flight: `moved` units of airtime are spent on a
+      // transfer nobody receives, and only the chunk's *remaining* bytes
+      // count as dropped — the prefix delivered on earlier ticks stays
+      // delivered, so enqueued == delivered + queued + dropped exactly.
+      budget -= moved;
+      queued_ -= head;
+      dropped_ += head;
+      dropped_now += head;
+      wasted_ += moved;
+      head = 0;
+      ++head_;
+      continue;
+    }
     head -= moved;
     budget -= moved;
     queued_ -= moved;
     delivered_ += moved;
+    delivered_now += moved;
     if (head == 0) ++head_;
   }
   if (head_ == pending_.size()) {
@@ -48,11 +67,16 @@ object::Units WirelessDownlink::tick() {
   }
   idle_ += budget;
   if (metrics_) {
-    inst_.delivered_units->add(std::uint64_t(capacity_ - budget));
+    inst_.delivered_units->add(std::uint64_t(delivered_now));
+    if (dropped_now > 0) inst_.dropped_units->add(std::uint64_t(dropped_now));
+    if (capacity_ - budget > delivered_now) {
+      inst_.wasted_airtime_units->add(
+          std::uint64_t(capacity_ - budget - delivered_now));
+    }
     inst_.idle_units->add(std::uint64_t(budget));
     inst_.queue_depth->set(double(queued_));
   }
-  return capacity_ - budget;
+  return delivered_now;
 }
 
 void WirelessDownlink::set_metrics(obs::MetricsRegistry* registry,
@@ -63,6 +87,9 @@ void WirelessDownlink::set_metrics(obs::MetricsRegistry* registry,
   inst_.enqueued_units = &registry->register_counter(prefix + ".enqueued_units");
   inst_.delivered_units =
       &registry->register_counter(prefix + ".delivered_units");
+  inst_.dropped_units = &registry->register_counter(prefix + ".dropped_units");
+  inst_.wasted_airtime_units =
+      &registry->register_counter(prefix + ".wasted_airtime_units");
   inst_.idle_units = &registry->register_counter(prefix + ".idle_units");
   inst_.queue_depth = &registry->register_gauge(prefix + ".queue_depth");
   inst_.queue_depth->set(double(queued_));

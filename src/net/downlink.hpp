@@ -21,6 +21,8 @@ class Gauge;
 
 namespace mobi::net {
 
+class FaultInjector;
+
 class WirelessDownlink {
  public:
   explicit WirelessDownlink(object::Units capacity_per_tick);
@@ -31,19 +33,39 @@ class WirelessDownlink {
   void enqueue(object::Units units);
 
   /// Advances one tick: delivers up to capacity units from the queue.
-  /// Returns the units actually delivered this tick.
+  /// Returns the units actually delivered this tick. With a fault
+  /// injector attached, a chunk touched this tick may be dropped
+  /// mid-flight: the airtime it consumed is charged against capacity but
+  /// delivered to nobody, and its undelivered remainder leaves the queue
+  /// as dropped bytes — delivered/queued/dropped always conserve
+  /// enqueued_total() exactly.
   object::Units tick();
 
   object::Units queued() const noexcept { return queued_; }
+  object::Units enqueued_total() const noexcept { return enqueued_; }
   object::Units delivered_total() const noexcept { return delivered_; }
+  /// Bytes that were queued but dropped mid-transfer (never delivered).
+  object::Units dropped_total() const noexcept { return dropped_; }
+  /// Airtime charged for transfers that were then dropped — capacity
+  /// consumed without delivery (the waste faults cause on the air).
+  object::Units wasted_airtime_total() const noexcept { return wasted_; }
   object::Units idle_total() const noexcept { return idle_; }
   std::uint64_t ticks() const noexcept { return ticks_; }
 
   /// Fraction of downlink capacity used so far (0 if no ticks have run).
   double utilization() const noexcept;
 
-  /// Registers enqueued/delivered/idle unit counters and a queue-depth
-  /// gauge under `prefix` and keeps them updated; nullptr detaches.
+  /// Attaches a fault injector whose downlink-drop draws are consulted
+  /// once per queued chunk touched per tick; nullptr (the default)
+  /// detaches. An idle injector (empty plan) draws nothing and the tick
+  /// is bit-identical to the detached path.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
+  /// Registers enqueued/delivered/dropped/wasted-airtime/idle unit
+  /// counters and a queue-depth gauge under `prefix` and keeps them
+  /// updated; nullptr detaches.
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "downlink");
 
@@ -51,13 +73,18 @@ class WirelessDownlink {
   struct Instruments {
     obs::Counter* enqueued_units = nullptr;
     obs::Counter* delivered_units = nullptr;
+    obs::Counter* dropped_units = nullptr;
+    obs::Counter* wasted_airtime_units = nullptr;
     obs::Counter* idle_units = nullptr;
     obs::Gauge* queue_depth = nullptr;
   };
 
   object::Units capacity_;
   object::Units queued_ = 0;
+  object::Units enqueued_ = 0;
   object::Units delivered_ = 0;
+  object::Units dropped_ = 0;
+  object::Units wasted_ = 0;
   object::Units idle_ = 0;
   std::uint64_t ticks_ = 0;
   // Per-item FIFO as a vector + head cursor: enqueues append, tick()
@@ -65,6 +92,7 @@ class WirelessDownlink {
   // no per-chunk deque churn, no allocations once capacity is warm.
   std::vector<object::Units> pending_;
   std::size_t head_ = 0;
+  FaultInjector* fault_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments inst_;
 };

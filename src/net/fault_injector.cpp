@@ -1,0 +1,89 @@
+#include "net/fault_injector.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mobi::net {
+
+FaultInjector::FaultInjector(const sim::FaultPlan& plan,
+                             std::size_t server_count)
+    : plan_(plan) {
+  plan_.validate();
+  // Fixed stream positions per category: toggling one category's rate
+  // never reseeds or advances another's stream.
+  util::SplitMix64 mixer(plan_.seed);
+  fetch_rng_.reseed(mixer.next());
+  slowdown_rng_.reseed(mixer.next());
+  downlink_rng_.reseed(mixer.next());
+  server_rng_.reseed(mixer.next());
+  handoff_rng_.reseed(mixer.next());
+  outage_until_.assign(server_count, 0);
+}
+
+void FaultInjector::begin_tick(sim::Tick now) {
+  if (ticked_ && now == last_tick_) return;  // idempotent within a tick
+  ticked_ = true;
+  last_tick_ = now;
+  if (plan_.server_outage_rate <= 0.0) return;
+  for (sim::Tick& until : outage_until_) {
+    if (until > now) continue;  // window still open; no reopen draw
+    if (server_rng_.bernoulli(plan_.server_outage_rate)) {
+      until = now + plan_.server_outage_ticks;
+      ++counters_.server_outages;
+      if (metrics_) inst_.server_outages->add();
+    }
+  }
+}
+
+bool FaultInjector::draw_fetch_failure() {
+  if (plan_.fetch_failure_rate <= 0.0) return false;
+  if (!fetch_rng_.bernoulli(plan_.fetch_failure_rate)) return false;
+  ++counters_.fetch_failures;
+  if (metrics_) inst_.fetch_failures->add();
+  return true;
+}
+
+double FaultInjector::draw_fetch_slowdown() {
+  if (plan_.fetch_slowdown_rate <= 0.0) return 1.0;
+  if (!slowdown_rng_.bernoulli(plan_.fetch_slowdown_rate)) return 1.0;
+  ++counters_.fetch_slowdowns;
+  if (metrics_) inst_.fetch_slowdowns->add();
+  return plan_.fetch_slowdown_factor;
+}
+
+bool FaultInjector::draw_downlink_drop() {
+  if (plan_.downlink_drop_rate <= 0.0) return false;
+  if (!downlink_rng_.bernoulli(plan_.downlink_drop_rate)) return false;
+  ++counters_.downlink_drops;
+  if (metrics_) inst_.downlink_drops->add();
+  return true;
+}
+
+bool FaultInjector::draw_handoff() {
+  if (plan_.handoff_rate <= 0.0) return false;
+  if (!handoff_rng_.bernoulli(plan_.handoff_rate)) return false;
+  ++counters_.handoffs;
+  if (metrics_) inst_.handoffs->add();
+  return true;
+}
+
+bool FaultInjector::server_down(std::size_t server) const noexcept {
+  return server < outage_until_.size() && outage_until_[server] > last_tick_;
+}
+
+void FaultInjector::set_metrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  metrics_ = registry;
+  inst_ = {};
+  if (!registry) return;
+  inst_.fetch_failures =
+      &registry->register_counter(prefix + ".injected.fetch_failures");
+  inst_.fetch_slowdowns =
+      &registry->register_counter(prefix + ".injected.fetch_slowdowns");
+  inst_.downlink_drops =
+      &registry->register_counter(prefix + ".injected.downlink_drops");
+  inst_.server_outages =
+      &registry->register_counter(prefix + ".injected.server_outages");
+  inst_.handoffs = &registry->register_counter(prefix + ".injected.handoffs");
+}
+
+}  // namespace mobi::net

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "net/fault_injector.hpp"
+
 namespace mobi::net {
 
 FixedNetwork::FixedNetwork(double bandwidth, double latency, double contention)
@@ -53,6 +55,29 @@ double FixedNetwork::batch_completion_time(
   const object::Units total =
       std::accumulate(sizes.begin(), sizes.end(), object::Units{0});
   return link_.latency() + double(total) / link_.bandwidth();
+}
+
+double FixedNetwork::record_batch_completion(
+    const std::vector<object::Units>& sizes) {
+  if (sizes.empty()) return 0.0;
+  // One congestion draw per batch; factor 1.0 multiplies exactly, so the
+  // healthy path reproduces batch_completion_time + record_batch bit for
+  // bit (the perf differential suites pin this).
+  const double factor = fault_ ? fault_->draw_fetch_slowdown() : 1.0;
+  const object::Units total =
+      std::accumulate(sizes.begin(), sizes.end(), object::Units{0});
+  for (object::Units own : sizes) {
+    if (own < 0) throw std::invalid_argument("FixedNetwork: negative size");
+    const double competing = contention_ * double(total - own);
+    const double time =
+        factor *
+        (link_.latency() + (double(own) + competing) / link_.bandwidth());
+    link_.account(own);
+    ++stats_.transfers;
+    stats_.units += own;
+    stats_.total_time += time;
+  }
+  return factor * (link_.latency() + double(total) / link_.bandwidth());
 }
 
 }  // namespace mobi::net

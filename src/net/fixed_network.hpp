@@ -15,6 +15,8 @@
 
 namespace mobi::net {
 
+class FaultInjector;
+
 struct TransferStats {
   std::uint64_t transfers = 0;
   object::Units units = 0;
@@ -45,6 +47,21 @@ class FixedNetwork {
   /// Time for the whole batch to finish (the last completion).
   double batch_completion_time(const std::vector<object::Units>& sizes) const;
 
+  /// record_batch + batch_completion_time fused into one call that
+  /// consults the attached fault injector exactly once per batch: a
+  /// congestion fault multiplies every completion time (stats included)
+  /// by the plan's slowdown factor. With no injector — or an idle one —
+  /// this is bit-identical to calling batch_completion_time followed by
+  /// record_batch, and it is the resilient hot-path entry point
+  /// (allocation-free, like record_batch).
+  double record_batch_completion(const std::vector<object::Units>& sizes);
+
+  /// Attaches the fault injector consulted by record_batch_completion;
+  /// nullptr (the default) detaches.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
   const TransferStats& stats() const noexcept { return stats_; }
   double bandwidth() const noexcept { return link_.bandwidth(); }
   double latency() const noexcept { return link_.latency(); }
@@ -53,6 +70,7 @@ class FixedNetwork {
   Link link_;
   double contention_;
   TransferStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace mobi::net

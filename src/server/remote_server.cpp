@@ -1,5 +1,6 @@
 #include "server/remote_server.hpp"
 
+#include "net/fault_injector.hpp"
 #include "obs/metrics.hpp"
 
 namespace mobi::server {
@@ -63,6 +64,11 @@ void ServerPool::set_metrics(obs::MetricsRegistry* registry,
   if (!registry) return;
   inst_.fetches = &registry->register_counter(prefix + ".fetches");
   inst_.updates = &registry->register_counter(prefix + ".updates");
+}
+
+bool ServerPool::available(object::ObjectId id) const {
+  if (!fault_) return true;
+  return !fault_->server_down(server_for(id));
 }
 
 Version ServerPool::version(object::ObjectId id) const {

@@ -19,6 +19,10 @@ class MetricsRegistry;
 class Counter;
 }  // namespace mobi::obs
 
+namespace mobi::net {
+class FaultInjector;
+}  // namespace mobi::net
+
 namespace mobi::server {
 
 using Version = std::uint64_t;
@@ -85,9 +89,23 @@ class ServerPool {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "servers");
 
+  /// Attaches a fault injector whose per-server outage windows gate
+  /// available(); nullptr (the default) detaches and every server is
+  /// reachable. The injector should have been built with this pool's
+  /// server_count() so outage windows cover every server.
+  void set_fault_injector(net::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
+  /// True when the server owning `id` is reachable this tick. Without an
+  /// injector this is always true; with one, it reflects the injector's
+  /// outage windows as of its last begin_tick().
+  bool available(object::ObjectId id) const;
+
  private:
   std::vector<RemoteServer> servers_;
   std::size_t object_count_;
+  net::FaultInjector* fault_ = nullptr;
 
   struct Instruments {
     obs::Counter* fetches = nullptr;

@@ -1,0 +1,42 @@
+#include "sim/fault_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mobi::sim {
+
+namespace {
+
+void check_rate(double rate, const char* what) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const noexcept {
+  return fetch_failure_rate == 0.0 && fetch_slowdown_rate == 0.0 &&
+         downlink_drop_rate == 0.0 && server_outage_rate == 0.0 &&
+         handoff_rate == 0.0;
+}
+
+void FaultPlan::validate() const {
+  check_rate(fetch_failure_rate, "fetch_failure_rate");
+  check_rate(fetch_slowdown_rate, "fetch_slowdown_rate");
+  check_rate(downlink_drop_rate, "downlink_drop_rate");
+  check_rate(server_outage_rate, "server_outage_rate");
+  check_rate(handoff_rate, "handoff_rate");
+  if (fetch_slowdown_factor < 1.0) {
+    throw std::invalid_argument("FaultPlan: fetch_slowdown_factor must be >= 1");
+  }
+  if (server_outage_ticks < 1) {
+    throw std::invalid_argument("FaultPlan: server_outage_ticks must be >= 1");
+  }
+  if (handoff_ticks < 1) {
+    throw std::invalid_argument("FaultPlan: handoff_ticks must be >= 1");
+  }
+}
+
+}  // namespace mobi::sim

@@ -1,0 +1,62 @@
+// FaultPlan: a declarative, RNG-seeded schedule of fault events for the
+// chaos/resilience layer (docs/resilience.md).
+//
+// The paper's environment is unreliable by construction — wireless cells,
+// weak connectivity, congested fixed links — yet a simulation is only
+// trustworthy under faults if the faults themselves are reproducible. A
+// FaultPlan is pure data: per-category rates, window durations, and one
+// seed. Instantiating it (net::FaultInjector) derives an independent
+// SplitMix64-seeded stream per fault category, so the same plan replays
+// the same event schedule bit-for-bit, and enabling one category never
+// perturbs another's stream.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/tick.hpp"
+
+namespace mobi::sim {
+
+struct FaultPlan {
+  /// Per-fetch probability that a remote fetch fails outright (transient
+  /// fixed-network fault: no transfer, cache untouched, request served
+  /// from the decayed cached copy).
+  double fetch_failure_rate = 0.0;
+
+  /// Per-batch probability that the fixed network is congested this tick:
+  /// every completion time in the batch is multiplied by
+  /// `fetch_slowdown_factor`.
+  double fetch_slowdown_rate = 0.0;
+  double fetch_slowdown_factor = 4.0;
+
+  /// Per-chunk, per-tick probability that a queued downlink transfer is
+  /// dropped mid-flight: the airtime spent on it this tick is wasted
+  /// (charged against capacity, delivered to nobody) and the undelivered
+  /// remainder leaves the queue as dropped bytes.
+  double downlink_drop_rate = 0.0;
+
+  /// Per-server, per-tick probability that an outage window opens; while
+  /// a window is open every fetch routed to that server fails.
+  double server_outage_rate = 0.0;
+  sim::Tick server_outage_ticks = 5;
+
+  /// Per-connected-client, per-tick probability of a forced handoff: the
+  /// client leaves the cell for `handoff_ticks` ticks, then reconnects
+  /// (the sleeper rule applies to the next invalidation report).
+  double handoff_rate = 0.0;
+  sim::Tick handoff_ticks = 3;
+
+  /// Master seed for the per-category fault streams.
+  std::uint64_t seed = 0xfa017ab1eULL;
+
+  /// True when every rate is zero — the plan injects nothing, and an
+  /// injector built from it must be observably absent (bit-identical
+  /// runs, no RNG draws, no steady-state allocations).
+  bool empty() const noexcept;
+
+  /// Throws std::invalid_argument on out-of-range parameters (rates
+  /// outside [0, 1], slowdown factor < 1, non-positive durations).
+  void validate() const;
+};
+
+}  // namespace mobi::sim

@@ -20,7 +20,9 @@
 
 #include "cache/decay.hpp"
 #include "core/base_station.hpp"
+#include "net/fault_injector.hpp"
 #include "object/builders.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
 #include "workload/access.hpp"
 
@@ -86,22 +88,38 @@ namespace {
 // a few server updates per tick so the policy always has real work, and
 // asserts that `measured_passes` over the batch pool allocate nothing
 // after `warmup_passes` have grown every buffer.
-void run_steady_state(const std::string& policy, bool coalesce) {
-  SCOPED_TRACE(policy + (coalesce ? " +coalesce" : ""));
+void run_steady_state(const std::string& policy, bool coalesce,
+                      const sim::FaultPlan* faults = nullptr,
+                      std::size_t fetch_retry_limit = 0) {
+  SCOPED_TRACE(policy + (coalesce ? " +coalesce" : "") +
+               (faults ? (faults->empty() ? " +idle-injector"
+                                          : " +active-faults")
+                       : ""));
   constexpr std::size_t kObjects = 256;
   constexpr std::size_t kBatch = 128;
   constexpr int kUpdatesPerTick = 8;
 
   util::Rng rng(1);
   const auto catalog = object::make_random_catalog(kObjects, 1, 8, rng);
-  server::ServerPool servers(catalog, 1);
+  server::ServerPool servers(catalog, faults ? 4 : 1);
   core::BaseStationConfig config;
   config.download_budget = object::Units(kObjects) / 4;
   config.coalesce_downlink = coalesce;
   config.downlink_capacity = 1 << 20;  // drains every tick (see header note)
+  config.fetch_retry_limit = fetch_retry_limit;
   core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
                             std::make_unique<core::ReciprocalScorer>(),
                             core::make_policy(policy), config);
+  // The injector lives outside the measured region; attaching it must not
+  // add steady-state allocations — retry queue and fault scratch are
+  // grown to catalog size up front, and draws are allocation-free.
+  std::unique_ptr<net::FaultInjector> injector;
+  if (faults) {
+    injector = std::make_unique<net::FaultInjector>(*faults,
+                                                    servers.server_count());
+    station.set_fault_injector(injector.get());
+    servers.set_fault_injector(injector.get());
+  }
 
   workload::RequestGenerator generator(
       workload::make_zipf_access(kObjects, 1.0), workload::ConstantTarget{1.0},
@@ -151,6 +169,26 @@ TEST(AllocRegression, KnapsackPolicyCoalescingSteadyStateIsAllocationFree) {
 
 TEST(AllocRegression, GreedyPolicySteadyStateIsAllocationFree) {
   run_steady_state("on-demand-knapsack-greedy", false);
+}
+
+TEST(AllocRegression, IdleInjectorSteadyStateIsAllocationFree) {
+  // An attached injector with an empty plan must be indistinguishable
+  // from no injector on the allocation axis too.
+  const sim::FaultPlan empty;
+  run_steady_state("on-demand-knapsack", false, &empty);
+}
+
+TEST(AllocRegression, ActiveFaultPlanSteadyStateIsAllocationFree) {
+  // Even with live fetch failures, slowdowns, drops, outages and a retry
+  // budget, the retry queue and fault scratch reach a high-water mark in
+  // warm-up and the measured ticks allocate nothing.
+  sim::FaultPlan plan;
+  plan.fetch_failure_rate = 0.2;
+  plan.fetch_slowdown_rate = 0.1;
+  plan.downlink_drop_rate = 0.1;
+  plan.server_outage_rate = 0.05;
+  plan.server_outage_ticks = 4;
+  run_steady_state("on-demand-knapsack", false, &plan, 3);
 }
 
 }  // namespace

@@ -38,6 +38,12 @@ void expect_identical(const client::CellResult& a,
   EXPECT_EQ(a.base_downloaded, b.base_downloaded);
   EXPECT_EQ(a.sleeper_drops, b.sleeper_drops);
   EXPECT_EQ(a.disconnect_ticks, b.disconnect_ticks);
+  EXPECT_EQ(a.failed_fetches, b.failed_fetches);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_successes, b.retry_successes);
+  EXPECT_EQ(a.degraded_serves, b.degraded_serves);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.downlink_dropped, b.downlink_dropped);
 }
 
 void expect_identical(const coop::CoopResult& a, const coop::CoopResult& b) {

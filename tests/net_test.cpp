@@ -1,8 +1,11 @@
 #include "net/downlink.hpp"
+#include "net/fault_injector.hpp"
 #include "net/fixed_network.hpp"
 #include "net/link.hpp"
 
 #include <gtest/gtest.h>
+
+#include "sim/fault_plan.hpp"
 
 namespace mobi::net {
 namespace {
@@ -130,6 +133,123 @@ TEST(WirelessDownlink, Validation) {
 TEST(WirelessDownlink, UtilizationZeroBeforeTicks) {
   WirelessDownlink downlink(5);
   EXPECT_DOUBLE_EQ(downlink.utilization(), 0.0);
+}
+
+sim::FaultPlan drop_all_plan() {
+  sim::FaultPlan plan;
+  plan.downlink_drop_rate = 1.0;
+  return plan;
+}
+
+TEST(WirelessDownlink, ConservesUnitsWithoutFaults) {
+  WirelessDownlink downlink(4);
+  downlink.enqueue(3);
+  downlink.enqueue(7);
+  while (downlink.queued() > 0) downlink.tick();
+  EXPECT_EQ(downlink.enqueued_total(), 10);
+  EXPECT_EQ(downlink.delivered_total(), 10);
+  EXPECT_EQ(downlink.dropped_total(), 0);
+  EXPECT_EQ(downlink.wasted_airtime_total(), 0);
+}
+
+TEST(WirelessDownlink, DroppedChunkChargesAirtimeButDeliversNothing) {
+  const sim::FaultPlan plan = drop_all_plan();
+  FaultInjector injector(plan);
+  WirelessDownlink downlink(5);
+  downlink.set_fault_injector(&injector);
+  downlink.enqueue(3);
+  EXPECT_EQ(downlink.tick(), 0);  // dropped mid-flight, nothing delivered
+  EXPECT_EQ(downlink.delivered_total(), 0);
+  EXPECT_EQ(downlink.dropped_total(), 3);
+  EXPECT_EQ(downlink.wasted_airtime_total(), 3);  // airtime was spent
+  EXPECT_EQ(downlink.idle_total(), 2);            // only the leftover idles
+  EXPECT_EQ(downlink.queued(), 0);
+  // Conservation: enqueued == delivered + queued + dropped, exactly.
+  EXPECT_EQ(downlink.enqueued_total(),
+            downlink.delivered_total() + downlink.queued() +
+                downlink.dropped_total());
+}
+
+TEST(WirelessDownlink, PartiallyDeliveredChunkDropsOnlyItsRemainder) {
+  // Regression: a 10-unit chunk delivers 6 units on tick one, then drops
+  // — the prefix stays delivered and exactly the 4 undelivered units
+  // count as dropped, so conservation holds to the unit.
+  FaultInjector injector(drop_all_plan());
+  WirelessDownlink downlink(6);
+  downlink.enqueue(10);
+  EXPECT_EQ(downlink.tick(), 6);  // no injector yet: healthy delivery
+  ASSERT_EQ(downlink.delivered_total(), 6);
+  ASSERT_EQ(downlink.queued(), 4);
+
+  downlink.set_fault_injector(&injector);
+  EXPECT_EQ(downlink.tick(), 0);
+  EXPECT_EQ(downlink.delivered_total(), 6);  // the prefix stays delivered
+  EXPECT_EQ(downlink.dropped_total(), 4);    // only the remainder dropped
+  EXPECT_EQ(downlink.wasted_airtime_total(), 4);
+  EXPECT_EQ(downlink.queued(), 0);
+  EXPECT_EQ(downlink.enqueued_total(),
+            downlink.delivered_total() + downlink.queued() +
+                downlink.dropped_total());
+}
+
+TEST(WirelessDownlink, DropFreesAirtimeForTheNextChunkInTheTick) {
+  // A drop consumes only the airtime actually spent on the doomed chunk;
+  // the remaining budget still reaches the rest of the queue (and here
+  // drops it too — one draw per chunk touched).
+  FaultInjector dropping(drop_all_plan());
+  WirelessDownlink downlink(10);
+  downlink.set_fault_injector(&dropping);
+  downlink.enqueue(4);
+  downlink.enqueue(5);
+  EXPECT_EQ(downlink.tick(), 0);
+  EXPECT_EQ(dropping.counters().downlink_drops, 2u);
+  EXPECT_EQ(downlink.dropped_total(), 9);
+  EXPECT_EQ(downlink.wasted_airtime_total(), 9);
+  EXPECT_EQ(downlink.idle_total(), 1);
+}
+
+TEST(WirelessDownlink, IdleInjectorIsBitIdenticalToDetached) {
+  FaultInjector idle(sim::FaultPlan{});
+  ASSERT_TRUE(idle.idle());
+  WirelessDownlink plain(4);
+  WirelessDownlink wired(4);
+  wired.set_fault_injector(&idle);
+  for (int i = 0; i < 20; ++i) {
+    plain.enqueue(object::Units(i % 7));
+    wired.enqueue(object::Units(i % 7));
+    ASSERT_EQ(plain.tick(), wired.tick()) << i;
+    ASSERT_EQ(plain.queued(), wired.queued()) << i;
+  }
+  EXPECT_EQ(wired.dropped_total(), 0);
+  EXPECT_EQ(idle.counters().downlink_drops, 0u);
+}
+
+TEST(FixedNetwork, RecordBatchCompletionMatchesLegacyPairWithoutFaults) {
+  FixedNetwork legacy(10.0, 2.0, 0.5);
+  FixedNetwork fused(10.0, 2.0, 0.5);
+  const std::vector<object::Units> sizes{4, 6, 10};
+  const double expected = legacy.batch_completion_time(sizes);
+  legacy.record_batch(sizes);
+  EXPECT_EQ(fused.record_batch_completion(sizes), expected);
+  EXPECT_EQ(fused.stats().transfers, legacy.stats().transfers);
+  EXPECT_EQ(fused.stats().units, legacy.stats().units);
+  EXPECT_EQ(fused.stats().total_time, legacy.stats().total_time);
+}
+
+TEST(FixedNetwork, CongestionFaultStretchesTheWholeBatch) {
+  sim::FaultPlan plan;
+  plan.fetch_slowdown_rate = 1.0;
+  plan.fetch_slowdown_factor = 4.0;
+  FaultInjector injector(plan);
+  FixedNetwork healthy(10.0, 2.0, 1.0);
+  FixedNetwork congested(10.0, 2.0, 1.0);
+  congested.set_fault_injector(&injector);
+  const std::vector<object::Units> sizes{5, 5};
+  const double base = healthy.record_batch_completion(sizes);
+  EXPECT_DOUBLE_EQ(congested.record_batch_completion(sizes), 4.0 * base);
+  EXPECT_DOUBLE_EQ(congested.stats().total_time,
+                   4.0 * healthy.stats().total_time);
+  EXPECT_EQ(injector.counters().fetch_slowdowns, 1u);  // one draw per batch
 }
 
 }  // namespace
