@@ -15,11 +15,17 @@
 namespace mobi::client {
 
 CellResult run_cell(const CellConfig& config) {
-  return run_cell(config, nullptr);
+  return run_cell(config, nullptr, nullptr);
 }
 
 CellResult run_cell(const CellConfig& config,
                     std::vector<CellResult>* per_tick) {
+  return run_cell(config, per_tick, nullptr);
+}
+
+CellResult run_cell(const CellConfig& config,
+                    std::vector<CellResult>* per_tick,
+                    obs::RequestTracer* tracer) {
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -46,6 +52,8 @@ CellResult run_cell(const CellConfig& config,
     station.set_fault_injector(&*injector);
     servers.set_fault_injector(&*injector);
   }
+
+  if (tracer) station.set_request_tracer(tracer);
 
   cache::InvalidationLog log(config.object_count);
   auto updates = workload::make_periodic_staggered(config.object_count,

@@ -25,6 +25,10 @@
 #include "sim/fault_plan.hpp"
 #include "sim/tick.hpp"
 
+namespace mobi::obs {
+class RequestTracer;
+}  // namespace mobi::obs
+
 namespace mobi::client {
 
 struct CellConfig {
@@ -88,5 +92,13 @@ CellResult run_cell(const CellConfig& config);
 /// these shard-local series into registry-wide per-tick metrics.
 CellResult run_cell(const CellConfig& config,
                     std::vector<CellResult>* per_tick);
+
+/// Adds request-lifecycle tracing: the tracer is attached to this cell's
+/// base station (and through it the downlink and fixed network) for the
+/// whole run. The caller owns the tracer and its histogram registration;
+/// nullptr tracer is identical to the two-argument overload. Tracing is
+/// read-only observation — results stay bit-identical.
+CellResult run_cell(const CellConfig& config, std::vector<CellResult>* per_tick,
+                    obs::RequestTracer* tracer);
 
 }  // namespace mobi::client

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/fault_injector.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -35,6 +36,12 @@ BaseStation::BaseStation(const object::Catalog& catalog,
     sent_epoch_.assign(catalog.size(), 0);  // epoch 0 = never sent
   }
   if (config.fetch_retry_limit > 0) ensure_fault_scratch();
+}
+
+void BaseStation::set_request_tracer(obs::RequestTracer* tracer) noexcept {
+  tracer_ = tracer;
+  network_.set_tracer(tracer);
+  downlink_.set_tracer(tracer);
 }
 
 void BaseStation::set_fault_injector(net::FaultInjector* injector) {
@@ -93,6 +100,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // so bumping here rather than before the serve loop changes nothing.
   ++serve_epoch_;
   if (fault_) fault_->begin_tick(now);
+  if (tracer_) tracer_->begin_tick(now);
 
   // Budget left after the retry phase; the policy selects within it.
   object::Units budget_left = config_.download_budget;
@@ -119,19 +127,26 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
         continue;
       }
       ++result.retries;
+      if (tracer_) {
+        tracer_->on_retry_attempt(entry.id, entry.attempts,
+                                  now - entry.last_attempt);
+      }
       if (fetch_blocked(entry.id)) {
         ++result.failed_fetches;
         failed_stamp_[entry.id] = serve_epoch_;
         ++entry.attempts;
+        if (tracer_) tracer_->on_fetch_failed(entry.id, entry.attempts);
         if (entry.attempts - 1 >= config_.fetch_retry_limit) {
           // Out of retries: drop the entry; requesters get the stale
           // cached copy at its decayed score from here on.
           ++result.retry_exhausted;
           retry_pending_[entry.id] = 0;
+          if (tracer_) tracer_->on_retry_drop(entry.id, entry.attempts);
         } else {
           entry.next_attempt =
               now + (sim::Tick(1)
                      << std::min<std::uint32_t>(entry.attempts - 1, 10));
+          entry.last_attempt = now;
           retry_queue_[keep++] = entry;
         }
         continue;
@@ -144,6 +159,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       ++result.retry_successes;
       if (budget_left >= 0) budget_left -= fetched.size;
       retry_pending_[entry.id] = 0;
+      if (tracer_) tracer_->on_fetch_done(entry.id, now - entry.first_failure);
     }
     retry_queue_.resize(keep);
   }
@@ -178,13 +194,15 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   {
     obs::ScopedTrace span(trace_, "bs.fetch", now);
     for (object::ObjectId id : to_fetch_) {
+      if (tracer_) tracer_->on_fetch_selected(id);
       if (fetch_blocked(id)) {
         ++result.failed_fetches;  // fault: no transfer, cache untouched
+        if (tracer_) tracer_->on_fetch_failed(id, 1);
         if (fault_scratch) {
           failed_stamp_[id] = serve_epoch_;
           if (config_.fetch_retry_limit > 0 && !retry_pending_[id]) {
             retry_pending_[id] = 1;
-            retry_queue_.push_back(RetryEntry{id, now + 1, 1});
+            retry_queue_.push_back(RetryEntry{id, now + 1, 1, now, now});
           }
         }
         continue;
@@ -194,6 +212,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       transfer_sizes_.push_back(fetched.size);
       result.units_downloaded += fetched.size;
       ++result.objects_downloaded;
+      if (tracer_) tracer_->on_fetch_done(id, 0);
     }
     if (!transfer_sizes_.empty()) {
       result.fetch_latency = network_.record_batch_completion(transfer_sizes_);
@@ -233,15 +252,24 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       cache_.record_read(request.object);
       const double x = cache_.recency_or_zero(request.object);
       result.recency_sum += x;
-      result.score_sum += scorer_->score(x, request.target_recency);
+      const double score = scorer_->score(x, request.target_recency);
+      result.score_sum += score;
       const bool cached = cache_.contains(request.object);
-      if (fault_scratch && failed_stamp_[request.object] == serve_epoch_) {
+      const bool degraded =
+          fault_scratch && failed_stamp_[request.object] == serve_epoch_;
+      if (degraded) {
         // The refresh this request wanted failed this tick: it is served
         // whatever decayed copy the cache holds (or a miss) — count it
         // as a degraded serve. The score above already reflects the
         // decay; degradation is graceful, not special-cased.
         ++result.degraded_serves;
         if (metrics_) inst_.fault_degraded_serves->add();
+      }
+      if (tracer_) {
+        const bool sampled =
+            tracer_->on_arrival(request.object, request.client);
+        tracer_->on_serve(sampled, request.object, request.client, cached,
+                          degraded, x, request.target_recency, score);
       }
       if (metrics_) {
         if (cached) {

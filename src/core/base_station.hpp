@@ -31,6 +31,7 @@ class Counter;
 class Gauge;
 class FixedHistogram;
 class TraceSink;
+class RequestTracer;
 }  // namespace mobi::obs
 
 namespace mobi::core {
@@ -164,6 +165,19 @@ class BaseStation {
   /// nullptr (the default) disables it.
   void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Attaches sim-time request-lifecycle tracing: arrival/hit/degraded/
+  /// delivery events in the serve loop, fetch/retry events on the fetch
+  /// paths, and (via the owned links) downlink and fixed-network events.
+  /// The tick is stamped once per batch with RequestTracer::begin_tick,
+  /// so the links need no extra tick plumbing. Observation-only, same as
+  /// set_metrics: a traced run is bit-identical to an untraced one.
+  /// nullptr detaches everywhere.
+  void set_request_tracer(obs::RequestTracer* tracer) noexcept;
+
+  const obs::RequestTracer* request_tracer() const noexcept {
+    return tracer_;
+  }
+
   /// Attaches a fault injector: its per-tick windows are advanced at the
   /// top of process_batch, fetch-failure draws gate every remote fetch,
   /// congestion draws stretch fixed-network completions, and downlink-drop
@@ -195,7 +209,9 @@ class BaseStation {
   struct RetryEntry {
     object::ObjectId id;
     sim::Tick next_attempt;
-    std::uint32_t attempts;  // failed attempts so far, initial included
+    std::uint32_t attempts;   // failed attempts so far, initial included
+    sim::Tick first_failure;  // tick of the initial failed fetch
+    sim::Tick last_attempt;   // tick of the most recent attempt
   };
 
   const object::Catalog* catalog_;
@@ -251,6 +267,7 @@ class BaseStation {
   };
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::RequestTracer* tracer_ = nullptr;
   Instruments inst_;
 };
 

@@ -1,6 +1,7 @@
 #include "exp/multi_cell.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -127,6 +128,35 @@ void record_coop(obs::SeriesRecorder& recorder,
   }
 }
 
+// Folds every shard's private lat.* histograms (and event/drop totals)
+// into the recorder's registry as mc.lat.* / mc.trace.*. Runs after the
+// join, iterating shards in index order, so the merged distributions are
+// bit-identical for every pool size — same contract as record_sharded.
+void merge_shard_traces(
+    obs::SeriesRecorder& recorder,
+    const std::vector<std::unique_ptr<obs::RequestTracer>>& tracers,
+    const std::vector<std::unique_ptr<obs::MetricsRegistry>>& shard_regs) {
+  obs::MetricsRegistry& registry = recorder.registry();
+  obs::Counter& events = registry.register_counter("mc.trace.events");
+  obs::Counter& dropped = registry.register_counter("mc.trace.dropped");
+  obs::Counter& arrivals = registry.register_counter("mc.trace.arrivals");
+  for (const auto& tracer : tracers) {
+    events.add(tracer->log().size());
+    dropped.add(tracer->log().dropped());
+    arrivals.add(tracer->arrivals());
+  }
+  if (shard_regs.empty()) return;
+  for (const std::string& name : shard_regs.front()->names()) {
+    const obs::FixedHistogram* shape = shard_regs.front()->find_histogram(name);
+    if (!shape) continue;
+    obs::FixedHistogram& merged = registry.register_histogram(
+        "mc." + name, shape->lo(), shape->hi(), shape->bucket_count());
+    for (const auto& reg : shard_regs) {
+      merged.merge(*reg->find_histogram(name));
+    }
+  }
+}
+
 template <typename Fn>
 void dispatch_shards(util::ThreadPool* pool, std::size_t shards,
                      const Fn& run_one) {
@@ -155,18 +185,45 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
     result.per_cell.resize(shards);
     std::vector<std::vector<client::CellResult>> series(want_series ? shards
                                                                     : 0);
+    // Tracing state is strictly per shard — a tracer and a private
+    // histogram registry each — so traced shards stay share-nothing and
+    // the pool-size determinism contract holds untouched.
+    const bool want_trace = config.trace_sample_every > 0;
+    std::vector<std::unique_ptr<obs::RequestTracer>> tracers;
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_regs;
+    if (want_trace) {
+      tracers.reserve(shards);
+      shard_regs.reserve(shards);
+      for (std::size_t i = 0; i < shards; ++i) {
+        shard_regs.push_back(std::make_unique<obs::MetricsRegistry>());
+        tracers.push_back(std::make_unique<obs::RequestTracer>(
+            obs::RequestTracer::Config{config.trace_sample_every,
+                                       config.trace_event_capacity}));
+        tracers.back()->register_histograms(shard_regs.back().get());
+      }
+    }
     dispatch_shards(pool, shards, [&](std::size_t i) {
       client::CellConfig cell = config.cell;
       cell.seed = shard_seed(config.seed, i);
       result.per_cell[i] =
-          client::run_cell(cell, want_series ? &series[i] : nullptr);
+          client::run_cell(cell, want_series ? &series[i] : nullptr,
+                           want_trace ? tracers[i].get() : nullptr);
     });
     for (const auto& cell : result.per_cell) {
       accumulate(result.aggregate, cell);
     }
     result.total_requests = result.aggregate.requests;
+    if (recorder && want_trace) {
+      merge_shard_traces(*recorder, tracers, shard_regs);
+    }
     if (recorder) record_sharded(*recorder, series, config.cell_count);
     if (config.keep_series) result.cell_series = std::move(series);
+    if (want_trace && config.keep_trace) {
+      result.shard_traces.reserve(shards);
+      for (auto& tracer : tracers) {
+        result.shard_traces.push_back(std::move(tracer->log()));
+      }
+    }
     return result;
   }
 

@@ -19,6 +19,7 @@
 
 #include "client/cell.hpp"
 #include "coop/cooperative.hpp"
+#include "obs/event_log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mobi::obs {
@@ -48,6 +49,18 @@ struct MultiCellConfig {
   /// Retain the per-shard per-tick series in the result (the driver
   /// always collects them internally when a recorder is attached).
   bool keep_series = false;
+  /// Request-lifecycle tracing (sharded topology only; ignored for coop
+  /// clusters). 0 disables; N >= 1 gives every shard its own
+  /// RequestTracer sampling every N-th arrival. Each shard's sim-time
+  /// latency histograms land in a private per-shard registry and are
+  /// merged — in shard order, after the join — into the recorder's
+  /// registry as `mc.lat.*`, alongside `mc.trace.events` /
+  /// `mc.trace.dropped` counters; a pool-of-K run merges to the same
+  /// bits as the serial run.
+  std::size_t trace_sample_every = 0;
+  std::size_t trace_event_capacity = 1 << 16;
+  /// Retain each shard's EventLog in the result (sharded + tracing only).
+  bool keep_trace = false;
   std::uint64_t seed = 42;
 };
 
@@ -66,6 +79,10 @@ struct MultiCellResult {
   std::size_t cells = 0;          // actual cell count simulated
   std::size_t shards = 0;         // units of parallelism
   std::size_t total_requests = 0; // mode-independent, for throughput math
+
+  /// Per-shard lifecycle traces, indexed by cell (sharded topology with
+  /// trace_sample_every > 0 and keep_trace set; empty otherwise).
+  std::vector<obs::EventLog> shard_traces;
 };
 
 /// Seed for shard `index` of master stream `master`: the index-th output

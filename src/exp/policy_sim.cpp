@@ -21,11 +21,17 @@
 namespace mobi::exp {
 
 PolicySimResult run_policy_sim(const PolicySimConfig& config) {
-  return run_policy_sim(config, nullptr);
+  return run_policy_sim(config, nullptr, nullptr);
 }
 
 PolicySimResult run_policy_sim(const PolicySimConfig& config,
                                obs::SeriesRecorder* recorder) {
+  return run_policy_sim(config, recorder, nullptr);
+}
+
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               obs::SeriesRecorder* recorder,
+                               obs::RequestTracer* tracer) {
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -59,6 +65,7 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
     servers.set_metrics(&recorder->registry());
     if (injector) injector->set_metrics(&recorder->registry());
   }
+  if (tracer) station.set_request_tracer(tracer);
 
   std::shared_ptr<const workload::AccessDistribution> access;
   switch (config.access) {

@@ -16,6 +16,7 @@
 
 namespace mobi::obs {
 class SeriesRecorder;
+class RequestTracer;
 }  // namespace mobi::obs
 
 namespace mobi::exp {
@@ -81,5 +82,15 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config);
 /// enforces this).
 PolicySimResult run_policy_sim(const PolicySimConfig& config,
                                obs::SeriesRecorder* recorder);
+
+/// Adds request-lifecycle tracing on top of the recorder overload: the
+/// tracer is attached to the base station (and through it the downlink
+/// and fixed network) for the whole run. The caller owns the tracer and
+/// decides whether to register its `lat.*` histograms in a registry —
+/// this function does not, so one tracer can be reused across runs.
+/// Either pointer may be null; both null is the plain overload.
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               obs::SeriesRecorder* recorder,
+                               obs::RequestTracer* tracer);
 
 }  // namespace mobi::exp

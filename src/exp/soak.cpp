@@ -1,0 +1,181 @@
+#include "exp/soak.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace mobi::exp {
+
+sim::FaultPlan soak_plan_at(const SoakConfig& config, std::size_t window) {
+  if (window >= config.windows) {
+    throw std::out_of_range("soak_plan_at: window index out of range");
+  }
+  const double span = config.fault_rate_hi - config.fault_rate_lo;
+  const double frac = config.windows > 1
+                          ? double(window) / double(config.windows - 1)
+                          : 0.0;
+  const double rate = config.fault_rate_lo + span * frac;
+  sim::FaultPlan plan;
+  plan.fetch_failure_rate = rate;
+  plan.fetch_slowdown_rate = std::min(1.0, rate * config.slowdown_scale);
+  plan.downlink_drop_rate = std::min(1.0, rate * config.drop_scale);
+  plan.server_outage_rate = std::min(1.0, rate * config.outage_scale);
+  return plan;
+}
+
+const std::vector<double>& SoakResult::at(const std::string& name) const {
+  const auto it = series.find(name);
+  if (it == series.end()) {
+    throw std::out_of_range("SoakResult: no series '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string SoakResult::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"mobicache.soak.v1\",\"windows\":[";
+  for (std::size_t w = 0; w < windows; ++w) {
+    if (w) out << ',';
+    out << w;
+  }
+  out << "],\"window_ticks\":" << window_ticks << ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, values] : series) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << obs::json::escape(name) << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out << ',';
+      out << obs::json::number(values[i]);
+    }
+    out << ']';
+  }
+  out << "}}";
+  return out.str();
+}
+
+namespace {
+
+constexpr const char* kInjectedCounters[] = {
+    "fault.injected.fetch_failures", "fault.injected.fetch_slowdowns",
+    "fault.injected.downlink_drops", "fault.injected.server_outages",
+    "fault.injected.handoffs"};
+
+constexpr const char* kLatHistograms[] = {
+    "lat.ticks_to_serve", "lat.retry_delay", "lat.queue_wait",
+    "lat.served_recency_gap"};
+
+double scalar_or_zero(const obs::MetricsRegistry& registry,
+                      const std::string& name) {
+  // Absent is a real state, not an error: at fault rate 0 the plan is
+  // empty, no injector attaches, and fault.injected.* never registers —
+  // the series must still stay rectangular across windows.
+  return registry.contains(name) ? registry.scalar_value(name) : 0.0;
+}
+
+double histogram_mean(const obs::MetricsRegistry& registry,
+                      const std::string& name) {
+  const obs::FixedHistogram* h = registry.find_histogram(name);
+  return h ? h->mean() : 0.0;
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
+  if (config.windows == 0) {
+    throw std::invalid_argument("run_soak: need >= 1 window");
+  }
+  if (config.fault_rate_lo < 0.0 || config.fault_rate_lo > 1.0 ||
+      config.fault_rate_hi < 0.0 || config.fault_rate_hi > 1.0) {
+    throw std::invalid_argument("run_soak: fault rates must be in [0, 1]");
+  }
+  if (config.trace_sample_every == 0) {
+    throw std::invalid_argument("run_soak: trace_sample_every must be >= 1");
+  }
+
+  SoakResult result;
+  result.windows = config.windows;
+  result.window_ticks = config.window_ticks;
+  const auto push = [&result](const std::string& name, double value) {
+    result.series[name].push_back(value);
+  };
+
+  for (std::size_t w = 0; w < config.windows; ++w) {
+    const sim::FaultPlan plan = soak_plan_at(config, w);
+    push("fault_rate", plan.fetch_failure_rate);
+
+    // Station leg: the full fault cocktail against one base station, with
+    // per-tick metrics and a request tracer for the lat.* histograms.
+    {
+      PolicySimConfig sim = config.base;
+      sim.faults = plan;
+      sim.warmup_ticks = config.window_warmup;
+      sim.measure_ticks = config.window_ticks;
+      sim.seed = shard_seed(config.seed, 2 * w);
+
+      obs::MetricsRegistry registry;
+      obs::SeriesRecorder recorder(registry);
+      obs::RequestTracer tracer(obs::RequestTracer::Config{
+          config.trace_sample_every, config.trace_event_capacity});
+      tracer.register_histograms(&registry);
+      const PolicySimResult r = run_policy_sim(sim, &recorder, &tracer);
+
+      push("score.avg", r.average_score);
+      push("recency.avg", r.average_recency);
+      push("requests", double(r.requests));
+      push("failed_fetches", double(r.failed_fetches));
+      push("retries", double(r.retries));
+      push("retry_successes", double(r.retry_successes));
+      push("degraded_serves", double(r.degraded_serves));
+      push("downlink_dropped", double(r.downlink_dropped));
+      for (const char* name : kInjectedCounters) {
+        push(name, scalar_or_zero(registry, name));
+      }
+      for (const char* name : kLatHistograms) {
+        push(std::string(name) + ".mean", histogram_mean(registry, name));
+      }
+      push("trace.events", double(tracer.log().size()));
+      push("trace.dropped", double(tracer.log().dropped()));
+      push("trace.arrivals", double(tracer.arrivals()));
+    }
+
+    // Multi-cell leg: sharded cells under the same plan, per-shard traces
+    // merged into mc.lat.* after the join.
+    if (config.cell_count > 0) {
+      MultiCellConfig mc;
+      mc.cell_count = config.cell_count;
+      mc.topology = CellTopology::kSharded;
+      mc.cell = config.cell;
+      mc.cell.faults = plan;
+      mc.cell.ticks = config.window_warmup + config.window_ticks;
+      mc.trace_sample_every = config.trace_sample_every;
+      mc.trace_event_capacity = config.trace_event_capacity;
+      mc.seed = shard_seed(config.seed, 2 * w + 1);
+
+      obs::MetricsRegistry registry;
+      obs::SeriesRecorder recorder(registry);
+      const MultiCellResult m = run_multi_cell(mc, pool, &recorder);
+
+      push("mc.requests", double(m.aggregate.requests));
+      push("mc.average_score", m.aggregate.average_score());
+      push("mc.local_hit_rate", m.aggregate.local_hit_rate());
+      push("mc.failed_fetches", double(m.aggregate.failed_fetches));
+      push("mc.retries", double(m.aggregate.retries));
+      push("mc.degraded_serves", double(m.aggregate.degraded_serves));
+      push("mc.handoffs", double(m.aggregate.handoffs));
+      push("mc.downlink_dropped", double(m.aggregate.downlink_dropped));
+      push("mc.trace.events", scalar_or_zero(registry, "mc.trace.events"));
+      push("mc.trace.dropped", scalar_or_zero(registry, "mc.trace.dropped"));
+      push("mc.lat.ticks_to_serve.mean",
+           histogram_mean(registry, "mc.lat.ticks_to_serve"));
+      push("mc.lat.queue_wait.mean",
+           histogram_mean(registry, "mc.lat.queue_wait"));
+    }
+  }
+  return result;
+}
+
+}  // namespace mobi::exp

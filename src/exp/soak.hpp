@@ -1,0 +1,94 @@
+// Long-horizon soak harness: many consecutive measurement windows, each a
+// fresh deterministic run at a fault rate ramped from `fault_rate_lo` to
+// `fault_rate_hi`, trending the resilience (`fault.*`), scale-out
+// (`mc.*`) and sim-time latency (`lat.*`) series window over window.
+//
+// Each window runs two legs:
+//   - a single-station policy simulation with the full fault cocktail and
+//     a RequestTracer attached (lat.* histograms, trace event counts),
+//   - a sharded multi-cell run with per-shard tracing merged into mc.lat.*.
+// Every extracted series is simulation-time only — wall-clock histograms
+// (bs.solve_time_us etc.) are deliberately excluded — so the soak output
+// is bit-reproducible and a checked-in golden artifact can gate CI via
+// tools/metrics_diff. Window seeds derive from shard_seed(seed, ...), so
+// windows are independent streams and the ramp can be resharded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/multi_cell.hpp"
+#include "exp/policy_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mobi::exp {
+
+struct SoakConfig {
+  /// Windowed horizon: `windows` independent runs, each measuring
+  /// `window_ticks` ticks after `window_warmup` warmup ticks.
+  std::size_t windows = 8;
+  sim::Tick window_ticks = 150;
+  sim::Tick window_warmup = 30;
+
+  /// Headline fault-rate ramp across the horizon: window w runs at
+  /// lerp(lo, hi, w / (windows - 1)). Equal lo/hi soaks at a constant
+  /// rate; the default ramp exercises graceful degradation end to end.
+  double fault_rate_lo = 0.0;
+  double fault_rate_hi = 0.3;
+  /// Secondary-category scales (same mapping as FaultSweepConfig).
+  double slowdown_scale = 0.5;
+  double drop_scale = 0.5;
+  double outage_scale = 0.2;
+
+  /// Station-leg template; `faults`, `seed` and the tick counts are
+  /// overridden per window.
+  PolicySimConfig base;
+  /// Multi-cell leg: `cell_count` sharded cells from this template
+  /// (`faults`, `seed`, `ticks` overridden per window). 0 skips the leg.
+  std::size_t cell_count = 4;
+  client::CellConfig cell;
+
+  /// Request-lifecycle tracing for both legs (1-in-N arrivals).
+  std::size_t trace_sample_every = 8;
+  std::size_t trace_event_capacity = 1 << 15;
+
+  std::uint64_t seed = 42;
+
+  SoakConfig() {
+    base.server_count = 4;
+    base.fetch_retry_limit = 3;
+    cell.server_count = 4;
+    cell.fetch_retry_limit = 3;
+  }
+};
+
+/// The fault plan window `w` runs at (exposed so tests can pin the ramp).
+sim::FaultPlan soak_plan_at(const SoakConfig& config, std::size_t window);
+
+struct SoakResult {
+  /// One value per window for every trended series, keyed by name
+  /// (sorted map, so export order is deterministic). Series families:
+  /// `fault_rate`, `score.avg` / `recency.avg` / request totals,
+  /// `fault.injected.*`, `lat.*.mean`, `trace.*`, and — when the
+  /// multi-cell leg runs — `mc.*` and `mc.lat.ticks_to_serve.mean`.
+  std::map<std::string, std::vector<double>> series;
+  std::size_t windows = 0;
+  sim::Tick window_ticks = 0;
+
+  const std::vector<double>& at(const std::string& name) const;
+
+  /// Windowed-aggregate export, schema `mobicache.soak.v1`:
+  /// {"schema":...,"windows":[0..N-1],"window_ticks":T,"series":{...}}.
+  /// Consumable by obs::diff_metrics / tools/metrics_diff (the axis is
+  /// the window index).
+  std::string to_json() const;
+};
+
+/// Runs the soak. The pool (optional) parallelizes the multi-cell leg's
+/// shards; results are bit-identical for every pool size.
+SoakResult run_soak(const SoakConfig& config,
+                    util::ThreadPool* pool = nullptr);
+
+}  // namespace mobi::exp

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/fault_injector.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 
 namespace mobi::net {
@@ -18,6 +19,7 @@ void WirelessDownlink::enqueue(object::Units units) {
   if (units < 0) throw std::invalid_argument("WirelessDownlink: negative size");
   if (units == 0) return;
   pending_.push_back(units);
+  if (tracer_) pending_stamp_.push_back(ticks_);
   queued_ += units;
   enqueued_ += units;
   if (metrics_) {
@@ -44,6 +46,7 @@ object::Units WirelessDownlink::tick() {
       dropped_ += head;
       dropped_now += head;
       wasted_ += moved;
+      if (tracer_) tracer_->on_downlink_drop(double(head));
       head = 0;
       ++head_;
       continue;
@@ -53,16 +56,27 @@ object::Units WirelessDownlink::tick() {
     queued_ -= moved;
     delivered_ += moved;
     delivered_now += moved;
-    if (head == 0) ++head_;
+    if (head == 0) {
+      if (tracer_ && head_ < pending_stamp_.size()) {
+        // Same-tick delivery waits 0 (ticks_ was bumped on entry).
+        tracer_->on_downlink_delivered((ticks_ - 1) - pending_stamp_[head_]);
+      }
+      ++head_;
+    }
   }
   if (head_ == pending_.size()) {
     // Drained: reset without releasing capacity.
     pending_.clear();
+    pending_stamp_.clear();
     head_ = 0;
   } else if (head_ > 64 && head_ * 2 > pending_.size()) {
     // Backlogged: drop the consumed prefix once it dominates the buffer
     // (amortized O(1) per chunk, in-place move, no allocation).
     pending_.erase(pending_.begin(), pending_.begin() + std::ptrdiff_t(head_));
+    if (!pending_stamp_.empty()) {
+      pending_stamp_.erase(pending_stamp_.begin(),
+                           pending_stamp_.begin() + std::ptrdiff_t(head_));
+    }
     head_ = 0;
   }
   idle_ += budget;
@@ -93,6 +107,19 @@ void WirelessDownlink::set_metrics(obs::MetricsRegistry* registry,
   inst_.idle_units = &registry->register_counter(prefix + ".idle_units");
   inst_.queue_depth = &registry->register_gauge(prefix + ".queue_depth");
   inst_.queue_depth->set(double(queued_));
+}
+
+void WirelessDownlink::set_tracer(obs::RequestTracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer) {
+    pending_stamp_.clear();
+    pending_stamp_.shrink_to_fit();
+    return;
+  }
+  // Backfill stamps for whatever is already queued (attach-mid-run), and
+  // match pending_'s capacity so mirrored pushes never reallocate first.
+  pending_stamp_.reserve(pending_.capacity());
+  pending_stamp_.assign(pending_.size(), ticks_);
 }
 
 double WirelessDownlink::utilization() const noexcept {

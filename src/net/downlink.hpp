@@ -17,6 +17,7 @@ namespace mobi::obs {
 class MetricsRegistry;
 class Counter;
 class Gauge;
+class RequestTracer;
 }  // namespace mobi::obs
 
 namespace mobi::net {
@@ -69,6 +70,13 @@ class WirelessDownlink {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "downlink");
 
+  /// Attaches request-lifecycle tracing: a delivered event (with
+  /// queue-wait ticks) per chunk that fully drains and a drop event (with
+  /// the dropped units) per mid-flight drop. Enqueue-tick stamps are kept
+  /// in a parallel vector maintained only while a tracer is attached, so
+  /// the untraced path carries no extra state. nullptr detaches.
+  void set_tracer(obs::RequestTracer* tracer);
+
  private:
   struct Instruments {
     obs::Counter* enqueued_units = nullptr;
@@ -92,8 +100,12 @@ class WirelessDownlink {
   // no per-chunk deque churn, no allocations once capacity is warm.
   std::vector<object::Units> pending_;
   std::size_t head_ = 0;
+  // Enqueue-tick stamp per pending chunk (queue-wait tracing); mirrors
+  // pending_ exactly while a tracer is attached, empty otherwise.
+  std::vector<std::uint64_t> pending_stamp_;
   FaultInjector* fault_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::RequestTracer* tracer_ = nullptr;
   Instruments inst_;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/fault_injector.hpp"
+#include "obs/event_log.hpp"
 
 namespace mobi::net {
 
@@ -77,7 +78,10 @@ double FixedNetwork::record_batch_completion(
     stats_.units += own;
     stats_.total_time += time;
   }
-  return factor * (link_.latency() + double(total) / link_.bandwidth());
+  const double completion =
+      factor * (link_.latency() + double(total) / link_.bandwidth());
+  if (tracer_) tracer_->on_net_batch(sizes.size(), completion);
+  return completion;
 }
 
 }  // namespace mobi::net

@@ -13,6 +13,10 @@
 #include "net/link.hpp"
 #include "object/object.hpp"
 
+namespace mobi::obs {
+class RequestTracer;
+}  // namespace mobi::obs
+
 namespace mobi::net {
 
 class FaultInjector;
@@ -62,6 +66,11 @@ class FixedNetwork {
     fault_ = injector;
   }
 
+  /// Attaches request-lifecycle tracing: record_batch_completion emits one
+  /// net-batch event (transfer count + completion time, slowdown factor
+  /// included) per non-empty batch. nullptr detaches.
+  void set_tracer(obs::RequestTracer* tracer) noexcept { tracer_ = tracer; }
+
   const TransferStats& stats() const noexcept { return stats_; }
   double bandwidth() const noexcept { return link_.bandwidth(); }
   double latency() const noexcept { return link_.latency(); }
@@ -71,6 +80,7 @@ class FixedNetwork {
   double contention_;
   TransferStats stats_;
   FaultInjector* fault_ = nullptr;
+  obs::RequestTracer* tracer_ = nullptr;
 };
 
 }  // namespace mobi::net

@@ -1,0 +1,175 @@
+#include "obs/event_log.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mobi::obs {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kDegradedServe: return "degraded_serve";
+    case EventKind::kDelivery: return "delivery";
+    case EventKind::kFetchSelected: return "fetch_selected";
+    case EventKind::kFetchDone: return "fetch_done";
+    case EventKind::kFetchFailed: return "fetch_failed";
+    case EventKind::kRetryAttempt: return "retry_attempt";
+    case EventKind::kRetryDrop: return "retry_drop";
+    case EventKind::kDownlinkDelivered: return "downlink_delivered";
+    case EventKind::kDownlinkDrop: return "downlink_drop";
+    case EventKind::kNetBatch: return "net_batch";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventLog: capacity must be > 0");
+  }
+  events_.reserve(capacity);
+}
+
+bool EventLog::record(const RequestEvent& event) noexcept {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(event);
+  return true;
+}
+
+std::uint64_t EventLog::count(EventKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const RequestEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+void EventLog::clear() noexcept {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"mobicache.trace.v1\",\"events\":" << events_.size()
+      << ",\"dropped\":" << dropped_ << "}\n";
+  for (const RequestEvent& event : events_) {
+    out << "{\"t\":" << event.tick << ",\"ev\":\""
+        << event_kind_name(event.kind) << "\",\"obj\":" << event.object;
+    if (event.client != RequestEvent::kNoClient) {
+      out << ",\"client\":" << event.client;
+    }
+    if (event.attempt != 0) out << ",\"k\":" << event.attempt;
+    if (event.value != 0.0) out << ",\"v\":" << json::number(event.value);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+RequestTracer::RequestTracer() : RequestTracer(Config{}) {}
+
+RequestTracer::RequestTracer(const Config& config)
+    : sample_every_(config.sample_every), log_(config.event_capacity) {
+  if (config.sample_every == 0) {
+    throw std::invalid_argument("RequestTracer: sample_every must be >= 1");
+  }
+}
+
+void RequestTracer::register_histograms(MetricsRegistry* registry,
+                                        const std::string& prefix) {
+  inst_ = {};
+  if (!registry) return;
+  // Tick-valued histograms share one shape: most lifecycles resolve
+  // within a few ticks, the capped exponential backoff (2^10 max) sets
+  // the interesting tail, and overflow keeps anything beyond it visible.
+  inst_.ticks_to_serve =
+      &registry->register_histogram(prefix + ".ticks_to_serve", 0.0, 64.0, 64);
+  inst_.retry_delay =
+      &registry->register_histogram(prefix + ".retry_delay", 0.0, 64.0, 64);
+  inst_.queue_wait =
+      &registry->register_histogram(prefix + ".queue_wait", 0.0, 32.0, 32);
+  inst_.served_recency_gap = &registry->register_histogram(
+      prefix + ".served_recency_gap", 0.0, 1.0, 20);
+}
+
+bool RequestTracer::on_arrival(std::uint32_t object,
+                               std::uint32_t client) noexcept {
+  const bool sampled = (arrivals_++ % sample_every_) == 0;
+  if (!sampled) return false;
+  ++sampled_;
+  emit(EventKind::kArrival, object, client, 0, 0.0);
+  return true;
+}
+
+void RequestTracer::on_serve(bool sampled, std::uint32_t object,
+                             std::uint32_t client, bool cached, bool degraded,
+                             double recency, double target,
+                             double score) noexcept {
+  if (inst_.served_recency_gap) {
+    // How far the served copy fell short of what the client asked for;
+    // 0 = the target was met (possibly exceeded).
+    const double gap = target > recency ? target - recency : 0.0;
+    inst_.served_recency_gap->observe(gap);
+  }
+  if (!sampled) return;
+  if (cached) {
+    emit(EventKind::kCacheHit, object, client, 0, recency);
+  } else {
+    emit(EventKind::kCacheMiss, object, client, 0, 0.0);
+  }
+  if (degraded) emit(EventKind::kDegradedServe, object, client, 0, recency);
+  emit(EventKind::kDelivery, object, client, 0, score);
+}
+
+void RequestTracer::on_fetch_selected(std::uint32_t object) noexcept {
+  emit(EventKind::kFetchSelected, object, RequestEvent::kNoClient, 0, 0.0);
+}
+
+void RequestTracer::on_fetch_done(std::uint32_t object,
+                                  sim::Tick ticks_to_serve) noexcept {
+  if (inst_.ticks_to_serve) {
+    inst_.ticks_to_serve->observe(double(ticks_to_serve));
+  }
+  emit(EventKind::kFetchDone, object, RequestEvent::kNoClient, 0,
+       double(ticks_to_serve));
+}
+
+void RequestTracer::on_fetch_failed(std::uint32_t object,
+                                    std::uint32_t attempt) noexcept {
+  emit(EventKind::kFetchFailed, object, RequestEvent::kNoClient, attempt, 0.0);
+}
+
+void RequestTracer::on_retry_attempt(std::uint32_t object,
+                                     std::uint32_t attempt,
+                                     sim::Tick waited) noexcept {
+  if (inst_.retry_delay) inst_.retry_delay->observe(double(waited));
+  emit(EventKind::kRetryAttempt, object, RequestEvent::kNoClient, attempt,
+       double(waited));
+}
+
+void RequestTracer::on_retry_drop(std::uint32_t object,
+                                  std::uint32_t attempts) noexcept {
+  emit(EventKind::kRetryDrop, object, RequestEvent::kNoClient, attempts, 0.0);
+}
+
+void RequestTracer::on_downlink_delivered(sim::Tick queue_wait) noexcept {
+  if (inst_.queue_wait) inst_.queue_wait->observe(double(queue_wait));
+  emit(EventKind::kDownlinkDelivered, 0, RequestEvent::kNoClient, 0,
+       double(queue_wait));
+}
+
+void RequestTracer::on_downlink_drop(double units) noexcept {
+  emit(EventKind::kDownlinkDrop, 0, RequestEvent::kNoClient, 0, units);
+}
+
+void RequestTracer::on_net_batch(std::size_t transfers,
+                                 double completion) noexcept {
+  emit(EventKind::kNetBatch, 0, RequestEvent::kNoClient,
+       std::uint32_t(transfers), completion);
+}
+
+}  // namespace mobi::obs

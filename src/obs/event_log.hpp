@@ -1,0 +1,171 @@
+// Request-lifecycle tracing in *simulation time*: structured events per
+// request (arrival -> cache-hit / degraded-serve / fetch-selected /
+// retry[k] / drop / delivery) recorded into a pre-sized EventLog, plus
+// sim-time latency histograms (ticks-to-serve, retry delay, downlink
+// queue wait, served-recency gap) derived on the fly.
+//
+// Unlike obs::ScopedTrace (wall-clock phase spans), everything here is
+// measured in ticks and recency units, so traces are bit-reproducible.
+// The same contracts as the metrics layer apply: components hold a
+// null-by-default RequestTracer pointer (the disabled path is one
+// branch), observation never feeds back into simulation state, and the
+// steady state allocates nothing — the event buffer is reserved up
+// front and a full log *drops* (with a counter) rather than grows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/tick.hpp"
+
+namespace mobi::obs {
+
+/// Lifecycle stages. Request-scoped kinds (arrival/hit/miss/degraded/
+/// delivery) are subject to the tracer's 1-in-N sampling knob;
+/// object-scoped kinds (fetch/retry) and link-scoped kinds (downlink,
+/// net batch) are rare enough to always record.
+enum class EventKind : std::uint8_t {
+  kArrival,            // request entered the serve loop
+  kCacheHit,           // served from cache; value = copy recency
+  kCacheMiss,          // no cached copy at serve time
+  kDegradedServe,      // the refresh this request wanted failed this tick
+  kDelivery,           // response handed to the downlink; value = score
+  kFetchSelected,      // policy picked the object for remote fetch
+  kFetchDone,          // remote fetch succeeded; value = ticks-to-serve
+  kFetchFailed,        // injected/legacy fault blocked the fetch
+  kRetryAttempt,       // backoff expired, attempt made; value = waited ticks
+  kRetryDrop,          // retry budget exhausted, object dropped
+  kDownlinkDelivered,  // chunk fully delivered; value = queue-wait ticks
+  kDownlinkDrop,       // chunk dropped mid-flight; value = dropped units
+  kNetBatch,           // fixed-network batch; value = completion time
+};
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One structured lifecycle event. POD on purpose: recording is a bounds
+/// check plus a copy into a reserved buffer.
+struct RequestEvent {
+  sim::Tick tick = 0;
+  EventKind kind = EventKind::kArrival;
+  std::uint32_t attempt = 0;  // retry ordinal / batch size, kind-specific
+  std::uint32_t object = 0;
+  std::uint32_t client = kNoClient;
+  double value = 0.0;  // kind-specific payload (see EventKind comments)
+
+  static constexpr std::uint32_t kNoClient = 0xffffffffu;
+};
+
+/// Bounded, pre-sized event buffer. `record` never allocates: the buffer
+/// is reserved to `capacity` at construction and events past capacity are
+/// counted as dropped instead of stored — long soaks stay zero-alloc and
+/// the drop counter makes the truncation visible.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1 << 16);
+
+  /// Returns false (and counts a drop) when the log is full.
+  bool record(const RequestEvent& event) noexcept;
+
+  std::size_t size() const noexcept { return events_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  const std::vector<RequestEvent>& events() const noexcept { return events_; }
+  /// Events recorded with this kind (linear scan; tests/diagnostics).
+  std::uint64_t count(EventKind kind) const noexcept;
+  /// Keeps capacity, clears events and the drop counter.
+  void clear() noexcept;
+
+  /// JSONL span export, schema `mobicache.trace.v1`: a header line
+  /// {"schema":"mobicache.trace.v1","events":N,"dropped":D} followed by
+  /// one compact object per event:
+  ///   {"t":<tick>,"ev":"<kind>","obj":<id>,"client":<id|absent>,
+  ///    "k":<attempt|absent>,"v":<value|absent>}
+  std::string to_jsonl() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::vector<RequestEvent> events_;
+};
+
+/// Emission facade the instrumented components (BaseStation, downlink,
+/// fixed network, retry path) call into. Owns the EventLog; the sim-time
+/// latency histograms live in an attached MetricsRegistry (null default,
+/// same discipline as set_metrics) so they export through the existing
+/// SeriesRecorder / Prometheus paths.
+///
+/// Sampling is deterministic, not random: request-scoped events are kept
+/// for every `sample_every`-th arrival (a plain counter), so a traced
+/// re-run of the same seed samples the same requests — and the knob
+/// consumes no RNG, keeping traced runs bit-identical to untraced ones.
+class RequestTracer {
+ public:
+  struct Config {
+    std::size_t sample_every = 1;  // 1 = every request; N = 1-in-N
+    std::size_t event_capacity = 1 << 16;
+  };
+
+  RequestTracer();  // default Config: sample every arrival, 64Ki events
+  explicit RequestTracer(const Config& config);
+
+  /// Registers the `<prefix>.*` histograms (ticks_to_serve, retry_delay,
+  /// queue_wait, served_recency_gap) in `registry` and observes into them
+  /// from then on; nullptr detaches (events still go to the log).
+  void register_histograms(MetricsRegistry* registry,
+                           const std::string& prefix = "lat");
+
+  EventLog& log() noexcept { return log_; }
+  const EventLog& log() const noexcept { return log_; }
+  std::size_t sample_every() const noexcept { return sample_every_; }
+  /// Arrivals seen (sampled or not) — the sampling counter.
+  std::uint64_t arrivals() const noexcept { return arrivals_; }
+  std::uint64_t sampled_arrivals() const noexcept { return sampled_; }
+
+  /// Components do not know the tick; the owning BaseStation stamps it
+  /// once per batch and every event inherits it.
+  void begin_tick(sim::Tick now) noexcept { now_ = now; }
+  sim::Tick now() const noexcept { return now_; }
+
+  // --- request-scoped (serve loop); pass on_arrival's decision through.
+  bool on_arrival(std::uint32_t object, std::uint32_t client) noexcept;
+  void on_serve(bool sampled, std::uint32_t object, std::uint32_t client,
+                bool cached, bool degraded, double recency, double target,
+                double score) noexcept;
+
+  // --- object-scoped (fetch + retry path); always recorded.
+  void on_fetch_selected(std::uint32_t object) noexcept;
+  void on_fetch_done(std::uint32_t object, sim::Tick ticks_to_serve) noexcept;
+  void on_fetch_failed(std::uint32_t object, std::uint32_t attempt) noexcept;
+  void on_retry_attempt(std::uint32_t object, std::uint32_t attempt,
+                        sim::Tick waited) noexcept;
+  void on_retry_drop(std::uint32_t object, std::uint32_t attempts) noexcept;
+
+  // --- link-scoped.
+  void on_downlink_delivered(sim::Tick queue_wait) noexcept;
+  void on_downlink_drop(double units) noexcept;
+  void on_net_batch(std::size_t transfers, double completion) noexcept;
+
+ private:
+  void emit(EventKind kind, std::uint32_t object, std::uint32_t client,
+            std::uint32_t attempt, double value) noexcept {
+    log_.record(RequestEvent{now_, kind, attempt, object, client, value});
+  }
+
+  std::size_t sample_every_;
+  EventLog log_;
+  sim::Tick now_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t sampled_ = 0;
+
+  struct Instruments {
+    FixedHistogram* ticks_to_serve = nullptr;
+    FixedHistogram* retry_delay = nullptr;
+    FixedHistogram* queue_wait = nullptr;
+    FixedHistogram* served_recency_gap = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace mobi::obs

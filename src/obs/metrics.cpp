@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -21,6 +22,12 @@ FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
 
 void FixedHistogram::observe(double x) noexcept {
   ++total_;
+  if (std::isnan(x)) {
+    // Dedicated slot: a NaN must neither pick a bucket (the cast would
+    // be UB-adjacent garbage) nor poison the running sum.
+    ++nan_;
+    return;
+  }
   sum_ += x;
   if (x < lo_) {
     ++underflow_;
@@ -34,6 +41,21 @@ void FixedHistogram::observe(double x) noexcept {
   // Floating-point rounding at the upper edge can land exactly on size().
   if (index >= counts_.size()) index = counts_.size() - 1;
   ++counts_[index];
+}
+
+void FixedHistogram::merge(const FixedHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("FixedHistogram: merge shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 double FixedHistogram::bucket_lo(std::size_t index) const {
@@ -179,13 +201,18 @@ std::string number(double value) {
   if (std::isnan(value) || std::isinf(value)) return "null";
   if (value == std::floor(value) && std::fabs(value) < 1e15) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", value);
-    return buf;
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), (long long)(value));
+    (void)ec;
+    return std::string(buf, end);
   }
-  // max_digits10 so the decimal text parses back to the identical double.
+  // std::to_chars emits the shortest decimal text that parses back to the
+  // identical double, and unlike snprintf ignores the C locale — so the
+  // JSON/Prometheus exports are byte-stable across platforms and LC_*.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return std::string(buf, end);
 }
 
 }  // namespace json
@@ -214,7 +241,8 @@ std::string MetricsRegistry::to_json() const {
           out << h.bucket(i);
         }
         out << "],\"underflow\":" << h.underflow()
-            << ",\"overflow\":" << h.overflow() << ",\"total\":" << h.total()
+            << ",\"overflow\":" << h.overflow() << ",\"nan\":" << h.nan_count()
+            << ",\"total\":" << h.total()
             << ",\"sum\":" << json::number(h.sum()) << '}';
         break;
       }

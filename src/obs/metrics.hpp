@@ -46,6 +46,11 @@ class Gauge {
 /// dedicated underflow/overflow buckets rather than being clamped, so the
 /// tails stay visible (util::Histogram clamps; this one must not, because
 /// an unexpected tail is exactly what observability is for).
+///
+/// NaN contract: a NaN sample lands in a dedicated slot (`nan_count`) and
+/// counts toward `total`, but touches no bucket and is excluded from
+/// `sum`/`mean` — it can neither corrupt a bucket nor poison the running
+/// sum, and the slot keeps the anomaly visible in every export.
 class FixedHistogram {
  public:
   FixedHistogram(double lo, double hi, std::size_t buckets);
@@ -58,12 +63,25 @@ class FixedHistogram {
   double bucket_hi(std::size_t index) const;
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
-  /// Total samples including underflow/overflow.
+  /// NaN samples observed (the dedicated slot; see class comment).
+  std::uint64_t nan_count() const noexcept { return nan_; }
+  /// Total samples including underflow/overflow/NaN.
   std::uint64_t total() const noexcept { return total_; }
+  /// Sum over the non-NaN samples.
   double sum() const noexcept { return sum_; }
-  double mean() const noexcept { return total_ ? sum_ / double(total_) : 0.0; }
+  /// Mean over the non-NaN samples (0 when there are none).
+  double mean() const noexcept {
+    const std::uint64_t finite = total_ - nan_;
+    return finite ? sum_ / double(finite) : 0.0;
+  }
   double lo() const noexcept { return lo_; }
   double hi() const noexcept { return hi_; }
+
+  /// Adds another histogram's counts and sum into this one. Both must
+  /// share lo/hi/bucket_count exactly (throws std::invalid_argument
+  /// otherwise) — used to fold per-shard sim-time histograms into one
+  /// fleet-wide distribution after a multi-cell join.
+  void merge(const FixedHistogram& other);
 
  private:
   double lo_;
@@ -72,6 +90,7 @@ class FixedHistogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t nan_ = 0;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
 };
@@ -114,7 +133,7 @@ class MetricsRegistry {
 
   /// Point-in-time snapshot of every metric as a JSON object. Counters
   /// and gauges map to numbers; histograms to
-  /// {"lo","hi","buckets","underflow","overflow","total","sum"}.
+  /// {"lo","hi","buckets","underflow","overflow","nan","total","sum"}.
   std::string to_json() const;
   /// name / kind / value summary (histograms show total and mean).
   util::Table to_table() const;

@@ -1,0 +1,289 @@
+#include "obs/metrics_diff.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace mobi::obs {
+namespace {
+
+using util::json::Value;
+
+struct SeriesTolerance {
+  double rtol;
+  double atol;
+};
+
+SeriesTolerance tolerance_for(const std::string& name,
+                              const DiffOptions& options) {
+  for (const ToleranceRule& rule : options.rules) {
+    if (rule.matches(name)) return {rule.rtol, rule.atol};
+  }
+  return {options.default_rtol, options.default_atol};
+}
+
+bool close(double a, double b, SeriesTolerance tol) {
+  if (a == b) return true;  // covers exact-integer series and ±0
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= tol.atol + tol.rtol * scale;
+}
+
+/// Collects the document pieces the diff cares about, whatever the
+/// schema: the axis array, the series map, and the histogram map.
+struct Document {
+  std::string schema;
+  const util::json::Array* axis = nullptr;
+  const char* axis_name = nullptr;
+  const util::json::Object* series = nullptr;
+  const util::json::Object* histograms = nullptr;  // may stay null
+};
+
+Document open_document(const Value& root, const char* which) {
+  if (!root.is_object() || !root.contains("schema")) {
+    throw std::runtime_error(std::string("metrics_diff: ") + which +
+                             " document has no schema field");
+  }
+  Document doc;
+  doc.schema = root.at("schema").str();
+  if (doc.schema == "mobicache.metrics.v1") {
+    doc.axis_name = "ticks";
+  } else if (doc.schema == "mobicache.soak.v1") {
+    doc.axis_name = "windows";
+  } else {
+    throw std::runtime_error("metrics_diff: unsupported schema '" +
+                             doc.schema + "' in " + which + " document");
+  }
+  if (!root.contains(doc.axis_name) || !root.contains("series")) {
+    throw std::runtime_error(std::string("metrics_diff: ") + which +
+                             " document is missing its axis or series");
+  }
+  doc.axis = &root.at(doc.axis_name).arr();
+  doc.series = &root.at("series").obj();
+  if (root.contains("histograms")) {
+    doc.histograms = &root.at("histograms").obj();
+  }
+  return doc;
+}
+
+class Differ {
+ public:
+  Differ(const DiffOptions& options, DiffReport& report)
+      : options_(options), report_(report) {}
+
+  void flag(const std::string& line) {
+    if (report_.regressions.size() < options_.max_reports) {
+      report_.regressions.push_back(line);
+    }
+    ++report_.regression_count;
+  }
+
+  void compare_series(const std::string& name, const util::json::Array& want,
+                      const util::json::Array& got) {
+    ++report_.series_compared;
+    if (want.size() != got.size()) {
+      flag("series '" + name + "': length " + std::to_string(got.size()) +
+           " != golden " + std::to_string(want.size()));
+      return;
+    }
+    const SeriesTolerance tol = tolerance_for(name, options_);
+    std::size_t bad = 0;
+    std::size_t first_bad = 0;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ++report_.values_compared;
+      // null (NaN/inf in the exporter) only matches null.
+      if (want[i].is_null() || got[i].is_null()) {
+        if (want[i].is_null() != got[i].is_null() && !bad++) first_bad = i;
+        continue;
+      }
+      if (!close(want[i].num(), got[i].num(), tol) && !bad++) first_bad = i;
+    }
+    if (bad) {
+      // The offending value may be the null side of a null-vs-number
+      // mismatch, so render without assuming a number.
+      const auto render = [](const Value& v) {
+        return v.is_null() ? std::string("null") : json::number(v.num());
+      };
+      std::ostringstream line;
+      line << "series '" << name << "': " << bad << '/' << want.size()
+           << " values out of tolerance (first at index " << first_bad
+           << ": golden " << render(want[first_bad]) << " vs "
+           << render(got[first_bad]) << ", rtol " << json::number(tol.rtol)
+           << " atol " << json::number(tol.atol) << ')';
+      flag(line.str());
+    }
+  }
+
+  void compare_histogram(const std::string& name, const Value& want,
+                         const Value& got) {
+    ++report_.series_compared;
+    const SeriesTolerance tol = tolerance_for(name, options_);
+    for (const char* field : {"lo", "hi", "underflow", "overflow", "total"}) {
+      if (want.at(field).num() != got.at(field).num()) {
+        flag("histogram '" + name + "': " + field + ' ' +
+             json::number(got.at(field).num()) + " != golden " +
+             json::number(want.at(field).num()));
+        return;
+      }
+    }
+    // "nan" is absent from pre-NaN-contract exports; treat absent as 0.
+    const double want_nan = want.contains("nan") ? want.at("nan").num() : 0.0;
+    const double got_nan = got.contains("nan") ? got.at("nan").num() : 0.0;
+    if (want_nan != got_nan) {
+      flag("histogram '" + name + "': nan " + json::number(got_nan) +
+           " != golden " + json::number(want_nan));
+      return;
+    }
+    const auto& want_buckets = want.at("buckets").arr();
+    const auto& got_buckets = got.at("buckets").arr();
+    if (want_buckets.size() != got_buckets.size()) {
+      flag("histogram '" + name + "': bucket count " +
+           std::to_string(got_buckets.size()) + " != golden " +
+           std::to_string(want_buckets.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < want_buckets.size(); ++i) {
+      ++report_.values_compared;
+      if (want_buckets[i].num() != got_buckets[i].num()) {
+        flag("histogram '" + name + "': bucket " + std::to_string(i) + " = " +
+             json::number(got_buckets[i].num()) + " != golden " +
+             json::number(want_buckets[i].num()));
+        return;
+      }
+    }
+    ++report_.values_compared;
+    if (!close(want.at("sum").num(), got.at("sum").num(), tol)) {
+      flag("histogram '" + name + "': sum " +
+           json::number(got.at("sum").num()) + " out of tolerance vs golden " +
+           json::number(want.at("sum").num()));
+    }
+  }
+
+ private:
+  const DiffOptions& options_;
+  DiffReport& report_;
+};
+
+}  // namespace
+
+bool ToleranceRule::matches(const std::string& name) const {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  }
+  return name == pattern;
+}
+
+ToleranceRule parse_tolerance_rule(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument(
+        "tolerance rule must be pattern=rtol[,atol]: '" + spec + "'");
+  }
+  ToleranceRule rule;
+  rule.pattern = spec.substr(0, eq);
+  const std::string values = spec.substr(eq + 1);
+  const std::size_t comma = values.find(',');
+  try {
+    rule.rtol = std::stod(values.substr(0, comma));
+    if (comma != std::string::npos) {
+      rule.atol = std::stod(values.substr(comma + 1));
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad tolerance value in rule '" + spec + "'");
+  }
+  if (rule.rtol < 0.0 || rule.atol < 0.0) {
+    throw std::invalid_argument("tolerances must be >= 0: '" + spec + "'");
+  }
+  return rule;
+}
+
+std::string DiffReport::to_string() const {
+  std::ostringstream out;
+  for (const std::string& line : regressions) out << line << '\n';
+  if (regression_count > regressions.size()) {
+    out << "... and " << (regression_count - regressions.size())
+        << " more regressions\n";
+  }
+  return out.str();
+}
+
+DiffReport diff_metrics(const Value& golden, const Value& candidate,
+                        const DiffOptions& options) {
+  const Document want = open_document(golden, "golden");
+  const Document got = open_document(candidate, "candidate");
+  if (want.schema != got.schema) {
+    throw std::runtime_error("metrics_diff: schema mismatch: golden '" +
+                             want.schema + "' vs candidate '" + got.schema +
+                             "'");
+  }
+
+  DiffReport report;
+  Differ differ(options, report);
+
+  // The axis is the experiment's shape; it never gets a tolerance.
+  if (want.axis->size() != got.axis->size()) {
+    differ.flag(std::string(want.axis_name) + ": length " +
+                std::to_string(got.axis->size()) + " != golden " +
+                std::to_string(want.axis->size()));
+  } else {
+    for (std::size_t i = 0; i < want.axis->size(); ++i) {
+      if ((*want.axis)[i].num() != (*got.axis)[i].num()) {
+        differ.flag(std::string(want.axis_name) + "[" + std::to_string(i) +
+                    "]: " + json::number((*got.axis)[i].num()) +
+                    " != golden " + json::number((*want.axis)[i].num()));
+        break;
+      }
+    }
+  }
+
+  for (const auto& [name, values] : *want.series) {
+    const auto it = got.series->find(name);
+    if (it == got.series->end()) {
+      if (!options.ignore_missing) {
+        differ.flag("series '" + name + "' missing from candidate");
+      }
+      continue;
+    }
+    differ.compare_series(name, values.arr(), it->second.arr());
+  }
+  for (const auto& [name, values] : *got.series) {
+    if (!want.series->count(name) && !options.ignore_missing) {
+      differ.flag("series '" + name +
+                  "' not in golden (stale golden? regenerate it)");
+    }
+  }
+
+  if (want.histograms || got.histograms) {
+    static const util::json::Object kEmpty;
+    const auto& want_h = want.histograms ? *want.histograms : kEmpty;
+    const auto& got_h = got.histograms ? *got.histograms : kEmpty;
+    for (const auto& [name, value] : want_h) {
+      const auto it = got_h.find(name);
+      if (it == got_h.end()) {
+        if (!options.ignore_missing) {
+          differ.flag("histogram '" + name + "' missing from candidate");
+        }
+        continue;
+      }
+      differ.compare_histogram(name, value, it->second);
+    }
+    for (const auto& [name, value] : got_h) {
+      if (!want_h.count(name) && !options.ignore_missing) {
+        differ.flag("histogram '" + name +
+                    "' not in golden (stale golden? regenerate it)");
+      }
+    }
+  }
+  return report;
+}
+
+DiffReport diff_metrics_text(const std::string& golden,
+                             const std::string& candidate,
+                             const DiffOptions& options) {
+  return diff_metrics(util::json::parse(golden), util::json::parse(candidate),
+                      options);
+}
+
+}  // namespace mobi::obs

@@ -1,0 +1,76 @@
+// Golden-metrics comparison: diffs two exported metrics documents
+// (mobicache.metrics.v1 per-tick series or mobicache.soak.v1 windowed
+// aggregates) series by series under per-series tolerances. The engine
+// behind tools/metrics_diff and the CI regression gate: a checked-in
+// golden artifact is compared against a freshly produced one, and any
+// drift outside tolerance is a regression.
+//
+// Comparison rules:
+//   - both documents must carry the same schema and an identical axis
+//     (the "ticks" or "windows" array),
+//   - every golden series must exist in the candidate with the same
+//     length; a missing series is a regression (the metric silently
+//     vanished) unless `ignore_missing` is set, and an *extra* candidate
+//     series is flagged the same way (the golden is stale — regenerate),
+//   - values compare within |a-b| <= atol + rtol*max(|a|,|b|), with the
+//     tolerance chosen per series name (first matching rule wins,
+//     defaults otherwise),
+//   - histograms compare structurally (lo/hi/buckets/underflow/overflow/
+//     nan/total exactly — they are counts) with only `sum` under the
+//     series tolerance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mobi::obs {
+
+/// Per-series tolerance. `pattern` is an exact name or a prefix glob
+/// ending in '*' (e.g. "lat.*" matches every latency histogram series).
+struct ToleranceRule {
+  std::string pattern;
+  double rtol = 0.0;
+  double atol = 0.0;
+
+  bool matches(const std::string& name) const;
+};
+
+/// Parses "pattern=rtol" or "pattern=rtol,atol" (the --tol CLI syntax);
+/// throws std::invalid_argument on malformed specs.
+ToleranceRule parse_tolerance_rule(const std::string& spec);
+
+struct DiffOptions {
+  std::vector<ToleranceRule> rules;  // first match wins
+  double default_rtol = 0.0;         // exact by default
+  double default_atol = 0.0;
+  bool ignore_missing = false;
+  /// Cap on reported regression lines (further ones are counted, not
+  /// stored — a badly drifted run should not produce megabytes of text).
+  std::size_t max_reports = 64;
+};
+
+struct DiffReport {
+  std::size_t series_compared = 0;
+  std::size_t values_compared = 0;
+  std::size_t regression_count = 0;       // total, including unreported
+  std::vector<std::string> regressions;   // first max_reports lines
+
+  bool ok() const noexcept { return regression_count == 0; }
+  /// Multi-line human-readable summary (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Diffs two parsed documents; throws std::runtime_error when either is
+/// not a recognized schema or the axes disagree structurally.
+DiffReport diff_metrics(const util::json::Value& golden,
+                        const util::json::Value& candidate,
+                        const DiffOptions& options = {});
+
+/// Convenience: parse both texts, then diff.
+DiffReport diff_metrics_text(const std::string& golden,
+                             const std::string& candidate,
+                             const DiffOptions& options = {});
+
+}  // namespace mobi::obs

@@ -1,0 +1,54 @@
+#include "obs/prometheus.hpp"
+
+#include <sstream>
+
+namespace mobi::obs {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const std::string& name : registry.names()) {
+    const std::string flat = prometheus_name(name);
+    switch (registry.kind(name)) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << flat << " counter\n"
+            << flat << ' ' << registry.find_counter(name)->value() << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << flat << " gauge\n"
+            << flat << ' ' << json::number(registry.find_gauge(name)->value())
+            << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const FixedHistogram& h = *registry.find_histogram(name);
+        out << "# TYPE " << flat << " histogram\n";
+        // Cumulative buckets: everything observed at or below each upper
+        // edge, so the underflow mass folds into every finite bucket.
+        std::uint64_t cumulative = h.underflow();
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          cumulative += h.bucket(i);
+          out << flat << "_bucket{le=\"" << json::number(h.bucket_hi(i))
+              << "\"} " << cumulative << '\n';
+        }
+        out << flat << "_bucket{le=\"+Inf\"} " << h.total() << '\n'
+            << flat << "_sum " << json::number(h.sum()) << '\n'
+            << flat << "_count " << h.total() << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mobi::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition format (version 0.0.4) for point-in-time
+// registry snapshots — the second exporter next to the JSON family, so a
+// scrape endpoint or a file-based textfile collector can ingest the same
+// metrics the SeriesRecorder snapshots per tick.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mobi::obs {
+
+/// Maps a dotted metric name onto the Prometheus charset: every character
+/// outside [a-zA-Z0-9_:] becomes '_' (so `bs.cache.hits` scrapes as
+/// `bs_cache_hits`). Distinct dotted names that collide after mapping are
+/// the caller's responsibility — the registry's naming convention (dots
+/// only) cannot collide.
+std::string prometheus_name(const std::string& name);
+
+/// Renders every metric, sorted by name, as
+///   # TYPE <name> counter|gauge|histogram
+/// followed by its sample lines. Histograms follow the Prometheus
+/// cumulative-bucket convention: `<name>_bucket{le="<hi>"}` per bucket
+/// (underflow mass included from the first bucket up), an `le="+Inf"`
+/// bucket equal to `_count`, plus `_sum` and `_count`. NaN observations
+/// appear in `_count` (and the +Inf bucket) but in no finite bucket and
+/// not in `_sum` — see FixedHistogram's NaN contract.
+/// Values are formatted with json::number (locale-independent, shortest
+/// round-trip form), so output is byte-stable across platforms.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+}  // namespace mobi::obs

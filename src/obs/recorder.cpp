@@ -64,7 +64,8 @@ std::string SeriesRecorder::to_json() const {
       out << h->bucket(i);
     }
     out << "],\"underflow\":" << h->underflow()
-        << ",\"overflow\":" << h->overflow() << ",\"total\":" << h->total()
+        << ",\"overflow\":" << h->overflow() << ",\"nan\":" << h->nan_count()
+        << ",\"total\":" << h->total()
         << ",\"sum\":" << json::number(h->sum()) << '}';
   }
   out << "}}";

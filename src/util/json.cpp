@@ -1,0 +1,171 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace mobi::util::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n]) ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{parse_string()};
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{nullptr};
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value{true};
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value{false};
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    auto object = std::make_shared<Object>();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(object)};
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      object->emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return Value{std::move(object)};
+  }
+
+  Value parse_array() {
+    expect('[');
+    auto array = std::make_shared<Array>();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(array)};
+    }
+    while (true) {
+      array->push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return Value{std::move(array)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The exporters only escape control characters, so ASCII is
+          // all this reader needs; anything wider is replaced.
+          out += code < 0x80 ? char(code) : '?';
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) fail("bad number");
+    pos_ += std::size_t(ptr - begin);
+    return Value{value};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace mobi::util::json

@@ -1,0 +1,61 @@
+// Minimal recursive-descent JSON reader for the repo's own exports
+// (mobicache.metrics.v1 / mobicache.soak.v1 / mobicache.trace.v1). This
+// is a *consumer* for tooling (metrics_diff, tests) — the exporters in
+// src/obs build their JSON by hand and stay dependency-free. Values are
+// immutable after parse; arrays/objects are shared_ptr-backed so JsonValue
+// stays copyable without deep copies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mobi::util::json {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Array>, std::shared_ptr<Object>>
+      data;
+
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data);
+  }
+  bool is_number() const noexcept {
+    return std::holds_alternative<double>(data);
+  }
+  bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data);
+  }
+  bool is_array() const noexcept {
+    return std::holds_alternative<std::shared_ptr<Array>>(data);
+  }
+  bool is_object() const noexcept {
+    return std::holds_alternative<std::shared_ptr<Object>>(data);
+  }
+
+  /// Typed accessors; throw std::bad_variant_access on kind mismatch.
+  double num() const { return std::get<double>(data); }
+  const std::string& str() const { return std::get<std::string>(data); }
+  const Array& arr() const { return *std::get<std::shared_ptr<Array>>(data); }
+  const Object& obj() const {
+    return *std::get<std::shared_ptr<Object>>(data);
+  }
+
+  /// Object member; throws std::out_of_range when absent.
+  const Value& at(const std::string& key) const { return obj().at(key); }
+  bool contains(const std::string& key) const {
+    return is_object() && obj().count(key) != 0;
+  }
+};
+
+/// Parses one complete JSON document; throws std::runtime_error (with a
+/// byte offset) on malformed input or trailing data.
+Value parse(const std::string& text);
+
+}  // namespace mobi::util::json

@@ -21,6 +21,8 @@
 #include "cache/decay.hpp"
 #include "core/base_station.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "object/builders.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
@@ -90,11 +92,13 @@ namespace {
 // after `warmup_passes` have grown every buffer.
 void run_steady_state(const std::string& policy, bool coalesce,
                       const sim::FaultPlan* faults = nullptr,
-                      std::size_t fetch_retry_limit = 0) {
+                      std::size_t fetch_retry_limit = 0,
+                      obs::RequestTracer* tracer = nullptr) {
   SCOPED_TRACE(policy + (coalesce ? " +coalesce" : "") +
                (faults ? (faults->empty() ? " +idle-injector"
                                           : " +active-faults")
-                       : ""));
+                       : "") +
+               (tracer ? " +tracer" : ""));
   constexpr std::size_t kObjects = 256;
   constexpr std::size_t kBatch = 128;
   constexpr int kUpdatesPerTick = 8;
@@ -120,6 +124,7 @@ void run_steady_state(const std::string& policy, bool coalesce,
     station.set_fault_injector(injector.get());
     servers.set_fault_injector(injector.get());
   }
+  if (tracer) station.set_request_tracer(tracer);
 
   workload::RequestGenerator generator(
       workload::make_zipf_access(kObjects, 1.0), workload::ConstantTarget{1.0},
@@ -176,6 +181,27 @@ TEST(AllocRegression, IdleInjectorSteadyStateIsAllocationFree) {
   // from no injector on the allocation axis too.
   const sim::FaultPlan empty;
   run_steady_state("on-demand-knapsack", false, &empty);
+}
+
+TEST(AllocRegression, AttachedTracerSteadyStateIsAllocationFree) {
+  // A RequestTracer with a deliberately tiny event buffer: warm-up fills
+  // the log, and from then on every record drops (a counter bump, no
+  // growth). The downlink's parallel timestamp queue reaches its own
+  // high-water mark in warm-up, so the traced steady state — sampling
+  // decisions, histogram observes, drop accounting — allocates nothing.
+  sim::FaultPlan plan;
+  plan.fetch_failure_rate = 0.2;
+  plan.downlink_drop_rate = 0.1;
+  obs::RequestTracer::Config config;
+  config.sample_every = 2;
+  config.event_capacity = 512;
+  obs::RequestTracer tracer(config);
+  obs::MetricsRegistry registry;
+  tracer.register_histograms(&registry);
+  run_steady_state("on-demand-knapsack", false, &plan, 3, &tracer);
+  EXPECT_EQ(tracer.log().size(), tracer.log().capacity());
+  EXPECT_GT(tracer.log().dropped(), 0u);
+  EXPECT_GT(registry.find_histogram("lat.served_recency_gap")->total(), 0u);
 }
 
 TEST(AllocRegression, ActiveFaultPlanSteadyStateIsAllocationFree) {

@@ -11,8 +11,10 @@
 #include "core/base_station.hpp"
 #include "exp/fig2.hpp"
 #include "exp/fig3.hpp"
+#include "exp/multi_cell.hpp"
 #include "exp/policy_sim.hpp"
 #include "exp/replicate.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
@@ -200,6 +202,122 @@ TEST(Determinism, InstrumentedBaseStationBitIdenticalToBare) {
   EXPECT_EQ(sink.summary("bs.select").count(), 40u);
   EXPECT_EQ(sink.summary("bs.serve").count(), 40u);
   EXPECT_GT(sink.summary("bs.fetch").count(), 0u);
+}
+
+void expect_identical(const client::CellResult& a,
+                      const client::CellResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served_locally, b.served_locally);
+  EXPECT_EQ(a.served_by_base, b.served_by_base);
+  EXPECT_EQ(a.score_sum, b.score_sum);
+  EXPECT_EQ(a.base_downloaded, b.base_downloaded);
+  EXPECT_EQ(a.sleeper_drops, b.sleeper_drops);
+  EXPECT_EQ(a.disconnect_ticks, b.disconnect_ticks);
+  EXPECT_EQ(a.failed_fetches, b.failed_fetches);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_successes, b.retry_successes);
+  EXPECT_EQ(a.degraded_serves, b.degraded_serves);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.downlink_dropped, b.downlink_dropped);
+}
+
+// Request-lifecycle tracing is pure observation: attaching a tracer (and
+// its latency histograms) to a faulted, retrying run must not move a
+// single bit of the simulation — and the sampling knob is a counter, not
+// an RNG draw, so thinning the trace cannot either.
+TEST(Determinism, TracedPolicySimBitIdenticalToUntraced) {
+  exp::PolicySimConfig config = small_sim_config();
+  config.server_count = 2;
+  config.fetch_retry_limit = 2;
+  config.faults.fetch_failure_rate = 0.25;
+  config.faults.downlink_drop_rate = 0.1;
+  config.faults.server_outage_rate = 0.05;
+  config.faults.server_outage_ticks = 3;
+
+  const exp::PolicySimResult plain = exp::run_policy_sim(config);
+
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  obs::RequestTracer tracer;
+  tracer.register_histograms(&registry);
+  const exp::PolicySimResult traced =
+      exp::run_policy_sim(config, &recorder, &tracer);
+
+  expect_identical(plain, traced);
+  EXPECT_EQ(plain.failed_fetches, traced.failed_fetches);
+  EXPECT_EQ(plain.retries, traced.retries);
+  EXPECT_EQ(plain.retry_successes, traced.retry_successes);
+  EXPECT_EQ(plain.degraded_serves, traced.degraded_serves);
+  EXPECT_EQ(plain.downlink_dropped, traced.downlink_dropped);
+  // The trace really observed the faulted run.
+  EXPECT_GT(tracer.log().count(obs::EventKind::kFetchFailed), 0u);
+  EXPECT_GT(registry.find_histogram("lat.served_recency_gap")->total(), 0u);
+
+  // 1-in-4 sampling thins the log, not the simulation.
+  obs::RequestTracer::Config thinned;
+  thinned.sample_every = 4;
+  obs::RequestTracer sampled(thinned);
+  expect_identical(plain, exp::run_policy_sim(config, nullptr, &sampled));
+  EXPECT_LT(sampled.log().size(), tracer.log().size());
+
+  // Both-null routes through the same overload and must also match.
+  expect_identical(plain, exp::run_policy_sim(config, nullptr, nullptr));
+}
+
+// Per-shard tracers merge into mc.lat.* / mc.trace.* after the join, in
+// shard order — so the merged registry (and every shard's event log) is
+// bit-identical whatever the pool size, and identical to the serial run.
+TEST(Determinism, TracedMultiCellBitIdenticalAcrossPoolSizes) {
+  exp::MultiCellConfig config;
+  config.cell_count = 5;
+  config.cell.object_count = 40;
+  config.cell.client_count = 10;
+  config.cell.ticks = 40;
+  config.cell.server_count = 2;
+  config.cell.fetch_retry_limit = 2;
+  config.cell.faults.fetch_failure_rate = 0.2;
+  config.cell.faults.downlink_drop_rate = 0.1;
+  config.trace_sample_every = 2;
+  config.keep_trace = true;
+
+  obs::MetricsRegistry serial_registry;
+  obs::SeriesRecorder serial_recorder(serial_registry);
+  const exp::MultiCellResult serial =
+      exp::run_multi_cell(config, nullptr, &serial_recorder);
+  const std::string serial_export = serial_registry.to_json();
+  ASSERT_EQ(serial.shard_traces.size(), config.cell_count);
+  EXPECT_GT(serial_registry.find_counter("mc.trace.events")->value(), 0u);
+  EXPECT_GT(serial_registry.find_histogram("mc.lat.ticks_to_serve")->total(),
+            0u);
+
+  for (std::size_t pool_size : {1u, 2u, 8u}) {
+    util::ThreadPool pool(pool_size);
+    obs::MetricsRegistry registry;
+    obs::SeriesRecorder recorder(registry);
+    const exp::MultiCellResult pooled =
+        exp::run_multi_cell(config, &pool, &recorder);
+    SCOPED_TRACE("pool size " + std::to_string(pool_size));
+    expect_identical(serial.aggregate, pooled.aggregate);
+    for (std::size_t i = 0; i < config.cell_count; ++i) {
+      expect_identical(serial.per_cell[i], pooled.per_cell[i]);
+      // Shard event logs match event by event.
+      ASSERT_EQ(pooled.shard_traces[i].size(), serial.shard_traces[i].size());
+      EXPECT_EQ(pooled.shard_traces[i].to_jsonl(),
+                serial.shard_traces[i].to_jsonl());
+    }
+    // The merged registry export (mc.* series, mc.lat.* histograms,
+    // mc.trace.* counters) is byte-identical.
+    EXPECT_EQ(registry.to_json(), serial_export);
+  }
+
+  // And tracing itself never perturbs the cells: the untraced run's
+  // aggregate matches bit for bit.
+  exp::MultiCellConfig untraced = config;
+  untraced.trace_sample_every = 0;
+  untraced.keep_trace = false;
+  const exp::MultiCellResult bare = exp::run_multi_cell(untraced);
+  expect_identical(serial.aggregate, bare.aggregate);
+  EXPECT_TRUE(bare.shard_traces.empty());
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Request-lifecycle tracing suite: EventLog bounded-buffer semantics and
+// JSONL export, RequestTracer deterministic sampling + sim-time latency
+// histograms, the Prometheus text exporter (format pinned byte-for-byte),
+// and an end-to-end traced policy simulation under an active fault plan
+// whose event stream must satisfy the lifecycle invariants (every arrival
+// delivers, every fetch attempt resolves, histograms mirror the log).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/policy_sim.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/recorder.hpp"
+
+namespace mobi::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLog.
+
+TEST(EventLog, RecordsUntilCapacityThenDrops) {
+  EventLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(log.record({sim::Tick(i), EventKind::kArrival, 0,
+                            std::uint32_t(i), 7, 0.0}));
+  }
+  EXPECT_FALSE(log.record({3, EventKind::kArrival, 0, 3, 7, 0.0}));
+  EXPECT_FALSE(log.record({4, EventKind::kDelivery, 0, 4, 7, 0.0}));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.count(EventKind::kArrival), 3u);
+  EXPECT_EQ(log.count(EventKind::kDelivery), 0u);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.capacity(), 3u);  // capacity survives clear
+  EXPECT_TRUE(log.record({0, EventKind::kCacheHit, 0, 0, 0, 0.5}));
+}
+
+TEST(EventLog, RejectsZeroCapacity) {
+  EXPECT_THROW(EventLog(0), std::invalid_argument);
+}
+
+TEST(EventLog, JsonlHeaderAndCompactEventLines) {
+  EventLog log(2);
+  // client present, attempt and value elided (both zero).
+  log.record({5, EventKind::kArrival, 0, 12, 3, 0.0});
+  // client elided (kNoClient), attempt and value present.
+  log.record({6, EventKind::kRetryAttempt, 2, 12, RequestEvent::kNoClient,
+              4.0});
+  log.record({7, EventKind::kDelivery, 0, 12, 3, 1.0});  // dropped
+
+  const std::string expected =
+      "{\"schema\":\"mobicache.trace.v1\",\"events\":2,\"dropped\":1}\n"
+      "{\"t\":5,\"ev\":\"arrival\",\"obj\":12,\"client\":3}\n"
+      "{\"t\":6,\"ev\":\"retry_attempt\",\"obj\":12,\"k\":2,\"v\":4}\n";
+  EXPECT_EQ(log.to_jsonl(), expected);
+}
+
+TEST(EventLog, KindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kArrival), "arrival");
+  EXPECT_STREQ(event_kind_name(EventKind::kCacheHit), "cache_hit");
+  EXPECT_STREQ(event_kind_name(EventKind::kDegradedServe), "degraded_serve");
+  EXPECT_STREQ(event_kind_name(EventKind::kFetchSelected), "fetch_selected");
+  EXPECT_STREQ(event_kind_name(EventKind::kRetryDrop), "retry_drop");
+  EXPECT_STREQ(event_kind_name(EventKind::kDownlinkDelivered),
+               "downlink_delivered");
+  EXPECT_STREQ(event_kind_name(EventKind::kNetBatch), "net_batch");
+}
+
+// ---------------------------------------------------------------------------
+// RequestTracer.
+
+TEST(RequestTracer, SamplingIsACounterNotARandomDraw) {
+  RequestTracer::Config config;
+  config.sample_every = 3;
+  config.event_capacity = 64;
+  RequestTracer a(config), b(config);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    // Arrivals 0, 3, 6, 9 are kept; the decision depends only on the
+    // arrival ordinal, so two tracers fed the same stream agree exactly.
+    EXPECT_EQ(a.on_arrival(i, 0), i % 3 == 0) << "arrival " << i;
+    EXPECT_EQ(b.on_arrival(i, 0), i % 3 == 0) << "arrival " << i;
+  }
+  EXPECT_EQ(a.arrivals(), 10u);
+  EXPECT_EQ(a.sampled_arrivals(), 4u);
+  EXPECT_EQ(a.log().count(EventKind::kArrival), 4u);
+  EXPECT_EQ(b.log().count(EventKind::kArrival), 4u);
+}
+
+TEST(RequestTracer, RejectsZeroSampleEvery) {
+  RequestTracer::Config config;
+  config.sample_every = 0;
+  EXPECT_THROW(RequestTracer{config}, std::invalid_argument);
+}
+
+TEST(RequestTracer, EventsInheritTheStampedTick) {
+  RequestTracer tracer;
+  tracer.begin_tick(42);
+  tracer.on_fetch_selected(9);
+  tracer.begin_tick(43);
+  tracer.on_fetch_done(9, 1);
+  ASSERT_EQ(tracer.log().size(), 2u);
+  EXPECT_EQ(tracer.log().events()[0].tick, 42);
+  EXPECT_EQ(tracer.log().events()[1].tick, 43);
+}
+
+TEST(RequestTracer, HistogramsMirrorTheLifecycleCallbacks) {
+  RequestTracer tracer;
+  MetricsRegistry registry;
+  tracer.register_histograms(&registry);
+
+  tracer.on_fetch_done(3, 5);
+  tracer.on_retry_attempt(3, 1, 2);
+  tracer.on_downlink_delivered(4);
+  const bool sampled = tracer.on_arrival(3, 0);
+  // Gap = max(0, target - recency); observed for every serve.
+  tracer.on_serve(sampled, 3, 0, true, false, 0.6, 0.9, 0.66);
+  tracer.on_serve(false, 3, 1, true, false, 0.95, 0.9, 1.0);  // met: gap 0
+
+  EXPECT_EQ(registry.find_histogram("lat.ticks_to_serve")->total(), 1u);
+  EXPECT_DOUBLE_EQ(registry.find_histogram("lat.ticks_to_serve")->sum(), 5.0);
+  EXPECT_EQ(registry.find_histogram("lat.retry_delay")->total(), 1u);
+  EXPECT_EQ(registry.find_histogram("lat.queue_wait")->total(), 1u);
+  const FixedHistogram& gap =
+      *registry.find_histogram("lat.served_recency_gap");
+  EXPECT_EQ(gap.total(), 2u);  // unsampled serves still observe the gap
+  EXPECT_NEAR(gap.sum(), 0.3, 1e-12);
+
+  // Detaching stops observation but events keep flowing to the log.
+  tracer.register_histograms(nullptr);
+  tracer.on_fetch_done(4, 7);
+  EXPECT_EQ(registry.find_histogram("lat.ticks_to_serve")->total(), 1u);
+  EXPECT_EQ(tracer.log().count(EventKind::kFetchDone), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exporter.
+
+TEST(Prometheus, NameMapping) {
+  EXPECT_EQ(prometheus_name("bs.cache.hits"), "bs_cache_hits");
+  EXPECT_EQ(prometheus_name("lat.p99.9"), "lat_p99_9");
+  EXPECT_EQ(prometheus_name("already_fine:ok"), "already_fine:ok");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");  // leading digit
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(Prometheus, ExpositionFormatIsPinned) {
+  MetricsRegistry registry;
+  registry.register_counter("bs.fetches").add(7);
+  registry.register_gauge("score.avg").set(0.5);
+  FixedHistogram& h = registry.register_histogram("lat.wait", 0.0, 2.0, 2);
+  h.observe(-1.0);  // underflow, folded into every cumulative bucket
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);  // overflow, only in +Inf
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // count, not sum
+
+  const std::string expected =
+      "# TYPE bs_fetches counter\n"
+      "bs_fetches 7\n"
+      "# TYPE lat_wait histogram\n"
+      "lat_wait_bucket{le=\"1\"} 2\n"
+      "lat_wait_bucket{le=\"2\"} 3\n"
+      "lat_wait_bucket{le=\"+Inf\"} 5\n"
+      "lat_wait_sum 6\n"
+      "lat_wait_count 5\n"
+      "# TYPE score_avg gauge\n"
+      "score_avg 0.5\n";
+  EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a traced policy simulation under an active fault plan must
+// produce a self-consistent event stream.
+
+TEST(RequestTracer, TracedPolicySimLifecycleInvariants) {
+  exp::PolicySimConfig config;
+  config.object_count = 40;
+  config.requests_per_tick = 20;
+  config.warmup_ticks = 5;
+  config.measure_ticks = 20;
+  config.budget = 10;
+  config.update_period = 3;
+  config.server_count = 2;
+  config.fetch_retry_limit = 2;
+  config.faults.fetch_failure_rate = 0.3;
+  config.faults.downlink_drop_rate = 0.1;
+
+  MetricsRegistry registry;
+  SeriesRecorder recorder(registry);
+  RequestTracer tracer;  // sample every arrival, ample capacity
+  tracer.register_histograms(&registry);
+  const exp::PolicySimResult result =
+      exp::run_policy_sim(config, &recorder, &tracer);
+
+  const EventLog& log = tracer.log();
+  ASSERT_EQ(log.dropped(), 0u) << "grow event_capacity for this workload";
+
+  // Every request arrived and was delivered; the serve outcome is
+  // exactly one of hit/miss.
+  const std::uint64_t arrivals = log.count(EventKind::kArrival);
+  EXPECT_EQ(arrivals, tracer.arrivals());
+  EXPECT_EQ(arrivals, registry.find_counter("bs.requests")->value());
+  EXPECT_EQ(log.count(EventKind::kDelivery), arrivals);
+  EXPECT_EQ(log.count(EventKind::kCacheHit) + log.count(EventKind::kCacheMiss),
+            arrivals);
+
+  // Every fetch attempt (fresh selection or retry) resolved as exactly
+  // one of done/failed, and drops only happen to failed attempts.
+  const std::uint64_t attempts = log.count(EventKind::kFetchSelected) +
+                                 log.count(EventKind::kRetryAttempt);
+  EXPECT_EQ(attempts,
+            log.count(EventKind::kFetchDone) +
+                log.count(EventKind::kFetchFailed));
+  EXPECT_GT(log.count(EventKind::kFetchFailed), 0u);  // plan is active
+  EXPECT_GT(log.count(EventKind::kRetryAttempt), 0u);
+  EXPECT_LE(log.count(EventKind::kRetryDrop),
+            log.count(EventKind::kFetchFailed));
+  EXPECT_GT(result.failed_fetches, 0u);
+
+  // The histograms saw exactly the events the log recorded.
+  EXPECT_EQ(registry.find_histogram("lat.ticks_to_serve")->total(),
+            log.count(EventKind::kFetchDone));
+  EXPECT_EQ(registry.find_histogram("lat.retry_delay")->total(),
+            log.count(EventKind::kRetryAttempt));
+  EXPECT_EQ(registry.find_histogram("lat.queue_wait")->total(),
+            log.count(EventKind::kDownlinkDelivered));
+  // The recency gap is observed for *every* serve, sampled or not.
+  EXPECT_EQ(registry.find_histogram("lat.served_recency_gap")->total(),
+            tracer.arrivals());
+
+  // Retry resolutions land at a positive ticks-to-serve, so the
+  // ticks_to_serve histogram carries real latency mass under faults.
+  EXPECT_GT(registry.find_histogram("lat.ticks_to_serve")->sum(), 0.0);
+
+  // The JSONL export frames the same stream.
+  std::istringstream lines(log.to_jsonl());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header, "{\"schema\":\"mobicache.trace.v1\",\"events\":" +
+                        std::to_string(log.size()) + ",\"dropped\":0}");
+}
+
+TEST(RequestTracer, SampledTraceKeepsEveryNthArrivalOfTheSameRun) {
+  exp::PolicySimConfig config;
+  config.object_count = 40;
+  config.requests_per_tick = 20;
+  config.warmup_ticks = 5;
+  config.measure_ticks = 10;
+  config.budget = 10;
+
+  RequestTracer::Config trace;
+  trace.sample_every = 4;
+  RequestTracer sampled(trace);
+  RequestTracer full;
+  exp::run_policy_sim(config, nullptr, &sampled);
+  exp::run_policy_sim(config, nullptr, &full);
+
+  EXPECT_EQ(sampled.arrivals(), full.arrivals());
+  EXPECT_EQ(sampled.sampled_arrivals(), (full.arrivals() + 3) / 4);
+  // Sampling thins request-scoped events only; object-scoped fetch
+  // events are always recorded and must be identical streams.
+  EXPECT_EQ(sampled.log().count(EventKind::kFetchSelected),
+            full.log().count(EventKind::kFetchSelected));
+  EXPECT_EQ(sampled.log().count(EventKind::kFetchDone),
+            full.log().count(EventKind::kFetchDone));
+}
+
+}  // namespace
+}  // namespace mobi::obs

@@ -14,6 +14,7 @@
 #include "exp/fig3.hpp"
 #include "exp/multi_cell.hpp"
 #include "exp/policy_sim.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
@@ -105,6 +106,46 @@ TEST(GoldenRun, PolicySimEndToEnd) {
   EXPECT_EQ(registry.find_counter("bs.units_downloaded")->value(), 570u);
   EXPECT_EQ(registry.find_counter("bs.cache.refreshes")->value(), 166u);
   EXPECT_EQ(registry.find_counter("servers.updates")->value(), 800u);
+}
+
+// The same run as PolicySimEndToEnd with request-lifecycle tracing
+// attached: every pinned headline number must hold bit for bit (tracing
+// is read-only observation), and the trace totals themselves are pinned
+// against the counters so the event stream can't silently thin out.
+TEST(GoldenRun, PolicySimTracedMatchesPinnedNumbers) {
+  exp::PolicySimConfig config;
+  config.object_count = 40;
+  config.requests_per_tick = 20;
+  config.warmup_ticks = 10;
+  config.measure_ticks = 50;
+  config.budget = 10;
+  config.update_period = 3;
+  config.seed = 42;
+
+  obs::MetricsRegistry registry;
+  obs::SeriesRecorder recorder(registry);
+  obs::RequestTracer tracer;
+  tracer.register_histograms(&registry);
+  const exp::PolicySimResult result =
+      exp::run_policy_sim(config, &recorder, &tracer);
+
+  EXPECT_EQ(result.requests, 1000u);
+  EXPECT_EQ(result.objects_downloaded, 136u);
+  EXPECT_EQ(result.units_downloaded, 474);
+  EXPECT_NEAR(result.average_score, 0.839606412546541, 1e-12);
+  EXPECT_NEAR(result.average_recency, 0.67717036564226973, 1e-12);
+  EXPECT_NEAR(result.jain_fairness, 0.94515082641098813, 1e-12);
+
+  // Trace accounting lines up with the registry's whole-run counters.
+  EXPECT_EQ(tracer.arrivals(), 1200u);
+  EXPECT_EQ(tracer.log().count(obs::EventKind::kArrival), 1200u);
+  EXPECT_EQ(tracer.log().count(obs::EventKind::kDelivery), 1200u);
+  EXPECT_EQ(tracer.log().count(obs::EventKind::kFetchDone),
+            registry.find_counter("bs.fetches")->value());
+  EXPECT_EQ(tracer.log().dropped(), 0u);
+  EXPECT_EQ(registry.find_histogram("lat.served_recency_gap")->total(), 1200u);
+  EXPECT_EQ(registry.find_histogram("lat.ticks_to_serve")->total(),
+            registry.find_counter("bs.fetches")->value());
 }
 
 TEST(GoldenRun, MultiCellAggregates) {

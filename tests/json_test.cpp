@@ -1,0 +1,83 @@
+// util::json reader: the consumer side of the repo's exported documents
+// (metrics.v1 / soak.v1 / trace.v1 lines). Round-trips the exporters'
+// actual output shapes, covers escapes, nesting, number forms, and the
+// malformed-input error contract (std::runtime_error with a byte offset).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace mobi::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(std::get<bool>(parse("true").data), true);
+  EXPECT_EQ(std::get<bool>(parse("false").data), false);
+  EXPECT_DOUBLE_EQ(parse("42").num(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-0.5").num(), -0.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").num(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2").num(), 0.025);
+  EXPECT_EQ(parse("\"hi\"").str(), "hi");
+  EXPECT_EQ(parse("  \"ws\"  ").str(), "ws");
+}
+
+TEST(Json, ParsesShortestRoundTripDoublesExactly) {
+  // The exporters emit std::to_chars shortest form; parsing must get the
+  // identical bit pattern back.
+  const double x = 0.1 + 0.2;
+  EXPECT_EQ(parse("0.30000000000000004").num(), x);
+  EXPECT_EQ(parse("0.123456789012345").num(), 0.123456789012345);
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value root = parse(
+      R"({"schema":"mobicache.metrics.v1","ticks":[0,1],)"
+      R"("series":{"a":[1,null,3]},"empty_arr":[],"empty_obj":{}})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("schema").str(), "mobicache.metrics.v1");
+  ASSERT_TRUE(root.contains("ticks"));
+  EXPECT_FALSE(root.contains("missing"));
+  EXPECT_EQ(root.at("ticks").arr().size(), 2u);
+  const Array& a = root.at("series").at("a").arr();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].num(), 1.0);
+  EXPECT_TRUE(a[1].is_null());
+  EXPECT_TRUE(root.at("empty_arr").arr().empty());
+  EXPECT_TRUE(root.at("empty_obj").obj().empty());
+  EXPECT_THROW(root.at("missing"), std::out_of_range);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d")").str(), "a\"b\\c/d");
+  EXPECT_EQ(parse(R"("line\nand\ttab")").str(), "line\nand\ttab");
+  EXPECT_EQ(parse("\"\\u0041\\u005a\"").str(), "AZ");  // ASCII \u escapes
+  EXPECT_EQ(parse("\"\\u00e9\"").str(), "?");  // non-ASCII is replaced
+}
+
+TEST(Json, ValuesAreCheaplyCopyable) {
+  const Value root = parse(R"({"k":[1,2,3]})");
+  const Value copy = root;  // shared, not deep-copied
+  EXPECT_EQ(&copy.at("k").arr(), &root.at("k").arr());
+}
+
+TEST(Json, MalformedInputThrowsWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1]extra", "nul", "{'single':1}"}) {
+    EXPECT_THROW(parse(bad), std::runtime_error) << bad;
+  }
+  // The error message carries a byte offset for debugging exports.
+  try {
+    parse("[1, oops]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace mobi::util::json

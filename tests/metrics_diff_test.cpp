@@ -1,0 +1,225 @@
+// Golden-metrics diff engine: self-diff cleanliness, drift detection,
+// per-series tolerance rules (exact + prefix glob, first match wins),
+// missing/extra series, axis and schema guards, and the
+// histogram-counts-compare-exactly contract. The engine behind
+// tools/metrics_diff and the CI golden-metrics gate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics_diff.hpp"
+#include "obs/recorder.hpp"
+
+namespace mobi::obs {
+namespace {
+
+// A small mobicache.metrics.v1 document; tests perturb copies of it.
+const char* kGolden =
+    R"({"schema":"mobicache.metrics.v1","ticks":[0,1,2],)"
+    R"("series":{"bs.fetches":[1,2,3],"lat.queue_wait.mean":[0.5,0.5,0.75]},)"
+    R"("histograms":{"lat.wait":{"lo":0,"hi":2,"buckets":[3,1],)"
+    R"("underflow":0,"overflow":1,"nan":0,"total":5,"sum":3.25}}})";
+
+std::string replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  const std::size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  return text.replace(at, from.size(), to);
+}
+
+TEST(MetricsDiff, SelfDiffIsClean) {
+  const DiffReport report = diff_metrics_text(kGolden, kGolden);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.regression_count, 0u);
+  EXPECT_EQ(report.series_compared, 3u);  // 2 series + 1 histogram
+  // 3+3 series values, 2 buckets + sum.
+  EXPECT_EQ(report.values_compared, 9u);
+  EXPECT_EQ(report.to_string(), "");
+}
+
+TEST(MetricsDiff, ValueDriftIsARegressionUnlessWithinTolerance) {
+  const std::string drifted = replaced(kGolden, "[1,2,3]", "[1,2,4]");
+  const DiffReport exact = diff_metrics_text(kGolden, drifted);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.regression_count, 1u);
+  ASSERT_EQ(exact.regressions.size(), 1u);
+  // The report names the series and the first offending index.
+  EXPECT_NE(exact.regressions[0].find("bs.fetches"), std::string::npos);
+  EXPECT_NE(exact.regressions[0].find("index 2"), std::string::npos);
+
+  DiffOptions loose;
+  loose.default_rtol = 0.5;  // |3-4| <= 0.5 * 4
+  EXPECT_TRUE(diff_metrics_text(kGolden, drifted, loose).ok());
+
+  DiffOptions absolute;
+  absolute.default_atol = 1.0;
+  EXPECT_TRUE(diff_metrics_text(kGolden, drifted, absolute).ok());
+}
+
+TEST(MetricsDiff, PerSeriesRuleBeatsTheDefault) {
+  const std::string drifted = replaced(kGolden, "[0.5,0.5,0.75]",
+                                       "[0.5,0.5,0.7500001]");
+  // Exact by default: the lat series drifted.
+  EXPECT_FALSE(diff_metrics_text(kGolden, drifted).ok());
+  // A lat.* prefix rule absorbs it without loosening anything else.
+  DiffOptions options;
+  options.rules.push_back(parse_tolerance_rule("lat.*=1e-6"));
+  EXPECT_TRUE(diff_metrics_text(kGolden, drifted, options).ok());
+  // The same rule does not excuse drift outside its prefix.
+  const std::string other = replaced(kGolden, "[1,2,3]", "[1,2,3.1]");
+  EXPECT_FALSE(diff_metrics_text(kGolden, other, options).ok());
+}
+
+TEST(MetricsDiff, ToleranceRuleMatching) {
+  const ToleranceRule glob{"lat.*", 0.1, 0.0};
+  EXPECT_TRUE(glob.matches("lat.queue_wait.mean"));
+  EXPECT_TRUE(glob.matches("lat."));
+  EXPECT_FALSE(glob.matches("lat"));
+  EXPECT_FALSE(glob.matches("latency.mean"));
+  const ToleranceRule exact{"bs.fetches", 0.1, 0.0};
+  EXPECT_TRUE(exact.matches("bs.fetches"));
+  EXPECT_FALSE(exact.matches("bs.fetches.total"));
+
+  const ToleranceRule parsed = parse_tolerance_rule("mc.*=0.01,1e-9");
+  EXPECT_EQ(parsed.pattern, "mc.*");
+  EXPECT_DOUBLE_EQ(parsed.rtol, 0.01);
+  EXPECT_DOUBLE_EQ(parsed.atol, 1e-9);
+  EXPECT_DOUBLE_EQ(parse_tolerance_rule("a=0.5").atol, 0.0);
+
+  EXPECT_THROW(parse_tolerance_rule("noequals"), std::invalid_argument);
+  EXPECT_THROW(parse_tolerance_rule("=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_tolerance_rule("a=bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_tolerance_rule("a=-0.1"), std::invalid_argument);
+}
+
+TEST(MetricsDiff, MissingAndExtraSeriesAreBothFlagged) {
+  const std::string missing =
+      replaced(kGolden, R"("bs.fetches":[1,2,3],)", "");
+  const DiffReport gone = diff_metrics_text(kGolden, missing);
+  EXPECT_EQ(gone.regression_count, 1u);
+  EXPECT_NE(gone.regressions[0].find("missing from candidate"),
+            std::string::npos);
+
+  // Swapped direction: the candidate grew a series the golden lacks —
+  // the golden is stale and must be regenerated deliberately.
+  const DiffReport extra = diff_metrics_text(missing, kGolden);
+  EXPECT_EQ(extra.regression_count, 1u);
+  EXPECT_NE(extra.regressions[0].find("not in golden"), std::string::npos);
+
+  DiffOptions tolerant;
+  tolerant.ignore_missing = true;
+  EXPECT_TRUE(diff_metrics_text(kGolden, missing, tolerant).ok());
+  EXPECT_TRUE(diff_metrics_text(missing, kGolden, tolerant).ok());
+}
+
+TEST(MetricsDiff, AxisIsComparedExactlyWithNoTolerance) {
+  DiffOptions very_loose;
+  very_loose.default_rtol = 10.0;
+  const std::string shifted = replaced(kGolden, "[0,1,2]", "[0,1,3]");
+  EXPECT_FALSE(diff_metrics_text(kGolden, shifted, very_loose).ok());
+  const std::string shorter =
+      replaced(replaced(replaced(kGolden, "[0,1,2]", "[0,1]"), "[1,2,3]",
+                        "[1,2]"),
+               "[0.5,0.5,0.75]", "[0.5,0.5]");
+  // Length mismatch on the axis is flagged, not thrown.
+  EXPECT_FALSE(diff_metrics_text(kGolden, shorter, very_loose).ok());
+}
+
+TEST(MetricsDiff, SeriesLengthMismatchIsARegression) {
+  const std::string truncated = replaced(kGolden, "[1,2,3]", "[1,2]");
+  const DiffReport report = diff_metrics_text(kGolden, truncated);
+  EXPECT_EQ(report.regression_count, 1u);
+  EXPECT_NE(report.regressions[0].find("length 2 != golden 3"),
+            std::string::npos);
+}
+
+TEST(MetricsDiff, SchemaGuards) {
+  const std::string soak = replaced(
+      replaced(kGolden, "mobicache.metrics.v1", "mobicache.soak.v1"),
+      "\"ticks\"", "\"windows\"");
+  // Both soak.v1: accepted, windows is the axis.
+  EXPECT_TRUE(diff_metrics_text(soak, soak).ok());
+  // Mixed schemas: structural error, not a regression count.
+  EXPECT_THROW(diff_metrics_text(kGolden, soak), std::runtime_error);
+  EXPECT_THROW(diff_metrics_text("{}", kGolden), std::runtime_error);
+  EXPECT_THROW(diff_metrics_text(R"({"schema":"nope.v9"})", kGolden),
+               std::runtime_error);
+  EXPECT_THROW(
+      diff_metrics_text(R"({"schema":"mobicache.metrics.v1"})", kGolden),
+      std::runtime_error);  // missing axis/series
+}
+
+TEST(MetricsDiff, HistogramCountsCompareExactlyOnlySumTakesTolerance) {
+  DiffOptions loose;
+  loose.default_rtol = 0.5;
+  // A shifted bucket count is a regression no matter the tolerance...
+  const std::string bucket_drift = replaced(kGolden, "[3,1]", "[2,2]");
+  const DiffReport buckets = diff_metrics_text(kGolden, bucket_drift, loose);
+  EXPECT_FALSE(buckets.ok());
+  EXPECT_NE(buckets.regressions[0].find("bucket 0"), std::string::npos);
+  // ...as are total / overflow / nan drifts...
+  EXPECT_FALSE(diff_metrics_text(
+                   kGolden, replaced(kGolden, "\"nan\":0", "\"nan\":1"), loose)
+                   .ok());
+  EXPECT_FALSE(
+      diff_metrics_text(kGolden,
+                        replaced(kGolden, "\"overflow\":1", "\"overflow\":2"),
+                        loose)
+          .ok());
+  // ...but sum drift within the series tolerance passes.
+  const std::string sum_drift =
+      replaced(kGolden, "\"sum\":3.25", "\"sum\":3.5");
+  EXPECT_TRUE(diff_metrics_text(kGolden, sum_drift, loose).ok());
+  EXPECT_FALSE(diff_metrics_text(kGolden, sum_drift).ok());  // exact mode
+}
+
+TEST(MetricsDiff, AbsentNanFieldReadsAsZero) {
+  // Pre-NaN-contract exports lack the field entirely; both directions
+  // must compare equal to an explicit zero.
+  const std::string legacy = replaced(kGolden, "\"nan\":0,", "");
+  EXPECT_TRUE(diff_metrics_text(kGolden, legacy).ok());
+  EXPECT_TRUE(diff_metrics_text(legacy, kGolden).ok());
+}
+
+TEST(MetricsDiff, NullValuesOnlyMatchNull) {
+  const std::string with_null = replaced(kGolden, "[1,2,3]", "[1,null,3]");
+  EXPECT_TRUE(diff_metrics_text(with_null, with_null).ok());
+  DiffOptions loose;
+  loose.default_rtol = 100.0;
+  EXPECT_FALSE(diff_metrics_text(kGolden, with_null, loose).ok());
+  EXPECT_FALSE(diff_metrics_text(with_null, kGolden, loose).ok());
+}
+
+TEST(MetricsDiff, ReportCapsStoredLinesButCountsEverything) {
+  // Drift every series and histogram with max_reports = 1.
+  std::string drifted = replaced(kGolden, "[1,2,3]", "[9,9,9]");
+  drifted = replaced(drifted, "[0.5,0.5,0.75]", "[9,9,9]");
+  drifted = replaced(drifted, "\"total\":5", "\"total\":9");
+  DiffOptions options;
+  options.max_reports = 1;
+  const DiffReport report = diff_metrics_text(kGolden, drifted, options);
+  EXPECT_EQ(report.regression_count, 3u);
+  EXPECT_EQ(report.regressions.size(), 1u);
+  EXPECT_NE(report.to_string().find("2 more regressions"), std::string::npos);
+}
+
+// A real recorder export round-trips through the differ: produced
+// documents are always self-consistent inputs for the gate.
+TEST(MetricsDiff, RecorderExportSelfDiffsClean) {
+  MetricsRegistry registry;
+  Counter& counter = registry.register_counter("n");
+  registry.register_histogram("h", 0.0, 1.0, 4).observe(0.25);
+  SeriesRecorder recorder(registry);
+  for (sim::Tick t = 0; t < 3; ++t) {
+    counter.add(2);
+    recorder.sample(t);
+  }
+  const std::string text = recorder.to_json();
+  const DiffReport report = diff_metrics_text(text, text);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.series_compared, 2u);
+}
+
+}  // namespace
+}  // namespace mobi::obs

@@ -236,6 +236,53 @@ TEST(FixedHistogram, RejectsBadConstruction) {
   EXPECT_THROW(FixedHistogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(FixedHistogram, NanObservationsGetTheirOwnSlot) {
+  FixedHistogram histogram(0.0, 10.0, 2);
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  histogram.observe(2.0);
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  // NaN counts toward total (it *was* observed) but lands in no bucket,
+  // not under/overflow, and is excluded from sum so mean stays finite.
+  EXPECT_EQ(histogram.total(), 3u);
+  EXPECT_EQ(histogram.nan_count(), 2u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(1), 0u);
+  EXPECT_EQ(histogram.underflow(), 0u);
+  EXPECT_EQ(histogram.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 2.0);  // finite observations only
+}
+
+TEST(FixedHistogram, AllNanMeanIsZeroNotNan) {
+  FixedHistogram histogram(0.0, 1.0, 1);
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(histogram.total(), 1u);
+  EXPECT_EQ(histogram.nan_count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST(FixedHistogram, MergeAddsEveryCounterAndChecksShape) {
+  FixedHistogram a(0.0, 4.0, 2), b(0.0, 4.0, 2);
+  a.observe(1.0);
+  a.observe(-1.0);  // underflow
+  b.observe(3.0);
+  b.observe(9.0);  // overflow
+  b.observe(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(1), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.nan_count(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1.0 - 1.0 + 3.0 + 9.0);
+  EXPECT_EQ(b.total(), 3u);  // source untouched
+
+  FixedHistogram narrow(0.0, 2.0, 2), coarse(0.0, 4.0, 4);
+  EXPECT_THROW(a.merge(narrow), std::invalid_argument);
+  EXPECT_THROW(a.merge(coarse), std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // Registry.
 
@@ -354,6 +401,28 @@ TEST(SeriesRecorder, LateRegisteredMetricIsBackfilled) {
   recorder.sample(2);
   EXPECT_EQ(recorder.series("late"), (std::vector<double>{0.0, 0.0, 9.0}));
   EXPECT_EQ(recorder.series("early").size(), 3u);
+}
+
+TEST(SeriesRecorder, LateRegisteredGaugeIsBackfilledWithZeros) {
+  // Gauges take the same backfill path as counters: a gauge that first
+  // appears mid-run (e.g. mc.lat.* merged in after the shard join) gets
+  // zeros for the ticks it missed, keeping every series axis-aligned.
+  MetricsRegistry registry;
+  SeriesRecorder recorder(registry);
+  registry.register_counter("steady");
+  recorder.sample(0);
+  recorder.sample(1);
+  Gauge& late = registry.register_gauge("late.level");
+  late.set(-2.5);
+  recorder.sample(2);
+  late.set(7.0);
+  recorder.sample(3);
+  EXPECT_EQ(recorder.series("late.level"),
+            (std::vector<double>{0.0, 0.0, -2.5, 7.0}));
+  EXPECT_EQ(recorder.series("steady").size(), 4u);
+  // The JSON export carries the backfilled prefix too.
+  EXPECT_NE(recorder.to_json().find("\"late.level\":[0,0,-2.5,7]"),
+            std::string::npos);
 }
 
 TEST(SeriesRecorder, JsonRoundTrip) {

@@ -1,0 +1,99 @@
+// metrics_diff: compare two exported metrics documents (per-tick
+// mobicache.metrics.v1 or windowed mobicache.soak.v1) under per-series
+// tolerances. The CI golden-metrics gate:
+//
+//   metrics_diff [options] golden.json candidate.json
+//
+// Options:
+//   --rtol=X            default relative tolerance (default 0 = exact)
+//   --atol=X            default absolute tolerance (default 0)
+//   --tol=PAT=R[,A]     per-series rule, PAT an exact name or prefix glob
+//                       ending in '*' (e.g. --tol='lat.*=1e-9'); first
+//                       matching rule wins, repeatable
+//   --ignore-missing    tolerate series present on one side only
+//   --quiet             no output, exit status only
+//
+// Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO/parse
+// error. Values compare as |a-b| <= atol + rtol*max(|a|,|b|); histogram
+// counts always compare exactly (only `sum` takes the tolerance).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_diff.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--rtol=X] [--atol=X] [--tol=pattern=rtol[,atol]]..."
+               " [--ignore-missing] [--quiet] golden.json candidate.json\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobi;
+
+  obs::DiffOptions options;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--rtol=", 0) == 0) {
+        options.default_rtol = std::stod(arg.substr(7));
+      } else if (arg.rfind("--atol=", 0) == 0) {
+        options.default_atol = std::stod(arg.substr(7));
+      } else if (arg.rfind("--tol=", 0) == 0) {
+        options.rules.push_back(obs::parse_tolerance_rule(arg.substr(6)));
+      } else if (arg == "--ignore-missing") {
+        options.ignore_missing = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "metrics_diff: unknown option '" << arg << "'\n";
+        return usage(argv[0]);
+      } else {
+        paths.push_back(arg);
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "metrics_diff: " << error.what() << '\n';
+      return 2;
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  try {
+    const obs::DiffReport report = obs::diff_metrics_text(
+        read_file(paths[0]), read_file(paths[1]), options);
+    if (report.ok()) {
+      if (!quiet) {
+        std::cout << "metrics_diff: OK — " << report.series_compared
+                  << " series, " << report.values_compared
+                  << " values within tolerance\n";
+      }
+      return 0;
+    }
+    if (!quiet) {
+      std::cerr << report.to_string() << "metrics_diff: "
+                << report.regression_count << " regression(s) across "
+                << report.series_compared << " series\n";
+    }
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "metrics_diff: " << error.what() << '\n';
+    return 2;
+  }
+}
