@@ -19,6 +19,7 @@
 #include "cache/decay.hpp"
 #include "core/benefit.hpp"
 #include "core/knapsack.hpp"
+#include "core/knapsack_parallel.hpp"
 #include "object/builders.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -94,6 +95,50 @@ void BM_KnapsackBranchAndBound(benchmark::State& state) {
 }
 BENCHMARK(BM_KnapsackBranchAndBound)->Range(32, 256);
 
+// The same 512-item DP pinned to one kernel: arg 1 = scalar, 2 = word-
+// parallel baseline, 3 = AVX2-dispatched word-parallel (skipped where the
+// host or toolchain lacks it). Restores the auto-detected kernel on exit.
+void BM_KnapsackDpKernel(benchmark::State& state) {
+  using mobi::core::detail::DpKernel;
+  const auto kernel = DpKernel(state.range(0));
+  if (!mobi::core::detail::dp_kernel_supported(kernel)) {
+    state.SkipWithError("kernel unsupported on this host");
+    return;
+  }
+  const auto items = make_items(512);
+  const Units capacity = 2560;
+  mobi::core::detail::set_dp_kernel(kernel);
+  mobi::core::KnapsackWorkspace ws;
+  mobi::core::KnapsackSolution out;
+  for (auto _ : state) {
+    mobi::core::solve_dp(items, capacity, ws, out);
+    benchmark::DoNotOptimize(out.value);
+  }
+  mobi::core::detail::set_dp_kernel(DpKernel::kAuto);
+}
+BENCHMARK(BM_KnapsackDpKernel)
+    ->Arg(int(mobi::core::detail::DpKernel::kScalar))
+    ->Arg(int(mobi::core::detail::DpKernel::kWordParallel))
+    ->Arg(int(mobi::core::detail::DpKernel::kWordParallelAvx2));
+
+// Parallel branch-and-bound at 1/2/4/8 worker threads over the 512-item
+// instance (results identical to solve_dp by contract; only the clock
+// moves with the pool size).
+void BM_KnapsackParallelBnb(benchmark::State& state) {
+  const auto items = make_items(512);
+  const Units capacity = 2560;
+  mobi::core::ParallelBnbConfig config;
+  config.threads = std::size_t(state.range(0));
+  mobi::core::ParallelKnapsackEngine engine(config);
+  mobi::core::KnapsackWorkspace ws;
+  mobi::core::KnapsackSolution out;
+  for (auto _ : state) {
+    engine.solve(items, capacity, ws, out);
+    benchmark::DoNotOptimize(out.value);
+  }
+}
+BENCHMARK(BM_KnapsackParallelBnb)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ProfileReconstruction(benchmark::State& state) {
   const auto items = make_items(256);
   const Units capacity = 2560;
@@ -139,6 +184,67 @@ void run_hotpath(const mobi::util::Flags& flags) {
   auto& new_gauge = registry.register_gauge("hotpath.reused_ns_per_solve");
   auto& speedup_gauge = registry.register_gauge("hotpath.speedup");
   obs::SeriesRecorder recorder(registry);
+
+  // Kernel comparison and per-thread B&B scaling on the canonical 512-item
+  // instance (same shape as BM_KnapsackDp/512), exported as gauges so the
+  // BENCH_hotpath.json trend records the curves alongside the select-path
+  // numbers. Gauges are set once here and sampled every recorder round.
+  {
+    const auto items512 = make_items(512);
+    const Units cap512 = 2560;
+    core::KnapsackWorkspace kws;
+    core::KnapsackSolution ksol;
+    const int reps = quick ? 5 : 40;
+    const auto time_ns = [&](auto&& solve_once) {
+      solve_once();  // warm-up: grow all scratch before the clock starts
+      const auto t0 = Clock::now();
+      for (int i = 0; i < reps; ++i) solve_once();
+      const auto t1 = Clock::now();
+      return std::chrono::duration<double, std::nano>(t1 - t0).count() / reps;
+    };
+    struct KernelRow {
+      core::detail::DpKernel kernel;
+      const char* name;
+    };
+    const KernelRow kernels[] = {
+        {core::detail::DpKernel::kScalar, "scalar"},
+        {core::detail::DpKernel::kWordParallel, "word_parallel"},
+        {core::detail::DpKernel::kWordParallelAvx2, "word_parallel_avx2"},
+    };
+    std::printf("== micro_knapsack dp kernels (512 items, cap 2560) ==\n");
+    double scalar_ns = 0.0;
+    for (const KernelRow& row : kernels) {
+      if (!core::detail::dp_kernel_supported(row.kernel)) continue;
+      core::detail::set_dp_kernel(row.kernel);
+      const double ns =
+          time_ns([&] { core::solve_dp(items512, cap512, kws, ksol); });
+      if (row.kernel == core::detail::DpKernel::kScalar) scalar_ns = ns;
+      registry
+          .register_gauge(std::string("knapsack.dp512.") + row.name +
+                          "_ns_per_solve")
+          .set(ns);
+      std::printf("  %-20s %9.0f ns/solve (%.2fx vs scalar)\n", row.name, ns,
+                  scalar_ns / ns);
+    }
+    core::detail::set_dp_kernel(core::detail::DpKernel::kAuto);
+    std::printf("== micro_knapsack parallel bnb scaling (512 items) ==\n");
+    double t1_ns = 0.0;
+    for (std::size_t bnb_threads : {1u, 2u, 4u, 8u}) {
+      core::ParallelBnbConfig config;
+      config.threads = bnb_threads;
+      core::ParallelKnapsackEngine engine(config);
+      const double ns =
+          time_ns([&] { engine.solve(items512, cap512, kws, ksol); });
+      if (bnb_threads == 1) t1_ns = ns;
+      const std::string base =
+          "knapsack.bnb512.t" + std::to_string(bnb_threads);
+      registry.register_gauge(base + "_ns_per_solve").set(ns);
+      registry.register_gauge(base + "_speedup").set(t1_ns / ns);
+      std::printf("  t%-19zu %9.0f ns/solve (%.2fx vs t1)\n", bnb_threads, ns,
+                  t1_ns / ns);
+    }
+    std::printf("\n");
+  }
 
   core::CandidateBuilder builder;
   core::KnapsackWorkspace ws;

@@ -312,6 +312,7 @@ void BaseStation::set_metrics(obs::MetricsRegistry* registry,
   inst_ = {};
   cache_.set_metrics(registry, prefix + ".cache");
   downlink_.set_metrics(registry, prefix + ".downlink");
+  policy_->set_metrics(registry, prefix);  // e.g. bs.knapsack.parallel.*
   if (!registry) return;
   inst_.requests = &registry->register_counter(prefix + ".requests");
   inst_.hits = &registry->register_counter(prefix + ".hits");

@@ -1,6 +1,7 @@
 #include "core/knapsack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,7 +9,7 @@
 
 namespace mobi::core {
 
-namespace {
+namespace detail {
 
 void validate_items(std::span<const KnapsackItem> items) {
   for (const KnapsackItem& item : items) {
@@ -21,10 +22,11 @@ void validate_items(std::span<const KnapsackItem> items) {
   }
 }
 
-/// Density order shared by the greedy solver and the DP shortcut: profit
-/// density descending, then size ascending, then index ascending. The
-/// comparator must stay identical in both places — the shortcut's
-/// optimality argument assumes the greedy's exact order.
+/// Density order shared by the greedy solver, the DP shortcut and the
+/// parallel branch-and-bound: profit density descending, then size
+/// ascending, then index ascending. The comparator must stay identical in
+/// all places — the shortcut's optimality argument assumes the greedy's
+/// exact order.
 void density_order(std::span<const KnapsackItem> items,
                    std::vector<std::size_t>& order) {
   order.resize(items.size());
@@ -112,12 +114,193 @@ bool greedy_prefix_shortcut(std::span<const KnapsackItem> items,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// DP kernels. All three produce bit-identical value curves and decision
+// matrices; the word-parallel pair trades the scalar loop's early-exit
+// branch for straight-line lane math that vectorizes.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MOBI_KNAPSACK_AVX2_DISPATCH 1
+#else
+#define MOBI_KNAPSACK_AVX2_DISPATCH 0
+#endif
+
+namespace {
+
+/// The classic in-place descending-capacity row update. `values` must be
+/// zero-filled, `bits` zero-filled with `row_words` words per item row.
+void dp_kernel_scalar(std::span<const KnapsackItem> items, std::size_t cap,
+                      double* values, std::uint64_t* bits,
+                      std::size_t row_words) {
+  std::uint64_t* row = bits;
+  for (std::size_t i = 0; i < items.size(); ++i, row += row_words) {
+    const auto size = std::size_t(items[i].size);
+    const double profit = items[i].profit;
+    if (size > cap) continue;
+    for (std::size_t c = cap; c >= size; --c) {
+      const double candidate = values[c - size] + profit;
+      if (candidate > values[c]) {
+        values[c] = candidate;
+        row[c >> 6] |= std::uint64_t{1} << (c & 63);
+      }
+      if (c == size) break;  // avoid size_t underflow
+    }
+  }
+}
+
+/// Two-row word-parallel kernel body. Instead of updating one row in
+/// place right-to-left (a loop-carried dependence plus an unpredictable
+/// store branch), each item reads `prev` and writes `curr`:
+///
+///   curr[c] = max(prev[c], prev[c - size] + profit)      (c >= size)
+///   curr[c] = prev[c]                                    (c <  size)
+///
+/// which is the same recurrence, so values are bit-identical — and the
+/// max form is branch-free, letting the compiler turn the value pass into
+/// packed-double maxpd lanes. The decision bit is `curr[c] > prev[c]`
+/// (taking strictly improved), packed 64 columns per word so each output
+/// word of the flat bit-matrix is produced by one lane-comparison sweep.
+/// `curr > prev` equals the scalar kernel's `candidate > values[c]` test:
+/// curr is either prev (bit 0) or a strictly greater candidate (bit 1).
+///
+/// Buffer parity: the caller pre-swaps so that after one swap per
+/// *effective* item (size <= cap; skipped rows advance `row` but not the
+/// buffers) the final curve lands in ws.values_ without a copy.
+///
+/// Marked always_inline so the AVX2-targeted wrapper below absorbs the
+/// body and recompiles it with 256-bit lanes.
+__attribute__((always_inline)) inline void dp_kernel_two_row_body(
+    std::span<const KnapsackItem> items, std::size_t cap, double* a, double* b,
+    std::uint64_t* bits, std::size_t row_words) {
+  std::uint64_t* row = bits;
+  for (std::size_t i = 0; i < items.size(); ++i, row += row_words) {
+    const auto size = std::size_t(items[i].size);
+    const double profit = items[i].profit;
+    if (size > cap) continue;
+    const double* __restrict prev = a;
+    double* __restrict curr = b;
+    for (std::size_t c = 0; c < size; ++c) curr[c] = prev[c];
+    for (std::size_t c = size; c <= cap; ++c) {
+      const double cand = prev[c - size] + profit;
+      curr[c] = cand > prev[c] ? cand : prev[c];
+    }
+    for (std::size_t w = 0; w < row_words; ++w) {
+      const std::size_t base = w << 6;
+      const std::size_t lanes = std::min<std::size_t>(64, cap + 1 - base);
+      std::uint64_t packed = 0;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        packed |= std::uint64_t(curr[base + l] > prev[base + l]) << l;
+      }
+      row[w] = packed;
+      if (base + 64 > cap) break;
+    }
+    std::swap(a, b);
+  }
+}
+
+void dp_kernel_two_row(std::span<const KnapsackItem> items, std::size_t cap,
+                       double* a, double* b, std::uint64_t* bits,
+                       std::size_t row_words) {
+  dp_kernel_two_row_body(items, cap, a, b, bits, row_words);
+}
+
+#if MOBI_KNAPSACK_AVX2_DISPATCH
+/// Same body, recompiled for AVX2 (4 double lanes per op). Only additions
+/// and max/compare on non-negative finite doubles — no FMA contraction is
+/// possible, so the lanes compute the exact same IEEE results.
+__attribute__((target("avx2"))) void dp_kernel_two_row_avx2(
+    std::span<const KnapsackItem> items, std::size_t cap, double* a, double* b,
+    std::uint64_t* bits, std::size_t row_words) {
+  dp_kernel_two_row_body(items, cap, a, b, bits, row_words);
+}
+#endif
+
+DpKernel detect_best_kernel() noexcept {
+#if MOBI_KNAPSACK_AVX2_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return DpKernel::kWordParallelAvx2;
+#endif
+  return DpKernel::kWordParallel;
+}
+
+std::atomic<DpKernel>& dp_kernel_slot() {
+  static std::atomic<DpKernel> slot{detect_best_kernel()};
+  return slot;
+}
+
 }  // namespace
+
+bool dp_kernel_supported(DpKernel kernel) noexcept {
+  switch (kernel) {
+    case DpKernel::kAuto:
+    case DpKernel::kScalar:
+    case DpKernel::kWordParallel:
+      return true;
+    case DpKernel::kWordParallelAvx2:
+#if MOBI_KNAPSACK_AVX2_DISPATCH
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void set_dp_kernel(DpKernel kernel) {
+  if (!dp_kernel_supported(kernel)) {
+    throw std::invalid_argument("set_dp_kernel: kernel not supported here");
+  }
+  dp_kernel_slot().store(
+      kernel == DpKernel::kAuto ? detect_best_kernel() : kernel,
+      std::memory_order_relaxed);
+}
+
+DpKernel active_dp_kernel() noexcept {
+  return dp_kernel_slot().load(std::memory_order_relaxed);
+}
+
+void dp_fill(std::span<const KnapsackItem> items, std::size_t cap,
+             KnapsackWorkspace& ws, std::size_t row_words, DpKernel kernel) {
+  const std::size_t n = items.size();
+  std::vector<double>& values = WorkspaceAccess::values(ws);
+  std::vector<std::uint64_t>& bits = WorkspaceAccess::take_bits(ws);
+  // resize + fill instead of assign: once the workspace has seen its
+  // high-water capacity, later fills touch no allocator at all.
+  values.resize(cap + 1);
+  bits.resize(n * row_words);
+  std::fill(bits.begin(), bits.end(), 0);
+  if (kernel == DpKernel::kAuto) kernel = active_dp_kernel();
+  if (kernel == DpKernel::kScalar) {
+    std::fill(values.begin(), values.end(), 0.0);
+    dp_kernel_scalar(items, cap, values.data(), bits.data(), row_words);
+    return;
+  }
+  std::vector<double>& prev = WorkspaceAccess::values_prev(ws);
+  prev.resize(cap + 1);
+  double* a = values.data();
+  double* b = prev.data();
+  std::size_t effective = 0;
+  for (const KnapsackItem& item : items) {
+    if (std::size_t(item.size) <= cap) ++effective;
+  }
+  // One buffer swap per effective item: start so the result ends in a.
+  if (effective & 1) std::swap(a, b);
+  std::fill(a, a + cap + 1, 0.0);
+#if MOBI_KNAPSACK_AVX2_DISPATCH
+  if (kernel == DpKernel::kWordParallelAvx2) {
+    dp_kernel_two_row_avx2(items, cap, a, b, bits.data(), row_words);
+    return;
+  }
+#endif
+  dp_kernel_two_row(items, cap, a, b, bits.data(), row_words);
+}
+
+}  // namespace detail
 
 KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
                                  object::Units max_capacity)
     : ws_(&own_) {
-  validate_items(items);
+  detail::validate_items(items);
   build(items, max_capacity);
 }
 
@@ -125,7 +308,7 @@ KnapsackProfile::KnapsackProfile(std::span<const KnapsackItem> items,
                                  object::Units max_capacity,
                                  KnapsackWorkspace& workspace)
     : ws_(&workspace) {
-  validate_items(items);
+  detail::validate_items(items);
   build(items, max_capacity);
 }
 
@@ -144,36 +327,15 @@ void KnapsackProfile::build(std::span<const KnapsackItem> items,
   }
   const std::size_t n = items.size();
   const auto cap = std::size_t(max_capacity);
-  // resize + fill instead of assign: once the workspace has seen its
-  // high-water capacity, later builds touch no allocator at all.
   ws_->item_sizes_.resize(n);
   for (std::size_t i = 0; i < n; ++i) ws_->item_sizes_[i] = items[i].size;
 
-  ws_->values_.resize(cap + 1);
-  std::fill(ws_->values_.begin(), ws_->values_.end(), 0.0);
+  // Row-by-row DP through the pluggable kernel (detail::DpKernel); strict
+  // improvement keeps solutions minimal (zero-profit items never taken).
+  // The decision matrix is a single flat allocation; each item touches
+  // only its own contiguous row — prefetch-friendly, no pointer chasing.
   row_words_ = (cap + 1 + 63) / 64;
-  ws_->take_bits_.resize(n * row_words_);
-  std::fill(ws_->take_bits_.begin(), ws_->take_bits_.end(), 0);
-  // Classic row-by-row DP; strict improvement keeps solutions minimal
-  // (zero-profit items are never taken). The decision matrix is a single
-  // flat allocation; each item touches only its own contiguous row, and
-  // the value scan walks values_ backwards at two fixed offsets — both
-  // streams prefetch-friendly, no per-row pointer chasing.
-  std::vector<double>& values = ws_->values_;
-  std::uint64_t* row = ws_->take_bits_.data();
-  for (std::size_t i = 0; i < n; ++i, row += row_words_) {
-    const auto size = std::size_t(items[i].size);
-    const double profit = items[i].profit;
-    if (size > cap) continue;
-    for (std::size_t c = cap; c >= size; --c) {
-      const double candidate = values[c - size] + profit;
-      if (candidate > values[c]) {
-        values[c] = candidate;
-        row[c >> 6] |= std::uint64_t{1} << (c & 63);
-      }
-      if (c == size) break;  // avoid size_t underflow
-    }
-  }
+  detail::dp_fill(items, cap, *ws_, row_words_);
 }
 
 double KnapsackProfile::value_at(object::Units c) const {
@@ -220,12 +382,12 @@ void solve_dp(std::span<const KnapsackItem> items, object::Units capacity,
               KnapsackWorkspace& ws, KnapsackSolution& out) {
   // The batch is validated exactly once here; the profile construction
   // below skips re-validation (AlreadyValidated route).
-  validate_items(items);
+  detail::validate_items(items);
   if (capacity < 0) {
     throw std::invalid_argument("KnapsackProfile: negative capacity");
   }
-  if (take_all_shortcut(items, capacity, out)) return;
-  if (greedy_prefix_shortcut(items, capacity, ws.order_, out)) return;
+  if (detail::take_all_shortcut(items, capacity, out)) return;
+  if (detail::greedy_prefix_shortcut(items, capacity, ws.order_, out)) return;
   const KnapsackProfile profile(items, capacity, &ws,
                                 KnapsackProfile::AlreadyValidated{});
   profile.solution_into(capacity, out);
@@ -241,11 +403,11 @@ KnapsackSolution solve_greedy(std::span<const KnapsackItem> items,
 
 void solve_greedy(std::span<const KnapsackItem> items, object::Units capacity,
                   KnapsackWorkspace& ws, KnapsackSolution& out) {
-  validate_items(items);
+  detail::validate_items(items);
   if (capacity < 0) {
     throw std::invalid_argument("solve_greedy: negative capacity");
   }
-  density_order(items, ws.order_);
+  detail::density_order(items, ws.order_);
   out.reset();
   object::Units left = capacity;
   for (std::size_t index : ws.order_) {
@@ -287,7 +449,7 @@ KnapsackSolution solve_fptas(std::span<const KnapsackItem> items,
 void solve_fptas(std::span<const KnapsackItem> items, object::Units capacity,
                  double epsilon, KnapsackWorkspace& ws,
                  KnapsackSolution& out) {
-  validate_items(items);
+  detail::validate_items(items);
   if (capacity < 0) {
     throw std::invalid_argument("solve_fptas: negative capacity");
   }
@@ -365,7 +527,7 @@ void solve_fptas(std::span<const KnapsackItem> items, object::Units capacity,
 
 KnapsackSolution solve_brute_force(std::span<const KnapsackItem> items,
                                    object::Units capacity) {
-  validate_items(items);
+  detail::validate_items(items);
   if (capacity < 0) {
     throw std::invalid_argument("solve_brute_force: negative capacity");
   }
@@ -480,7 +642,7 @@ class BranchAndBound {
 KnapsackSolution solve_branch_and_bound(std::span<const KnapsackItem> items,
                                         object::Units capacity,
                                         std::uint64_t node_limit) {
-  validate_items(items);
+  detail::validate_items(items);
   if (capacity < 0) {
     throw std::invalid_argument("solve_branch_and_bound: negative capacity");
   }

@@ -45,6 +45,10 @@ struct KnapsackSolution {
 
 class KnapsackProfile;
 
+namespace detail {
+struct WorkspaceAccess;
+}  // namespace detail
+
 /// Reusable scratch for the solvers and for KnapsackProfile. Buffers only
 /// ever grow (capacity high-water mark); contents are overwritten by each
 /// borrowing solve, so a workspace must not back two live profiles at
@@ -57,6 +61,7 @@ class KnapsackWorkspace {
 
  private:
   friend class KnapsackProfile;
+  friend struct detail::WorkspaceAccess;
   friend void solve_dp(std::span<const KnapsackItem>, object::Units,
                        KnapsackWorkspace&, KnapsackSolution&);
   friend void solve_greedy(std::span<const KnapsackItem>, object::Units,
@@ -65,12 +70,95 @@ class KnapsackWorkspace {
                           double, KnapsackWorkspace&, KnapsackSolution&);
 
   std::vector<double> values_;          // profile value curve
+  std::vector<double> values_prev_;     // word-parallel kernel's second row
   std::vector<std::uint64_t> take_bits_;  // profile / FPTAS decision bits
   std::vector<object::Units> item_sizes_;
   std::vector<std::size_t> order_;      // density order (greedy, shortcuts)
   std::vector<std::uint64_t> scaled_;   // FPTAS scaled profits
   std::vector<object::Units> min_weight_;  // FPTAS weight-per-profit row
 };
+
+/// Internal building blocks shared by the serial solvers, the parallel
+/// engine (knapsack_parallel.hpp), and the differential tests. Not a
+/// stable API for simulation code.
+namespace detail {
+
+/// Throws std::invalid_argument unless every size is > 0 and every profit
+/// is finite and >= 0.
+void validate_items(std::span<const KnapsackItem> items);
+
+/// Density order shared by the greedy solver, the DP shortcuts and the
+/// parallel branch-and-bound: profit density descending, then size
+/// ascending, then index ascending. The comparator must stay identical in
+/// all places — the shortcut's optimality argument assumes it.
+void density_order(std::span<const KnapsackItem> items,
+                   std::vector<std::size_t>& order);
+
+/// Exactness shortcut 1: all positive-profit items fit together. Returns
+/// true and writes the (forced) DP-canonical optimum into `out`.
+bool take_all_shortcut(std::span<const KnapsackItem> items,
+                       object::Units capacity, KnapsackSolution& out);
+
+/// Exactness shortcut 2: the density-greedy prefix fills the capacity
+/// exactly with a strict density gap to the first item left out.
+bool greedy_prefix_shortcut(std::span<const KnapsackItem> items,
+                            object::Units capacity,
+                            std::vector<std::size_t>& order,
+                            KnapsackSolution& out);
+
+/// Inner DP kernel used to fill the profile's value curve + decision
+/// bit-matrix. All kernels are bit-identical (locked by the differential
+/// suite in tests/knapsack_parallel_test.cpp):
+///  * kScalar       — the classic in-place descending-capacity loop.
+///  * kWordParallel — two-row forward kernel: a branch-free value pass the
+///    compiler auto-vectorizes, then a word-parallel repack that emits 64
+///    decision bits per output word from a lane-comparison sweep.
+///  * kWordParallelAvx2 — the same kernel body compiled for AVX2 via
+///    function multiversioning; selected at runtime when the CPU supports
+///    it (x86-64 builds only).
+/// kAuto resolves to the best supported kernel.
+enum class DpKernel { kAuto, kScalar, kWordParallel, kWordParallelAvx2 };
+
+/// Whether this build/CPU can execute the given kernel.
+bool dp_kernel_supported(DpKernel kernel) noexcept;
+
+/// Overrides the process-wide kernel (kAuto restores the default). Throws
+/// std::invalid_argument for an unsupported kernel. Intended for tests and
+/// benches; safe to call concurrently with solves (atomic, each dp_fill
+/// reads it once).
+void set_dp_kernel(DpKernel kernel);
+
+/// The kernel kAuto currently resolves to (never kAuto itself).
+DpKernel active_dp_kernel() noexcept;
+
+/// Resizes ws.values_ / ws.take_bits_ (and ws.values_prev_ for the
+/// two-row kernels) and fills the optimal value curve for capacities
+/// 0..cap plus the flat take-bit matrix (`row_words` words per item row).
+/// Grow-only resizes: allocation-free once the workspace is warm.
+void dp_fill(std::span<const KnapsackItem> items, std::size_t cap,
+             KnapsackWorkspace& ws, std::size_t row_words,
+             DpKernel kernel = DpKernel::kAuto);
+
+/// Test/engine access to the private workspace buffers.
+struct WorkspaceAccess {
+  static std::vector<double>& values(KnapsackWorkspace& ws) {
+    return ws.values_;
+  }
+  static std::vector<double>& values_prev(KnapsackWorkspace& ws) {
+    return ws.values_prev_;
+  }
+  static std::vector<std::uint64_t>& take_bits(KnapsackWorkspace& ws) {
+    return ws.take_bits_;
+  }
+  static std::vector<object::Units>& item_sizes(KnapsackWorkspace& ws) {
+    return ws.item_sizes_;
+  }
+  static std::vector<std::size_t>& order(KnapsackWorkspace& ws) {
+    return ws.order_;
+  }
+};
+
+}  // namespace detail
 
 /// Exact optimal values for every capacity 0..max_capacity, with item
 /// reconstruction at any capacity. The decision matrix is one flat
@@ -130,6 +218,17 @@ class KnapsackProfile {
 };
 
 /// Exact DP solution at a single capacity.
+///
+/// Tie-break contract: among all optimal subsets the DP reconstruction
+/// returns the *mask-minimal* one — the subset whose characteristic
+/// bitmask (item i -> bit i) is smallest as an integer, i.e. at the
+/// highest index where two optimal subsets differ, the canonical one
+/// excludes that item. (The strict-improvement bit test walks indices
+/// from the top and takes an item only when doing so is strictly
+/// better, which greedily clears the highest differing bit.) Zero-profit
+/// items are never taken. Every solver that promises solve_dp-identical
+/// selections — the parallel engine in knapsack_parallel.hpp — targets
+/// exactly this subset.
 KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
                           object::Units capacity);
 

@@ -29,7 +29,13 @@
 #include "sim/tick.hpp"
 #include "workload/requests.hpp"
 
+namespace mobi::obs {
+class MetricsRegistry;
+}  // namespace mobi::obs
+
 namespace mobi::core {
+
+class ParallelKnapsackEngine;
 
 /// Read-only view of the world a policy may consult.
 struct PolicyContext {
@@ -60,21 +66,36 @@ class DownloadPolicy {
     return out;
   }
   virtual std::string name() const = 0;
+
+  /// Lets a policy export its own counter family under `<prefix>.*`
+  /// (called by BaseStation::set_metrics with the station's prefix; the
+  /// default exports nothing). nullptr detaches.
+  virtual void set_metrics(obs::MetricsRegistry* /*registry*/,
+                           const std::string& /*prefix*/) {}
 };
 
-/// Which solver the knapsack policy uses.
-enum class KnapsackSolver { kExactDp, kGreedy, kFptas };
+/// Which solver the knapsack policy uses. kParallelBnb routes through the
+/// ParallelKnapsackEngine (knapsack_parallel.hpp): bit-identical
+/// selections to kExactDp, multi-threaded for large batches. The default
+/// everywhere stays the serial exact DP.
+enum class KnapsackSolver { kExactDp, kGreedy, kFptas, kParallelBnb };
 
 const char* solver_name(KnapsackSolver solver) noexcept;
 
 class OnDemandKnapsackPolicy final : public DownloadPolicy {
  public:
+  /// `bnb_threads` sizes the parallel engine when solver == kParallelBnb
+  /// (0 = hardware concurrency); ignored otherwise.
   explicit OnDemandKnapsackPolicy(KnapsackSolver solver = KnapsackSolver::kExactDp,
-                                  double fptas_epsilon = 0.1);
+                                  double fptas_epsilon = 0.1,
+                                  std::size_t bnb_threads = 0);
+  ~OnDemandKnapsackPolicy() override;
   void select_into(const workload::RequestBatch& batch,
                    const PolicyContext& ctx,
                    std::vector<object::ObjectId>& out) override;
   std::string name() const override;
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix) override;
 
  private:
   KnapsackSolver solver_;
@@ -83,6 +104,7 @@ class OnDemandKnapsackPolicy final : public DownloadPolicy {
   KnapsackWorkspace ws_;
   std::vector<KnapsackItem> items_;
   KnapsackSolution solution_;
+  std::unique_ptr<ParallelKnapsackEngine> engine_;  // kParallelBnb only
 };
 
 class OnDemandLowestRecencyPolicy final : public DownloadPolicy {

@@ -264,6 +264,31 @@ TEST(Determinism, TracedPolicySimBitIdenticalToUntraced) {
   expect_identical(plain, exp::run_policy_sim(config, nullptr, nullptr));
 }
 
+// The parallel B&B knapsack engine promises *selection identity* with the
+// serial exact DP — so an end-to-end policy sim (with live faults and
+// retries consuming RNG state) must produce bit-identical results whether
+// the policy solves serially or on a 1/2/8-thread engine. Any divergence
+// in a single tick's selection would cascade through cache state and show
+// up in these totals.
+TEST(Determinism, ParallelBnbPolicySimBitIdenticalToSerialDp) {
+  exp::PolicySimConfig config = small_sim_config();
+  config.server_count = 2;
+  config.fetch_retry_limit = 2;
+  config.faults.fetch_failure_rate = 0.25;
+  config.faults.downlink_drop_rate = 0.1;
+  config.faults.server_outage_rate = 0.05;
+  config.faults.server_outage_ticks = 3;
+
+  config.policy = "on-demand-knapsack";
+  const exp::PolicySimResult serial = exp::run_policy_sim(config);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("bnb threads " + std::to_string(threads));
+    config.policy = "on-demand-knapsack-bnb:" + std::to_string(threads);
+    expect_identical(serial, exp::run_policy_sim(config));
+  }
+}
+
 // Per-shard tracers merge into mc.lat.* / mc.trace.* after the join, in
 // shard order — so the merged registry (and every shard's event log) is
 // bit-identical whatever the pool size, and identical to the serial run.
