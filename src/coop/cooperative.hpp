@@ -12,15 +12,35 @@
 //   kOriginOnly     — always fetch from the origin (the paper's model);
 //   kNeighborFirst  — if any neighbor caches u with recency >= the
 //                     threshold, copy from the best neighbor; else origin.
+//
+// With `coherence.enabled` the cluster additionally runs the directory
+// protocol from coherence.hpp: every cached copy carries a coherence
+// state, server updates drive the configured consistency mode
+// (invalidate / propagate / lease), the knapsack prices a third source
+// tier through a PeerCacheView, and neighbor fetches only happen through
+// serveable directory entries. Coherence off is bit-identical to the
+// pre-coherence loop (kept verbatim as detail::run_cooperative_reference
+// and locked by tests/coherence_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "coop/coherence.hpp"
 #include "exp/fig2.hpp"
 #include "object/object.hpp"
 #include "sim/tick.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class SeriesRecorder;
+}  // namespace mobi::obs
+
+namespace mobi::server {
+class ServerPool;
+}  // namespace mobi::server
 
 namespace mobi::coop {
 
@@ -46,6 +66,10 @@ struct CoopConfig {
   FetchMode mode = FetchMode::kNeighborFirst;
   /// Minimum neighbor-copy recency to accept instead of the origin.
   double neighbor_recency_threshold = 0.5;
+  /// Per-cell download policy (core::make_policy name).
+  std::string policy = "on-demand-knapsack";
+  /// Consistency protocol (coherence.hpp); disabled by default.
+  CoherenceConfig coherence;
   std::uint64_t seed = 42;
 };
 
@@ -57,6 +81,15 @@ struct CoopResult {
   object::Units neighbor_units = 0;  // copied between base stations
   std::size_t origin_fetches = 0;
   std::size_t neighbor_fetches = 0;
+
+  // Coherence-protocol accounting (all zero when coherence is disabled,
+  // keeping field-for-field equality with pre-coherence results).
+  std::uint64_t invalidations = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t peer_hits = 0;
+  object::Units peer_fetch_units = 0;  // discounted units charged to budget
+  object::Units coherence_units = 0;   // propagation wire traffic
 
   double average_score() const noexcept {
     return requests ? score_sum / double(requests) : 1.0;
@@ -70,6 +103,48 @@ struct CoopResult {
   }
 };
 
+/// One lock-step cluster of cooperating cells, steppable a tick at a
+/// time so tests can check protocol invariants between ticks. Construction
+/// order and per-tick work replicate the original run_cooperative loop
+/// exactly (same RNG draws, same float accumulation order), so a
+/// coherence-disabled cluster is bit-identical to
+/// detail::run_cooperative_reference — the differential lock in
+/// tests/coherence_test.cpp.
+class CoopCluster : public CoherenceDirectory::Listener {
+ public:
+  explicit CoopCluster(const CoopConfig& config);
+  ~CoopCluster() override;
+  CoopCluster(const CoopCluster&) = delete;
+  CoopCluster& operator=(const CoopCluster&) = delete;
+
+  /// Advances one tick: lease sweep, server updates (driving the
+  /// consistency mode), then per cell select / resolve / serve.
+  void tick();
+
+  sim::Tick now() const noexcept { return now_; }
+  const CoopConfig& config() const noexcept { return config_; }
+  const CoopResult& result() const noexcept { return result_; }
+  std::size_t cell_count() const noexcept;
+  const cache::Cache& cell_cache(std::size_t cell) const;
+  const server::ServerPool& servers() const noexcept;
+  const object::Catalog& catalog() const noexcept;
+  /// nullptr when coherence is disabled.
+  const CoherenceDirectory* directory() const noexcept;
+
+  // CoherenceDirectory::Listener — protocol actions applied to the cells.
+  void invalidate_copy(std::size_t cell, object::ObjectId id) override;
+  void propagate_copy(std::size_t cell, object::ObjectId id) override;
+  void expire_copy(std::size_t cell, object::ObjectId id) override;
+
+ private:
+  struct Impl;
+  CoopConfig config_;
+  sim::Tick now_ = 0;
+  CoopResult result_;
+  CoherenceStats warmup_snapshot_;
+  std::unique_ptr<Impl> impl_;
+};
+
 CoopResult run_cooperative(const CoopConfig& config);
 
 /// Same simulation, additionally appending one cumulative CoopResult
@@ -79,5 +154,25 @@ CoopResult run_cooperative(const CoopConfig& config);
 /// to the plain overload.
 CoopResult run_cooperative(const CoopConfig& config,
                            std::vector<CoopResult>* per_tick);
+
+/// Same simulation, recording per-tick `coop.*` metrics — request/score
+/// aggregates plus the literal `coop.coherence.{invalidations,
+/// propagations,lease_expiries,peer_hits,peer_fetch_units}` counters (and
+/// `coop.coherence.wire_units` for propagation traffic) — into the
+/// recorder's registry, one sample per tick. Sim-time only, so the
+/// exported document is bit-reproducible (the golden_coop gate).
+CoopResult run_cooperative(const CoopConfig& config,
+                           obs::SeriesRecorder& recorder);
+
+namespace detail {
+
+/// The pre-coherence simulation loop, kept verbatim as the differential
+/// oracle for CoopCluster (tests/coherence_test.cpp compares them
+/// field-for-field). Throws std::invalid_argument if coherence is
+/// enabled — the oracle predates the protocol.
+CoopResult run_cooperative_reference(const CoopConfig& config,
+                                     std::vector<CoopResult>* per_tick);
+
+}  // namespace detail
 
 }  // namespace mobi::coop

@@ -153,6 +153,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       }
       const server::FetchResult fetched = servers_->fetch(entry.id);
       cache_.refresh(entry.id, fetched, now);
+      if (peers_) peers_->on_cache_fill(entry.id, now, 1.0);
       transfer_sizes_.push_back(fetched.size);
       result.units_downloaded += fetched.size;
       ++result.objects_downloaded;
@@ -169,6 +170,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   ctx.cache = &cache_;
   ctx.servers = servers_;
   ctx.scorer = scorer_.get();
+  ctx.peers = peers_;
   ctx.now = now;
   ctx.budget = budget_left;
   {
@@ -195,6 +197,27 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
     obs::ScopedTrace span(trace_, "bs.fetch", now);
     for (object::ObjectId id : to_fetch_) {
       if (tracer_) tracer_->on_fetch_selected(id);
+      if (peers_) {
+        // Re-derive the tier with the candidate builder's exact rule (a
+        // valid peer copy strictly fresher than the own cache): neither
+        // this station's entry for `id` nor the peer state changed since
+        // select, so the decision matches what the knapsack priced. A
+        // peer copy rides the inter-station link — no fixed-network
+        // transfer, no fault draw — and lands at the relayed recency
+        // (recency, not the version counter, is what policies consult).
+        const PeerCopy pc = peers_->lookup(id, now);
+        if (pc.valid && pc.recency > cache_.recency_or_zero(id)) {
+          const server::FetchResult fetched = servers_->fetch(id);
+          cache_.refresh(id, fetched, now, pc.recency);
+          peers_->on_cache_fill(id, now, pc.recency);
+          const object::Units cost = peer_cost(fetched.size, pc.cost_factor);
+          result.peer_units += cost;
+          ++result.peer_fetches;
+          network_.record_peer_units(cost);
+          if (tracer_) tracer_->on_fetch_done(id, 0);
+          continue;
+        }
+      }
       if (fetch_blocked(id)) {
         ++result.failed_fetches;  // fault: no transfer, cache untouched
         if (tracer_) tracer_->on_fetch_failed(id, 1);
@@ -209,6 +232,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       }
       const server::FetchResult fetched = servers_->fetch(id);
       cache_.refresh(id, fetched, now);
+      if (peers_) peers_->on_cache_fill(id, now, 1.0);
       transfer_sizes_.push_back(fetched.size);
       result.units_downloaded += fetched.size;
       ++result.objects_downloaded;
@@ -230,11 +254,16 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
     }
     inst_.fault_retry_queue_depth->set(double(retry_queue_.size()));
     inst_.units_downloaded->add(std::uint64_t(result.units_downloaded));
-    inst_.budget_spent->set(double(result.units_downloaded));
-    inst_.budget_left->set(
-        config_.download_budget < 0
-            ? -1.0
-            : double(config_.download_budget - result.units_downloaded));
+    if (result.peer_fetches) inst_.peer_fetches->add(result.peer_fetches);
+    if (result.peer_units) {
+      inst_.peer_units->add(std::uint64_t(result.peer_units));
+    }
+    // Peer units count against the same budget the knapsack spent from.
+    const object::Units spent = result.units_downloaded + result.peer_units;
+    inst_.budget_spent->set(double(spent));
+    inst_.budget_left->set(config_.download_budget < 0
+                               ? -1.0
+                               : double(config_.download_budget - spent));
     if (!transfer_sizes_.empty()) {
       inst_.fetch_latency->observe(result.fetch_latency);
     }
@@ -324,6 +353,8 @@ void BaseStation::set_metrics(obs::MetricsRegistry* registry,
       &registry->register_counter(prefix + ".failed_fetches");
   inst_.units_downloaded =
       &registry->register_counter(prefix + ".units_downloaded");
+  inst_.peer_fetches = &registry->register_counter(prefix + ".peer_fetches");
+  inst_.peer_units = &registry->register_counter(prefix + ".peer_units");
   inst_.coalesced_responses =
       &registry->register_counter(prefix + ".coalesced_responses");
   inst_.fault_retries = &registry->register_counter(prefix + ".fault.retries");

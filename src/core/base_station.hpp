@@ -69,8 +69,10 @@ struct BaseStationConfig {
 struct TickResult {
   sim::Tick tick = 0;
   std::size_t requests = 0;
-  std::size_t objects_downloaded = 0;
-  object::Units units_downloaded = 0;
+  std::size_t objects_downloaded = 0;  // origin fetches
+  object::Units units_downloaded = 0;  // origin units (fixed network)
+  std::size_t peer_fetches = 0;        // planned downloads served by a peer
+  object::Units peer_units = 0;        // discounted inter-station units
   double score_sum = 0.0;          // summed per-client recency scores
   double recency_sum = 0.0;        // summed raw recency of copies served
   double fetch_latency = 0.0;      // fixed-network completion time
@@ -90,6 +92,8 @@ struct RunTotals {
   std::size_t requests = 0;
   std::size_t objects_downloaded = 0;
   object::Units units_downloaded = 0;
+  std::size_t peer_fetches = 0;
+  object::Units peer_units = 0;
   double score_sum = 0.0;
   double recency_sum = 0.0;
   std::size_t failed_fetches = 0;
@@ -102,6 +106,8 @@ struct RunTotals {
     requests += r.requests;
     objects_downloaded += r.objects_downloaded;
     units_downloaded += r.units_downloaded;
+    peer_fetches += r.peer_fetches;
+    peer_units += r.peer_units;
     score_sum += r.score_sum;
     recency_sum += r.recency_sum;
     failed_fetches += r.failed_fetches;
@@ -191,6 +197,20 @@ class BaseStation {
 
   const net::FaultInjector* fault_injector() const noexcept { return fault_; }
 
+  /// Attaches a coherent peer-cache view (core/peer_source.hpp): the
+  /// policy context gains the peer tier, and the fetch phase resolves
+  /// each selected object against the same rule the candidate builder
+  /// used — a valid peer copy strictly fresher than the own cached
+  /// recency is copied over the inter-station link (discounted units,
+  /// immune to fixed-network faults, relayed recency) instead of pulled
+  /// from the origin. Every cache fill is reported back through the
+  /// source so a coherence directory can track this station as a sharer.
+  /// nullptr (the default) detaches and the station behaves exactly as
+  /// before the peer tier existed.
+  void set_peer_source(PeerSource* peers) noexcept { peers_ = peers; }
+
+  const PeerSource* peer_source() const noexcept { return peers_; }
+
   /// Objects currently awaiting a backoff retry (tests/diagnostics).
   std::size_t retry_queue_depth() const noexcept { return retry_queue_.size(); }
 
@@ -239,6 +259,7 @@ class BaseStation {
   // marks "fetch of id failed this tick" for degraded-serve accounting;
   // retry_pending_ dedups queue entries so the preallocated retry queue
   // is bounded by the catalog.
+  PeerSource* peers_ = nullptr;
   net::FaultInjector* fault_ = nullptr;
   std::vector<RetryEntry> retry_queue_;
   std::vector<std::uint8_t> retry_pending_;
@@ -253,6 +274,8 @@ class BaseStation {
     obs::Counter* fetches = nullptr;
     obs::Counter* failed_fetches = nullptr;
     obs::Counter* units_downloaded = nullptr;
+    obs::Counter* peer_fetches = nullptr;
+    obs::Counter* peer_units = nullptr;
     obs::Counter* coalesced_responses = nullptr;
     obs::Counter* fault_retries = nullptr;
     obs::Counter* fault_retry_successes = nullptr;

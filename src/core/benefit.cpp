@@ -10,6 +10,15 @@ const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
                                             const object::Catalog& catalog,
                                             const cache::Cache& cache,
                                             const RecencyScorer& scorer) {
+  return build(batch, catalog, cache, scorer, nullptr, 0);
+}
+
+const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
+                                            const object::Catalog& catalog,
+                                            const cache::Cache& cache,
+                                            const RecencyScorer& scorer,
+                                            const PeerSource* peers,
+                                            sim::Tick now) {
   set_.candidates.clear();
   set_.total_requests = batch.size();
   set_.baseline_score_sum = 0.0;
@@ -31,12 +40,27 @@ const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
       DownloadCandidate fresh;
       fresh.object = id;
       fresh.size = catalog.object_size(id);
+      if (peers) {
+        // One directory lookup per distinct object. The peer tier wins
+        // only when it strictly beats the own cached recency, so
+        // tier_profit stays >= 0 (the scorer is monotone in recency).
+        const PeerCopy pc = peers->lookup(id, now);
+        if (pc.valid && pc.recency > x) {
+          fresh.tier = SourceTier::kPeer;
+          fresh.peer_recency = pc.recency;
+          fresh.peer_size = peer_cost(fresh.size, pc.cost_factor);
+        }
+      }
       set_.candidates.push_back(fresh);
     }
     DownloadCandidate& cand = set_.candidates[slot_[id]];
     ++cand.requests;
     cand.cached_score_sum += cached_score;
     cand.profit += 1.0 - cached_score;
+    if (cand.tier == SourceTier::kPeer) {
+      cand.peer_score_sum +=
+          scorer.score(cand.peer_recency, request.target_recency);
+    }
     set_.baseline_score_sum += cached_score;
   }
   // First-encounter order -> id order, matching the reference map's

@@ -12,20 +12,51 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "core/peer_source.hpp"
 #include "core/scoring.hpp"
 #include "object/object.hpp"
+#include "sim/tick.hpp"
 #include "workload/requests.hpp"
 
 namespace mobi::core {
+
+/// Where a planned download would be sourced from. kLocal is implicit
+/// (serving from the own cache needs no download); candidates carry kPeer
+/// when a coherent peer copy beats the own cached recency, else kOrigin.
+enum class SourceTier : std::uint8_t { kLocal, kPeer, kOrigin };
 
 /// One knapsack candidate: an object someone asked for this batch.
 struct DownloadCandidate {
   object::ObjectId object = 0;
   object::Units size = 0;
-  double profit = 0.0;           // total benefit of downloading
+  double profit = 0.0;           // total benefit of an *origin* download
   std::uint32_t requests = 0;    // popularity within the batch
   double cached_score_sum = 0.0; // sum of per-client scores if served stale
+
+  // Peer tier (populated only when a PeerSource was consulted and offered
+  // a copy fresher than the own cache; defaults leave the origin-only
+  // path bit-identical to the pre-peer builder).
+  SourceTier tier = SourceTier::kOrigin;
+  double peer_recency = 0.0;     // recency the copy would arrive with
+  double peer_score_sum = 0.0;   // sum of per-client scores at peer_recency
+  object::Units peer_size = 0;   // discounted budget weight of a peer fetch
 };
+
+/// Budget weight of downloading the candidate via its tier.
+inline object::Units tier_size(const DownloadCandidate& cand) noexcept {
+  return cand.tier == SourceTier::kPeer ? cand.peer_size : cand.size;
+}
+
+/// Score gained by downloading via the tier: an origin copy lifts every
+/// requester to 1.0 (profit); a peer copy lifts them to
+/// score(peer_recency, C) instead. Never negative — the peer tier is only
+/// chosen when peer_recency strictly beats the cached recency, and the
+/// scorer is monotone in recency.
+inline double tier_profit(const DownloadCandidate& cand) noexcept {
+  return cand.tier == SourceTier::kPeer
+             ? cand.peer_score_sum - cand.cached_score_sum
+             : cand.profit;
+}
 
 struct CandidateSet {
   std::vector<DownloadCandidate> candidates;
@@ -68,6 +99,20 @@ class CandidateBuilder {
                             const object::Catalog& catalog,
                             const cache::Cache& cache,
                             const RecencyScorer& scorer);
+
+  /// Peer-aware build: additionally consults `peers` (may be nullptr —
+  /// then this is exactly the overload above) once per distinct object.
+  /// A valid peer copy strictly fresher than the own cached recency tags
+  /// the candidate kPeer with the discounted weight peer_cost(size,
+  /// factor) and the per-request score sum at the peer's recency; the
+  /// knapsack then weighs the peer tier against origin candidates inside
+  /// one budget. The origin fields (size/profit/cached_score_sum) are
+  /// computed identically either way.
+  const CandidateSet& build(const workload::RequestBatch& batch,
+                            const object::Catalog& catalog,
+                            const cache::Cache& cache,
+                            const RecencyScorer& scorer,
+                            const PeerSource* peers, sim::Tick now);
 
  private:
   std::vector<std::uint64_t> stamp_;  // per-object epoch of last touch

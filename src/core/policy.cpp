@@ -79,21 +79,25 @@ void OnDemandKnapsackPolicy::select_into(const workload::RequestBatch& batch,
                                          std::vector<object::ObjectId>& out) {
   check_context(ctx, /*needs_scorer=*/true);
   out.clear();
-  const CandidateSet& set =
-      builder_.build(batch, *ctx.catalog, *ctx.cache, *ctx.scorer);
+  const CandidateSet& set = builder_.build(batch, *ctx.catalog, *ctx.cache,
+                                           *ctx.scorer, ctx.peers, ctx.now);
   if (set.candidates.empty()) return;
 
-  // Unlimited budget: take everything with positive profit.
+  // Unlimited budget: take everything with positive tier profit.
   if (ctx.budget < 0) {
     for (const auto& cand : set.candidates) {
-      if (cand.profit > 0.0) out.push_back(cand.object);
+      if (tier_profit(cand) > 0.0) out.push_back(cand.object);
     }
     return;
   }
 
+  // Each candidate enters the knapsack at its source tier's weight and
+  // gain: peer-tier copies are cheaper (peer_size) but only lift
+  // requesters to the peer copy's recency. With ctx.peers null every
+  // tier is kOrigin and this is the pre-peer item list exactly.
   items_.clear();
   for (const auto& cand : set.candidates) {
-    items_.push_back(KnapsackItem{cand.size, cand.profit});
+    items_.push_back(KnapsackItem{tier_size(cand), tier_profit(cand)});
   }
   switch (solver_) {
     case KnapsackSolver::kExactDp:

@@ -43,6 +43,11 @@ struct PolicyContext {
   const cache::Cache* cache = nullptr;
   const server::ServerPool* servers = nullptr;
   const RecencyScorer* scorer = nullptr;
+  /// Coherent peer-cache view (core/peer_source.hpp); non-null lets the
+  /// knapsack price a third source tier (local / peer / origin) with the
+  /// peer tier's discounted weight and relayed recency. nullptr (the
+  /// default) is bit-identical to the pre-peer candidate builder.
+  const PeerSource* peers = nullptr;
   sim::Tick now = 0;
   /// Download budget for this tick, in data units; negative = unlimited.
   object::Units budget = -1;

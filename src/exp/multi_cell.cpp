@@ -52,6 +52,12 @@ void accumulate(coop::CoopResult& into, const coop::CoopResult& from) {
   into.neighbor_units += from.neighbor_units;
   into.origin_fetches += from.origin_fetches;
   into.neighbor_fetches += from.neighbor_fetches;
+  into.invalidations += from.invalidations;
+  into.propagations += from.propagations;
+  into.lease_expiries += from.lease_expiries;
+  into.peer_hits += from.peer_hits;
+  into.peer_fetch_units += from.peer_fetch_units;
+  into.coherence_units += from.coherence_units;
 }
 
 // Shard series are cumulative, so summing shard rows at tick t gives the
@@ -106,6 +112,18 @@ void record_coop(obs::SeriesRecorder& recorder,
       registry.register_counter("mc.origin_fetches");
   obs::Counter& neighbor_fetches =
       registry.register_counter("mc.neighbor_fetches");
+  obs::Counter& invalidations =
+      registry.register_counter("mc.coop.coherence.invalidations");
+  obs::Counter& propagations =
+      registry.register_counter("mc.coop.coherence.propagations");
+  obs::Counter& lease_expiries =
+      registry.register_counter("mc.coop.coherence.lease_expiries");
+  obs::Counter& peer_hits =
+      registry.register_counter("mc.coop.coherence.peer_hits");
+  obs::Counter& peer_fetch_units =
+      registry.register_counter("mc.coop.coherence.peer_fetch_units");
+  obs::Counter& wire_units =
+      registry.register_counter("mc.coop.coherence.wire_units");
   obs::Gauge& score_sum = registry.register_gauge("mc.score_sum");
   obs::Gauge& average_score = registry.register_gauge("mc.average_score");
   registry.register_gauge("mc.cells").set(double(cells));
@@ -121,6 +139,13 @@ void record_coop(obs::SeriesRecorder& recorder,
         std::uint64_t(now.neighbor_units - prev.neighbor_units));
     origin_fetches.add(now.origin_fetches - prev.origin_fetches);
     neighbor_fetches.add(now.neighbor_fetches - prev.neighbor_fetches);
+    invalidations.add(now.invalidations - prev.invalidations);
+    propagations.add(now.propagations - prev.propagations);
+    lease_expiries.add(now.lease_expiries - prev.lease_expiries);
+    peer_hits.add(now.peer_hits - prev.peer_hits);
+    peer_fetch_units.add(
+        std::uint64_t(now.peer_fetch_units - prev.peer_fetch_units));
+    wire_units.add(std::uint64_t(now.coherence_units - prev.coherence_units));
     score_sum.set(now.score_sum);
     average_score.set(now.average_score());
     recorder.sample(sim::Tick(t));

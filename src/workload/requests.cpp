@@ -30,12 +30,17 @@ RequestGenerator::RequestGenerator(
 
 RequestBatch RequestGenerator::next_batch() {
   RequestBatch batch;
-  batch.reserve(per_batch_);
-  for (std::size_t i = 0; i < per_batch_; ++i) {
-    batch.push_back(Request{access_->sample(rng_),
-                            sample_target(targets_, rng_), next_client_++});
-  }
+  next_batch_into(batch);
   return batch;
+}
+
+void RequestGenerator::next_batch_into(RequestBatch& out) {
+  out.clear();
+  out.reserve(per_batch_);
+  for (std::size_t i = 0; i < per_batch_; ++i) {
+    out.push_back(Request{access_->sample(rng_), sample_target(targets_, rng_),
+                          next_client_++});
+  }
 }
 
 std::vector<std::uint32_t> requests_per_object(const RequestBatch& batch,

@@ -49,6 +49,10 @@ class RequestGenerator {
                    util::Rng rng);
 
   RequestBatch next_batch();
+  /// Same draws as next_batch, written into a reused buffer (cleared
+  /// first) — the allocation-free entry point for callers that retain the
+  /// batch across ticks. Bit-identical RNG consumption to next_batch.
+  void next_batch_into(RequestBatch& out);
   std::size_t per_batch() const noexcept { return per_batch_; }
 
  private:

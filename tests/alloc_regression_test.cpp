@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/decay.hpp"
+#include "coop/cooperative.hpp"
 #include "core/base_station.hpp"
 #include "net/fault_injector.hpp"
 #include "obs/event_log.hpp"
@@ -231,6 +232,41 @@ TEST(AllocRegression, ActiveFaultPlanSteadyStateIsAllocationFree) {
   plan.server_outage_rate = 0.05;
   plan.server_outage_ticks = 4;
   run_steady_state("on-demand-knapsack", false, &plan, 3);
+}
+
+TEST(AllocRegression, CoherentCoopClusterSteadyStateIsAllocationFree) {
+  // Steady-state coherence traffic — sharer-set updates, invalidations,
+  // propagations, lease sweeps, peer-tier candidate pricing and peer
+  // fetches — runs on the directory's preallocated vectors and the
+  // cells' retained batch/fetch scratch, so ticking a coherent cluster
+  // allocates nothing once every buffer has hit its high-water mark.
+  for (const coop::ConsistencyMode mode :
+       {coop::ConsistencyMode::kInvalidate, coop::ConsistencyMode::kPropagate,
+        coop::ConsistencyMode::kLease}) {
+    SCOPED_TRACE(coop::consistency_mode_name(mode));
+    coop::CoopConfig config;
+    config.cell_count = 3;
+    config.object_count = 48;
+    config.requests_per_tick_per_cell = 16;
+    config.update_period = 2;  // protocol fires on half the ticks
+    config.warmup_ticks = 4;   // steady state measures in accounting mode
+    config.measure_ticks = 1 << 20;
+    config.budget_per_cell = 20;
+    config.coherence.enabled = true;
+    config.coherence.mode = mode;
+    config.coherence.lease_ticks = 3;
+    config.seed = 23;
+    coop::CoopCluster cluster(config);
+    for (int t = 0; t < 40; ++t) cluster.tick();  // warm-up
+    const std::uint64_t before = g_allocations.load();
+    for (int t = 0; t < 20; ++t) cluster.tick();
+    const std::uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " steady-state heap allocations";
+    // The measured ticks actually carried protocol traffic.
+    const auto& r = cluster.result();
+    EXPECT_GT(r.invalidations + r.propagations + r.lease_expiries, 0u);
+  }
 }
 
 }  // namespace

@@ -345,5 +345,77 @@ TEST(Determinism, TracedMultiCellBitIdenticalAcrossPoolSizes) {
   EXPECT_TRUE(bare.shard_traces.empty());
 }
 
+void expect_identical(const coop::CoopResult& a, const coop::CoopResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.score_sum, b.score_sum);
+  EXPECT_EQ(a.recency_sum, b.recency_sum);
+  EXPECT_EQ(a.origin_units, b.origin_units);
+  EXPECT_EQ(a.neighbor_units, b.neighbor_units);
+  EXPECT_EQ(a.origin_fetches, b.origin_fetches);
+  EXPECT_EQ(a.neighbor_fetches, b.neighbor_fetches);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.propagations, b.propagations);
+  EXPECT_EQ(a.lease_expiries, b.lease_expiries);
+  EXPECT_EQ(a.peer_hits, b.peer_hits);
+  EXPECT_EQ(a.peer_fetch_units, b.peer_fetch_units);
+  EXPECT_EQ(a.coherence_units, b.coherence_units);
+}
+
+// Coherence-enabled coop clusters: the directory protocol (sharer sets,
+// invalidations / propagations / lease sweeps, discounted peer fetches)
+// lives entirely inside one lock-step shard, so pooled runs — including
+// the merged mc.coop.coherence.* registry export — must stay bit-identical
+// to serial for every pool size and every consistency mode.
+TEST(Determinism, CoherentCoopMultiCellBitIdenticalAcrossPoolSizes) {
+  for (const coop::ConsistencyMode mode :
+       {coop::ConsistencyMode::kInvalidate, coop::ConsistencyMode::kPropagate,
+        coop::ConsistencyMode::kLease}) {
+    SCOPED_TRACE(coop::consistency_mode_name(mode));
+    exp::MultiCellConfig config;
+    config.topology = exp::CellTopology::kCoopClusters;
+    config.cell_count = 6;
+    config.cells_per_cluster = 3;
+    config.cluster.object_count = 32;
+    config.cluster.requests_per_tick_per_cell = 10;
+    config.cluster.update_period = 3;
+    config.cluster.warmup_ticks = 5;
+    config.cluster.measure_ticks = 25;
+    config.cluster.budget_per_cell = 15;
+    config.cluster.coherence.enabled = true;
+    config.cluster.coherence.mode = mode;
+    config.cluster.coherence.lease_ticks = 4;
+    config.seed = 19;
+
+    obs::MetricsRegistry serial_registry;
+    obs::SeriesRecorder serial_recorder(serial_registry);
+    const exp::MultiCellResult serial =
+        exp::run_multi_cell(config, nullptr, &serial_recorder);
+    const std::string serial_export = serial_registry.to_json();
+    EXPECT_GT(serial.coop_aggregate.peer_hits +
+                  serial.coop_aggregate.invalidations +
+                  serial.coop_aggregate.propagations +
+                  serial.coop_aggregate.lease_expiries,
+              0u)
+        << "protocol must be exercised, not vacuously identical";
+
+    for (std::size_t pool_size : {1u, 2u, 8u}) {
+      SCOPED_TRACE("pool size " + std::to_string(pool_size));
+      util::ThreadPool pool(pool_size);
+      obs::MetricsRegistry registry;
+      obs::SeriesRecorder recorder(registry);
+      const exp::MultiCellResult pooled =
+          exp::run_multi_cell(config, &pool, &recorder);
+      ASSERT_EQ(pooled.per_cluster.size(), serial.per_cluster.size());
+      for (std::size_t i = 0; i < serial.per_cluster.size(); ++i) {
+        expect_identical(serial.per_cluster[i], pooled.per_cluster[i]);
+      }
+      expect_identical(serial.coop_aggregate, pooled.coop_aggregate);
+      // Merged mc.coop.* export — coherence counters included — is
+      // byte-identical.
+      EXPECT_EQ(registry.to_json(), serial_export);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mobi

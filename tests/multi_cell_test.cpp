@@ -54,6 +54,12 @@ void expect_identical(const coop::CoopResult& a, const coop::CoopResult& b) {
   EXPECT_EQ(a.neighbor_units, b.neighbor_units);
   EXPECT_EQ(a.origin_fetches, b.origin_fetches);
   EXPECT_EQ(a.neighbor_fetches, b.neighbor_fetches);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.propagations, b.propagations);
+  EXPECT_EQ(a.lease_expiries, b.lease_expiries);
+  EXPECT_EQ(a.peer_hits, b.peer_hits);
+  EXPECT_EQ(a.peer_fetch_units, b.peer_fetch_units);
+  EXPECT_EQ(a.coherence_units, b.coherence_units);
 }
 
 TEST(MultiCell, ShardSeedIsPositionAddressableSplitMixStream) {
@@ -173,6 +179,45 @@ TEST(MultiCell, CoopClustersBitIdenticalAcrossPoolSizes) {
       expect_identical(serial.per_cluster[i], parallel.per_cluster[i]);
     }
     expect_identical(serial.coop_aggregate, parallel.coop_aggregate);
+  }
+}
+
+TEST(MultiCell, CoherentCoopClustersBitIdenticalAcrossPoolSizes) {
+  for (const coop::ConsistencyMode mode :
+       {coop::ConsistencyMode::kInvalidate, coop::ConsistencyMode::kPropagate,
+        coop::ConsistencyMode::kLease}) {
+    SCOPED_TRACE(coop::consistency_mode_name(mode));
+    exp::MultiCellConfig config;
+    config.topology = exp::CellTopology::kCoopClusters;
+    config.cell_count = 5;
+    config.cells_per_cluster = 2;
+    config.cluster.object_count = 30;
+    config.cluster.requests_per_tick_per_cell = 10;
+    config.cluster.update_period = 3;
+    config.cluster.warmup_ticks = 5;
+    config.cluster.measure_ticks = 25;
+    config.cluster.coherence.enabled = true;
+    config.cluster.coherence.mode = mode;
+    config.cluster.coherence.lease_ticks = 4;
+    config.seed = 11;
+
+    const exp::MultiCellResult serial = exp::run_multi_cell(config);
+    // The protocol must actually be exercised, not vacuously identical.
+    const auto traffic = serial.coop_aggregate.invalidations +
+                         serial.coop_aggregate.propagations +
+                         serial.coop_aggregate.lease_expiries;
+    EXPECT_GT(traffic, 0u);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(threads);
+      util::ThreadPool pool(threads);
+      const exp::MultiCellResult parallel = exp::run_multi_cell(config, &pool);
+      ASSERT_EQ(parallel.per_cluster.size(), serial.per_cluster.size());
+      for (std::size_t i = 0; i < serial.per_cluster.size(); ++i) {
+        expect_identical(serial.per_cluster[i], parallel.per_cluster[i]);
+      }
+      expect_identical(serial.coop_aggregate, parallel.coop_aggregate);
+    }
   }
 }
 
