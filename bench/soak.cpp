@@ -33,6 +33,12 @@ int main(int argc, char** argv) {
     config.cell.client_count = 24;
   }
 
+  // Optional streamed trace: every station-leg event across all windows
+  // lands in this JSONL file; the soak metrics stay bit-identical to a
+  // sinkless run (dual-write), which the CI streamed-soak leg pins by
+  // diffing against the buffered golden.
+  config.trace_jsonl = flags.get_string("trace-jsonl", "");
+
   const int threads = int(flags.get_int("threads", 0));
   std::optional<util::ThreadPool> pool;
   if (threads > 0) pool.emplace(std::size_t(threads));

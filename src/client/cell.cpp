@@ -14,18 +14,14 @@
 
 namespace mobi::client {
 
-CellResult run_cell(const CellConfig& config) {
-  return run_cell(config, nullptr, nullptr);
-}
+namespace {
 
-CellResult run_cell(const CellConfig& config,
-                    std::vector<CellResult>* per_tick) {
-  return run_cell(config, per_tick, nullptr);
-}
-
-CellResult run_cell(const CellConfig& config,
-                    std::vector<CellResult>* per_tick,
-                    obs::RequestTracer* tracer) {
+// One implementation for both series storages (plain vector and the
+// arena-backed CellSeries): the allocator only changes where snapshots
+// live, never what the simulation computes.
+template <typename Series>
+CellResult run_cell_impl(const CellConfig& config, Series* per_tick,
+                         obs::RequestTracer* tracer) {
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -167,6 +163,28 @@ CellResult run_cell(const CellConfig& config,
   }
   result.downlink_dropped = station.downlink().dropped_total();
   return result;
+}
+
+}  // namespace
+
+CellResult run_cell(const CellConfig& config) {
+  return run_cell_impl<std::vector<CellResult>>(config, nullptr, nullptr);
+}
+
+CellResult run_cell(const CellConfig& config,
+                    std::vector<CellResult>* per_tick) {
+  return run_cell(config, per_tick, nullptr);
+}
+
+CellResult run_cell(const CellConfig& config,
+                    std::vector<CellResult>* per_tick,
+                    obs::RequestTracer* tracer) {
+  return run_cell_impl(config, per_tick, tracer);
+}
+
+CellResult run_cell(const CellConfig& config, CellSeries* per_tick,
+                    obs::RequestTracer* tracer) {
+  return run_cell_impl(config, per_tick, tracer);
 }
 
 }  // namespace mobi::client

@@ -24,6 +24,7 @@
 #include "object/object.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/tick.hpp"
+#include "util/arena.hpp"
 
 namespace mobi::obs {
 class RequestTracer;
@@ -99,6 +100,20 @@ CellResult run_cell(const CellConfig& config,
 /// nullptr tracer is identical to the two-argument overload. Tracing is
 /// read-only observation — results stay bit-identical.
 CellResult run_cell(const CellConfig& config, std::vector<CellResult>* per_tick,
+                    obs::RequestTracer* tracer);
+
+/// Arena-backed per-tick series: same element layout as the plain vector
+/// overloads but allocated from a util::MonotonicArena, so a fleet run's
+/// cold path (cells × ticks snapshots) lands in a few reused slabs
+/// instead of per-cell heap growth. The arena is single-threaded: callers
+/// running cells on worker threads must reserve() each series to its
+/// final size (config.ticks snapshots are appended, exactly) *before*
+/// dispatch — see util/arena.hpp.
+using CellSeries = std::vector<CellResult, util::ArenaAllocator<CellResult>>;
+
+/// CellSeries variant of the traced overload; identical simulation,
+/// bit-identical results.
+CellResult run_cell(const CellConfig& config, CellSeries* per_tick,
                     obs::RequestTracer* tracer);
 
 }  // namespace mobi::client

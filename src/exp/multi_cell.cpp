@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace mobi::exp {
@@ -18,12 +19,54 @@ const char* cell_topology_name(CellTopology topology) noexcept {
   return "?";
 }
 
+const char* shard_schedule_name(ShardSchedule schedule) noexcept {
+  switch (schedule) {
+    case ShardSchedule::kStaticBlocked: return "static-blocked";
+    case ShardSchedule::kQueue: return "queue";
+    case ShardSchedule::kLptSteal: return "lpt-steal";
+  }
+  return "?";
+}
+
 std::uint64_t shard_seed(std::uint64_t master, std::size_t index) noexcept {
   // SplitMix64 advances its state by a fixed gamma per output, so seeding
   // at master + gamma * index and taking one output *is* output `index`
   // of the stream seeded at `master` — a random-access jump, no replay.
   constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
   return util::SplitMix64(master + kGamma * std::uint64_t(index)).next();
+}
+
+std::vector<std::uint64_t> shard_cost_estimates(const MultiCellConfig& config) {
+  std::vector<std::uint64_t> costs;
+  if (config.topology == CellTopology::kSharded) {
+    if (!config.cell_client_counts.empty() &&
+        config.cell_client_counts.size() != config.cell_count) {
+      throw std::invalid_argument(
+          "shard_cost_estimates: cell_client_counts must match cell_count");
+    }
+    costs.resize(config.cell_count);
+    for (std::size_t i = 0; i < config.cell_count; ++i) {
+      const std::size_t clients = config.cell_client_counts.empty()
+                                      ? config.cell.client_count
+                                      : config.cell_client_counts[i];
+      costs[i] = std::uint64_t(clients) * std::uint64_t(config.cell.ticks);
+    }
+    return costs;
+  }
+  const std::size_t width = config.cells_per_cluster;
+  if (width == 0) {
+    throw std::invalid_argument("shard_cost_estimates: need >= 1 cell/cluster");
+  }
+  const std::size_t shards = (config.cell_count + width - 1) / width;
+  const std::uint64_t ticks = std::uint64_t(config.cluster.warmup_ticks) +
+                              std::uint64_t(config.cluster.measure_ticks);
+  costs.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::size_t cells = std::min(width, config.cell_count - i * width);
+    costs[i] = std::uint64_t(cells) *
+               std::uint64_t(config.cluster.requests_per_tick_per_cell) * ticks;
+  }
+  return costs;
 }
 
 namespace {
@@ -64,9 +107,25 @@ void accumulate(coop::CoopResult& into, const coop::CoopResult& from) {
 // fleet-wide cumulative state; counters advance by the per-tick delta.
 // Everything runs after the shards have joined, in shard order — the
 // recorder never observes scheduling.
-void record_sharded(obs::SeriesRecorder& recorder,
-                    const std::vector<std::vector<client::CellResult>>& series,
-                    std::size_t cells) {
+//
+// Accumulation is shard-major: each shard's series is walked once,
+// sequentially, into arena-backed per-tick accumulator rows, and the
+// registry/sampling pass then reads the finished rows. The old shape
+// re-walked every shard inside the tick loop, striding across all the
+// shard series at once — same arithmetic, much worse locality, and the
+// accumulator row was rebuilt from scratch per tick.
+template <typename SeriesRows, typename Row>
+void accumulate_rows(util::ArenaVector<Row>& acc, const SeriesRows& series) {
+  const std::size_t ticks = series.empty() ? 0 : series.front().size();
+  acc.resize(ticks);
+  for (const auto& shard : series) {
+    for (std::size_t t = 0; t < ticks; ++t) accumulate(acc[t], shard[t]);
+  }
+}
+
+template <typename SeriesRows>
+void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
+                    std::size_t cells, util::MonotonicArena& arena) {
   obs::MetricsRegistry& registry = recorder.registry();
   obs::Counter& requests = registry.register_counter("mc.requests");
   obs::Counter& local_hits = registry.register_counter("mc.local_hits");
@@ -80,11 +139,13 @@ void record_sharded(obs::SeriesRecorder& recorder,
   obs::Gauge& average_score = registry.register_gauge("mc.average_score");
   registry.register_gauge("mc.cells").set(double(cells));
 
-  const std::size_t ticks = series.empty() ? 0 : series.front().size();
+  util::ArenaVector<client::CellResult> acc{
+      util::ArenaAllocator<client::CellResult>(&arena)};
+  accumulate_rows(acc, series);
+  recorder.reserve(recorder.samples() + acc.size());
   client::CellResult prev;
-  for (std::size_t t = 0; t < ticks; ++t) {
-    client::CellResult now;
-    for (const auto& shard : series) accumulate(now, shard[t]);
+  for (std::size_t t = 0; t < acc.size(); ++t) {
+    const client::CellResult& now = acc[t];
     requests.add(now.requests - prev.requests);
     local_hits.add(now.served_locally - prev.served_locally);
     base_serves.add(now.served_by_base - prev.served_by_base);
@@ -102,7 +163,7 @@ void record_sharded(obs::SeriesRecorder& recorder,
 
 void record_coop(obs::SeriesRecorder& recorder,
                  const std::vector<std::vector<coop::CoopResult>>& series,
-                 std::size_t cells) {
+                 std::size_t cells, util::MonotonicArena& arena) {
   obs::MetricsRegistry& registry = recorder.registry();
   obs::Counter& requests = registry.register_counter("mc.requests");
   obs::Counter& origin_units = registry.register_counter("mc.origin_units");
@@ -128,11 +189,13 @@ void record_coop(obs::SeriesRecorder& recorder,
   obs::Gauge& average_score = registry.register_gauge("mc.average_score");
   registry.register_gauge("mc.cells").set(double(cells));
 
-  const std::size_t ticks = series.empty() ? 0 : series.front().size();
+  util::ArenaVector<coop::CoopResult> acc{
+      util::ArenaAllocator<coop::CoopResult>(&arena)};
+  accumulate_rows(acc, series);
+  recorder.reserve(recorder.samples() + acc.size());
   coop::CoopResult prev;
-  for (std::size_t t = 0; t < ticks; ++t) {
-    coop::CoopResult now;
-    for (const auto& shard : series) accumulate(now, shard[t]);
+  for (std::size_t t = 0; t < acc.size(); ++t) {
+    const coop::CoopResult& now = acc[t];
     requests.add(now.requests - prev.requests);
     origin_units.add(std::uint64_t(now.origin_units - prev.origin_units));
     neighbor_units.add(
@@ -165,10 +228,20 @@ void merge_shard_traces(
   obs::Counter& events = registry.register_counter("mc.trace.events");
   obs::Counter& dropped = registry.register_counter("mc.trace.dropped");
   obs::Counter& arrivals = registry.register_counter("mc.trace.arrivals");
+  obs::Counter& streamed = registry.register_counter("mc.trace.streamed_events");
+  obs::Counter& flushed = registry.register_counter("mc.trace.flushed_events");
+  obs::Counter& blocks = registry.register_counter("mc.trace.flush_blocks");
   for (const auto& tracer : tracers) {
     events.add(tracer->log().size());
     dropped.add(tracer->log().dropped());
     arrivals.add(tracer->arrivals());
+    // Per-shard sinks are inline-flush and closed before the merge, so
+    // these are deterministic (flushed == streamed) for every pool size.
+    if (const obs::EventSink* sink = tracer->log().sink()) {
+      streamed.add(sink->streamed_events());
+      flushed.add(sink->flushed_events());
+      blocks.add(sink->flush_blocks());
+    }
   }
   if (shard_regs.empty()) return;
   for (const std::string& name : shard_regs.front()->names()) {
@@ -182,13 +255,52 @@ void merge_shard_traces(
   }
 }
 
-template <typename Fn>
-void dispatch_shards(util::ThreadPool* pool, std::size_t shards,
-                     const Fn& run_one) {
-  if (pool) {
-    util::parallel_for(*pool, 0, shards, run_one);
-  } else {
+// Runs every shard exactly once under the configured schedule and fills
+// `stats` with the modeled makespan of the plan actually used (sum of all
+// costs when serial, busiest block for static, busiest LPT queue for
+// lpt-steal — the shared-queue legacy schedule has no static plan).
+void dispatch_shards(util::ThreadPool* pool, ShardSchedule schedule,
+                     const std::vector<std::uint64_t>& costs,
+                     const std::function<void(std::size_t)>& run_one,
+                     util::WeightedForStats* stats) {
+  const std::size_t shards = costs.size();
+  if (stats) *stats = util::WeightedForStats{};
+  const auto charged = [](std::uint64_t cost) {
+    return std::max<std::uint64_t>(1, cost);
+  };
+  if (!pool) {
     for (std::size_t i = 0; i < shards; ++i) run_one(i);
+    if (stats) {
+      stats->workers = 1;
+      for (const std::uint64_t cost : costs) {
+        stats->planned_makespan += charged(cost);
+      }
+    }
+    return;
+  }
+  switch (schedule) {
+    case ShardSchedule::kQueue:
+      util::parallel_for(*pool, 0, shards, run_one, 1);
+      if (stats) stats->workers = pool->size();
+      break;
+    case ShardSchedule::kStaticBlocked: {
+      const std::size_t workers = std::max<std::size_t>(1, pool->size());
+      const std::size_t grain = (shards + workers - 1) / workers;
+      util::parallel_for(*pool, 0, shards, run_one, grain);
+      if (stats) {
+        stats->workers = workers;
+        for (std::size_t block = 0; block < shards; block += grain) {
+          std::uint64_t load = 0;
+          const std::size_t end = std::min(shards, block + grain);
+          for (std::size_t i = block; i < end; ++i) load += charged(costs[i]);
+          stats->planned_makespan = std::max(stats->planned_makespan, load);
+        }
+      }
+      break;
+    }
+    case ShardSchedule::kLptSteal:
+      util::weighted_parallel_for(*pool, costs, run_one, stats);
+      break;
   }
 }
 
@@ -203,37 +315,74 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
   MultiCellResult result;
   result.cells = config.cell_count;
   const bool want_series = config.keep_series || recorder != nullptr;
+  const std::vector<std::uint64_t> costs = shard_cost_estimates(config);
+
+  // One arena per run, declared before everything allocated from it. All
+  // arena traffic happens on this thread: per-shard series storage is
+  // reserved to its exact final size (run_cell appends one snapshot per
+  // tick) *before* dispatch, so workers only fill pre-reserved memory.
+  util::MonotonicArena arena;
 
   if (config.topology == CellTopology::kSharded) {
     const std::size_t shards = config.cell_count;
     result.shards = shards;
     result.per_cell.resize(shards);
-    std::vector<std::vector<client::CellResult>> series(want_series ? shards
-                                                                    : 0);
+    std::vector<client::CellSeries> series;
+    if (want_series) {
+      series.reserve(shards);
+      for (std::size_t i = 0; i < shards; ++i) {
+        series.emplace_back(util::ArenaAllocator<client::CellResult>(&arena));
+        series.back().reserve(config.cell.ticks);
+      }
+    }
     // Tracing state is strictly per shard — a tracer and a private
     // histogram registry each — so traced shards stay share-nothing and
     // the pool-size determinism contract holds untouched.
     const bool want_trace = config.trace_sample_every > 0;
     std::vector<std::unique_ptr<obs::RequestTracer>> tracers;
     std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_regs;
+    std::vector<std::unique_ptr<obs::JsonlTraceSink>> sinks;
     if (want_trace) {
       tracers.reserve(shards);
       shard_regs.reserve(shards);
+      if (!config.trace_jsonl_dir.empty()) sinks.reserve(shards);
       for (std::size_t i = 0; i < shards; ++i) {
         shard_regs.push_back(std::make_unique<obs::MetricsRegistry>());
         tracers.push_back(std::make_unique<obs::RequestTracer>(
             obs::RequestTracer::Config{config.trace_sample_every,
                                        config.trace_event_capacity}));
         tracers.back()->register_histograms(shard_regs.back().get());
+        if (!config.trace_jsonl_dir.empty()) {
+          // Inline flush: one sink per shard, written only by whichever
+          // worker runs the shard; a fleet of cells must not spawn a
+          // fleet of flusher threads.
+          obs::JsonlTraceSink::Config sink_config;
+          sink_config.buffer_events = 1 << 12;
+          sink_config.background_flush = false;
+          sinks.push_back(std::make_unique<obs::JsonlTraceSink>(
+              config.trace_jsonl_dir + "/trace_cell" + std::to_string(i) +
+                  ".jsonl",
+              sink_config));
+          tracers.back()->log().set_sink(sinks.back().get());
+        }
       }
     }
-    dispatch_shards(pool, shards, [&](std::size_t i) {
-      client::CellConfig cell = config.cell;
-      cell.seed = shard_seed(config.seed, i);
-      result.per_cell[i] =
-          client::run_cell(cell, want_series ? &series[i] : nullptr,
-                           want_trace ? tracers[i].get() : nullptr);
-    });
+    dispatch_shards(
+        pool, config.schedule, costs,
+        [&](std::size_t i) {
+          client::CellConfig cell = config.cell;
+          cell.seed = shard_seed(config.seed, i);
+          if (!config.cell_client_counts.empty()) {
+            cell.client_count = config.cell_client_counts[i];
+          }
+          result.per_cell[i] =
+              client::run_cell(cell, want_series ? &series[i] : nullptr,
+                               want_trace ? tracers[i].get() : nullptr);
+        },
+        &result.schedule_stats);
+    // Close the streamed traces (footer + fclose) before merging so the
+    // exported flushed_events equals streamed_events deterministically.
+    for (auto& sink : sinks) sink->close();
     for (const auto& cell : result.per_cell) {
       accumulate(result.aggregate, cell);
     }
@@ -241,11 +390,21 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
     if (recorder && want_trace) {
       merge_shard_traces(*recorder, tracers, shard_regs);
     }
-    if (recorder) record_sharded(*recorder, series, config.cell_count);
-    if (config.keep_series) result.cell_series = std::move(series);
+    if (recorder) {
+      record_sharded(*recorder, series, config.cell_count, arena);
+    }
+    if (config.keep_series) {
+      result.cell_series.reserve(series.size());
+      for (const auto& shard : series) {
+        result.cell_series.emplace_back(shard.begin(), shard.end());
+      }
+    }
     if (want_trace && config.keep_trace) {
       result.shard_traces.reserve(shards);
       for (auto& tracer : tracers) {
+        // Detach the per-run sink first: the returned logs must not
+        // carry pointers into this frame.
+        tracer->log().set_sink(nullptr);
         result.shard_traces.push_back(std::move(tracer->log()));
       }
     }
@@ -253,25 +412,25 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
   }
 
   const std::size_t width = config.cells_per_cluster;
-  if (width == 0) {
-    throw std::invalid_argument("run_multi_cell: need >= 1 cell per cluster");
-  }
-  const std::size_t shards = (config.cell_count + width - 1) / width;
+  const std::size_t shards = costs.size();
   result.shards = shards;
   result.per_cluster.resize(shards);
   std::vector<std::vector<coop::CoopResult>> series(want_series ? shards : 0);
-  dispatch_shards(pool, shards, [&](std::size_t i) {
-    coop::CoopConfig cluster = config.cluster;
-    cluster.seed = shard_seed(config.seed, i);
-    cluster.cell_count = std::min(width, config.cell_count - i * width);
-    result.per_cluster[i] =
-        coop::run_cooperative(cluster, want_series ? &series[i] : nullptr);
-  });
+  dispatch_shards(
+      pool, config.schedule, costs,
+      [&](std::size_t i) {
+        coop::CoopConfig cluster = config.cluster;
+        cluster.seed = shard_seed(config.seed, i);
+        cluster.cell_count = std::min(width, config.cell_count - i * width);
+        result.per_cluster[i] =
+            coop::run_cooperative(cluster, want_series ? &series[i] : nullptr);
+      },
+      &result.schedule_stats);
   for (const auto& cluster : result.per_cluster) {
     accumulate(result.coop_aggregate, cluster);
   }
   result.total_requests = result.coop_aggregate.requests;
-  if (recorder) record_coop(*recorder, series, config.cell_count);
+  if (recorder) record_coop(*recorder, series, config.cell_count, arena);
   if (config.keep_series) result.cluster_series = std::move(series);
   return result;
 }

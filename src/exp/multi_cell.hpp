@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "client/cell.hpp"
@@ -34,6 +35,18 @@ enum class CellTopology {
 };
 
 const char* cell_topology_name(CellTopology topology) noexcept;
+
+/// How shards are assigned to pool workers. Scheduling never touches
+/// simulation state (every shard's seed is a pure function of its index),
+/// so all three produce bit-identical results — they differ only in how
+/// well they pack skewed shard costs onto the workers.
+enum class ShardSchedule {
+  kStaticBlocked,  // contiguous index blocks, one task per worker
+  kQueue,          // shared grain-1 FIFO queue (the pre-scheduling default)
+  kLptSteal,       // cost-estimated LPT plan + dynamic work stealing
+};
+
+const char* shard_schedule_name(ShardSchedule schedule) noexcept;
 
 struct MultiCellConfig {
   std::size_t cell_count = 8;
@@ -61,6 +74,20 @@ struct MultiCellConfig {
   std::size_t trace_event_capacity = 1 << 16;
   /// Retain each shard's EventLog in the result (sharded + tracing only).
   bool keep_trace = false;
+  /// Worker assignment policy for pooled runs (ignored when the pool is
+  /// null). The default LPT + stealing plan packs by estimated shard cost
+  /// (clients x ticks), which matters once cell populations are skewed.
+  ShardSchedule schedule = ShardSchedule::kLptSteal;
+  /// Sharded mode: per-cell client_count override (size must equal
+  /// cell_count when non-empty; empty keeps the template's count for
+  /// every cell). This is how skewed fleets — a few giant downtown cells
+  /// among many small ones — are expressed.
+  std::vector<std::size_t> cell_client_counts;
+  /// When non-empty (sharded + tracing), each shard also streams its
+  /// events to `<dir>/trace_cell<i>.jsonl` through an inline-flush
+  /// JsonlTraceSink, so the on-disk trace is complete even when the
+  /// in-memory log drops. The directory must already exist.
+  std::string trace_jsonl_dir;
   std::uint64_t seed = 42;
 };
 
@@ -83,6 +110,12 @@ struct MultiCellResult {
   /// Per-shard lifecycle traces, indexed by cell (sharded topology with
   /// trace_sample_every > 0 and keep_trace set; empty otherwise).
   std::vector<obs::EventLog> shard_traces;
+
+  /// Scheduling telemetry for pooled runs: worker count, the LPT plan's
+  /// modeled makespan (kLptSteal only; the busiest worker's estimated
+  /// cost), and observed steals. Diagnostic only — `steals` depends on
+  /// thread timing and must never feed back into simulation or metrics.
+  util::WeightedForStats schedule_stats;
 };
 
 /// Seed for shard `index` of master stream `master`: the index-th output
@@ -91,6 +124,12 @@ struct MultiCellResult {
 /// derive its seed without iterating the others — cells can be resharded
 /// across machines without replaying a sequential seed chain.
 std::uint64_t shard_seed(std::uint64_t master, std::size_t index) noexcept;
+
+/// Estimated cost per shard, the scheduler's packing weight: clients x
+/// ticks for sharded cells (honoring cell_client_counts), cluster cells x
+/// requests-per-tick x total ticks for coop clusters. A pure function of
+/// the config, so plans are reproducible across runs and machines.
+std::vector<std::uint64_t> shard_cost_estimates(const MultiCellConfig& config);
 
 /// Runs the configured cells. `pool == nullptr` runs shards serially in
 /// shard order; otherwise shards are dispatched onto the pool. With a

@@ -1,6 +1,7 @@
 #include "exp/soak.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -103,6 +104,15 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
     result.series[name].push_back(value);
   };
 
+  // One streaming sink for the whole horizon: each window's tracer is
+  // attached in turn, so the file carries every window's events while
+  // the per-window buffer accounting stays bit-identical to a sinkless
+  // run (see EventLog dual-write).
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+  if (!config.trace_jsonl.empty()) {
+    sink = std::make_unique<obs::JsonlTraceSink>(config.trace_jsonl);
+  }
+
   for (std::size_t w = 0; w < config.windows; ++w) {
     const sim::FaultPlan plan = soak_plan_at(config, w);
     push("fault_rate", plan.fetch_failure_rate);
@@ -121,7 +131,13 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
       obs::RequestTracer tracer(obs::RequestTracer::Config{
           config.trace_sample_every, config.trace_event_capacity});
       tracer.register_histograms(&registry);
+      if (sink) tracer.log().set_sink(sink.get());
       const PolicySimResult r = run_policy_sim(sim, &recorder, &tracer);
+      // Surface drop/flush accounting as ordinary registry metrics
+      // (trace.events/dropped/arrivals/streamed_events/flushed_events/
+      // flush_blocks). Registered after the run, so they are not in the
+      // recorder's per-tick series and not in the golden-gated output.
+      obs::export_trace_metrics(registry, tracer);
 
       push("score.avg", r.average_score);
       push("recency.avg", r.average_recency);
@@ -175,6 +191,7 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
            histogram_mean(registry, "mc.lat.queue_wait"));
     }
   }
+  if (sink) sink->close();
   return result;
 }
 

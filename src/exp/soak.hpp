@@ -54,6 +54,14 @@ struct SoakConfig {
   std::size_t trace_sample_every = 8;
   std::size_t trace_event_capacity = 1 << 15;
 
+  /// When non-empty, the station leg streams every traced event across
+  /// all windows to this JSONL file through one background-flush
+  /// JsonlTraceSink. Streaming is dual-write — the in-memory logs (and
+  /// therefore every exported soak series) are bit-identical with or
+  /// without it — so a streamed soak still diffs clean against a golden
+  /// produced buffered.
+  std::string trace_jsonl;
+
   std::uint64_t seed = 42;
 
   SoakConfig() {

@@ -5,6 +5,154 @@
 
 namespace mobi::obs {
 
+void append_event_jsonl(std::string& out, const RequestEvent& event) {
+  out += "{\"t\":";
+  out += std::to_string(event.tick);
+  out += ",\"ev\":\"";
+  out += event_kind_name(event.kind);
+  out += "\",\"obj\":";
+  out += std::to_string(event.object);
+  if (event.client != RequestEvent::kNoClient) {
+    out += ",\"client\":";
+    out += std::to_string(event.client);
+  }
+  if (event.attempt != 0) {
+    out += ",\"k\":";
+    out += std::to_string(event.attempt);
+  }
+  if (event.value != 0.0) {
+    out += ",\"v\":";
+    out += json::number(event.value);
+  }
+  out += "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// JsonlTraceSink.
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : JsonlTraceSink(path, Config{}) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path, const Config& config)
+    : path_(path), background_(config.background_flush),
+      capacity_(config.buffer_events) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("JsonlTraceSink: buffer_events must be > 0");
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (!file_) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path_);
+  }
+  active_.reserve(capacity_);
+  pending_.reserve(capacity_);
+  // Worst-case line is well under 128 bytes; pre-grow the scratch so the
+  // very first flush is already steady-state.
+  scratch_.reserve(capacity_ * 64);
+  const std::string header =
+      "{\"schema\":\"mobicache.trace.v1\",\"streamed\":true}\n";
+  ok_ = std::fwrite(header.data(), 1, header.size(), file_) == header.size();
+  if (background_) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+JsonlTraceSink::~JsonlTraceSink() { close(); }
+
+void JsonlTraceSink::write(const RequestEvent& event) noexcept {
+  ++streamed_;
+  if (closed_) return;
+  active_.push_back(event);  // reserved: no allocation until a swap
+  if (active_.size() >= capacity_) swap_and_dispatch();
+}
+
+void JsonlTraceSink::swap_and_dispatch() {
+  if (!background_) {
+    flush_buffer(active_);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  if (pending_full_) {
+    // The flusher still owns the other half: the producer runs ahead of
+    // the disk. Stall (counted — `flush_blocks` is the backpressure
+    // signal) rather than allocate a third buffer.
+    ++flush_blocks_;
+    pending_done_.wait(lock, [this] { return !pending_full_; });
+  }
+  std::swap(active_, pending_);
+  pending_full_ = true;
+  pending_ready_.notify_one();
+}
+
+void JsonlTraceSink::flush_buffer(std::vector<RequestEvent>& buffer) {
+  scratch_.clear();
+  for (const RequestEvent& event : buffer) {
+    append_event_jsonl(scratch_, event);
+  }
+  if (!scratch_.empty() && file_) {
+    ok_ = std::fwrite(scratch_.data(), 1, scratch_.size(), file_) ==
+              scratch_.size() &&
+          ok_;
+  }
+  flushed_.fetch_add(buffer.size(), std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  buffer.clear();
+}
+
+void JsonlTraceSink::flusher_loop() {
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    pending_ready_.wait(lock, [this] { return pending_full_ || stopping_; });
+    if (!pending_full_) return;  // stopping and drained
+    // Serialize + write outside the lock: the producer may keep filling
+    // (and even swap-wait on pending_done_) meanwhile.
+    std::vector<RequestEvent>& buffer = pending_;
+    lock.unlock();
+    flush_buffer(buffer);
+    lock.lock();
+    pending_full_ = false;
+    pending_done_.notify_one();
+  }
+}
+
+void JsonlTraceSink::flush() {
+  if (closed_) return;
+  if (background_) {
+    // Wait out any in-flight half, then drain the active one inline.
+    std::unique_lock lock(mutex_);
+    pending_done_.wait(lock, [this] { return !pending_full_; });
+  }
+  flush_buffer(active_);
+  if (file_) std::fflush(file_);
+}
+
+void JsonlTraceSink::close() {
+  if (closed_) return;
+  flush();
+  if (background_) {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+      pending_ready_.notify_one();
+    }
+    flusher_.join();
+  }
+  closed_ = true;
+  if (file_) {
+    std::string footer = "{\"streamed_end\":true,\"events\":";
+    footer += std::to_string(streamed_);
+    footer += ",\"flushes\":";
+    footer += std::to_string(flushes_.load(std::memory_order_relaxed));
+    footer += ",\"flush_blocks\":";
+    footer += std::to_string(flush_blocks_);
+    footer += "}\n";
+    ok_ = std::fwrite(footer.data(), 1, footer.size(), file_) ==
+              footer.size() &&
+          ok_;
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
 const char* event_kind_name(EventKind kind) noexcept {
   switch (kind) {
     case EventKind::kArrival: return "arrival";
@@ -32,6 +180,10 @@ EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool EventLog::record(const RequestEvent& event) noexcept {
+  // Dual-write: the sink sees every event, including the ones the
+  // bounded buffer drops, and the buffer accounting below is identical
+  // with or without a sink attached.
+  if (sink_) sink_->write(event);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return false;
@@ -54,20 +206,14 @@ void EventLog::clear() noexcept {
 }
 
 std::string EventLog::to_jsonl() const {
-  std::ostringstream out;
-  out << "{\"schema\":\"mobicache.trace.v1\",\"events\":" << events_.size()
-      << ",\"dropped\":" << dropped_ << "}\n";
+  std::ostringstream header;
+  header << "{\"schema\":\"mobicache.trace.v1\",\"events\":" << events_.size()
+         << ",\"dropped\":" << dropped_ << "}\n";
+  std::string out = header.str();
   for (const RequestEvent& event : events_) {
-    out << "{\"t\":" << event.tick << ",\"ev\":\""
-        << event_kind_name(event.kind) << "\",\"obj\":" << event.object;
-    if (event.client != RequestEvent::kNoClient) {
-      out << ",\"client\":" << event.client;
-    }
-    if (event.attempt != 0) out << ",\"k\":" << event.attempt;
-    if (event.value != 0.0) out << ",\"v\":" << json::number(event.value);
-    out << "}\n";
+    append_event_jsonl(out, event);
   }
-  return out.str();
+  return out;
 }
 
 RequestTracer::RequestTracer() : RequestTracer(Config{}) {}
@@ -170,6 +316,21 @@ void RequestTracer::on_net_batch(std::size_t transfers,
                                  double completion) noexcept {
   emit(EventKind::kNetBatch, 0, RequestEvent::kNoClient,
        std::uint32_t(transfers), completion);
+}
+
+void export_trace_metrics(MetricsRegistry& registry,
+                          const RequestTracer& tracer,
+                          const std::string& prefix) {
+  registry.register_counter(prefix + ".events").add(tracer.log().size());
+  registry.register_counter(prefix + ".dropped").add(tracer.log().dropped());
+  registry.register_counter(prefix + ".arrivals").add(tracer.arrivals());
+  const EventSink* sink = tracer.log().sink();
+  registry.register_counter(prefix + ".streamed_events")
+      .add(sink ? sink->streamed_events() : 0);
+  registry.register_counter(prefix + ".flushed_events")
+      .add(sink ? sink->flushed_events() : 0);
+  registry.register_counter(prefix + ".flush_blocks")
+      .add(sink ? sink->flush_blocks() : 0);
 }
 
 }  // namespace mobi::obs

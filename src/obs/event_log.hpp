@@ -13,8 +13,13 @@
 // front and a full log *drops* (with a counter) rather than grows.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -57,16 +62,137 @@ struct RequestEvent {
   static constexpr std::uint32_t kNoClient = 0xffffffffu;
 };
 
+/// Appends one compact JSONL object for `event` to `out` (including the
+/// trailing newline) — the body-line format of `mobicache.trace.v1`.
+/// Shared by EventLog::to_jsonl and the streaming sinks, so a streamed
+/// trace's event lines are byte-identical to the buffered export's.
+void append_event_jsonl(std::string& out, const RequestEvent& event);
+
+/// Where streamed trace events go. Implementations must tolerate write()
+/// from exactly one producer thread (the owning simulation); flushing
+/// may happen on a background thread internal to the sink.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Accepts one event. Hot path: must not allocate in the steady state
+  /// (buffers reach a high-water mark, then are reused).
+  virtual void write(const RequestEvent& event) noexcept = 0;
+  /// Blocks until everything written so far is durably emitted.
+  virtual void flush() = 0;
+
+  /// Events accepted by write().
+  virtual std::uint64_t streamed_events() const noexcept = 0;
+  /// Events serialized and emitted so far (== streamed_events() after a
+  /// flush). Default 0 for sinks with no internal buffering.
+  virtual std::uint64_t flushed_events() const noexcept { return 0; }
+  /// Times the producer stalled waiting for an in-flight flush.
+  virtual std::uint64_t flush_blocks() const noexcept { return 0; }
+};
+
+/// Streams events to a JSONL file through a reserved double buffer:
+/// write() copies the event into the active half (no allocation); when a
+/// half fills it is handed to the flusher — a background thread by
+/// default, or flushed inline when `background_flush` is off (the
+/// per-shard sinks of a multi-cell run use inline mode so a thousand
+/// cells do not spawn a thousand flusher threads). Serialization reuses
+/// a grow-only scratch string, so the steady state allocates nothing.
+///
+/// File format (`mobicache.trace.v1` streamed framing): a header line
+/// {"schema":"mobicache.trace.v1","streamed":true}, one event line per
+/// write (byte-identical to EventLog::to_jsonl body lines), and a footer
+/// {"streamed_end":true,"events":N,"flushes":K,"flush_blocks":B} written
+/// by close(). Totals live in the footer because a stream cannot know
+/// them up front.
+class JsonlTraceSink final : public EventSink {
+ public:
+  struct Config {
+    std::size_t buffer_events = 1 << 13;  // capacity of each half
+    bool background_flush = true;
+  };
+
+  explicit JsonlTraceSink(const std::string& path);  // default Config
+  JsonlTraceSink(const std::string& path, const Config& config);
+  ~JsonlTraceSink() override;  // closes (flushing everything pending)
+
+  void write(const RequestEvent& event) noexcept override;
+  void flush() override;
+  /// Flush + footer + fclose; idempotent. write() after close is a
+  /// counted no-op (streamed_events still advances; nothing is emitted).
+  void close();
+
+  const std::string& path() const noexcept { return path_; }
+  bool ok() const noexcept { return ok_; }
+  std::uint64_t streamed_events() const noexcept override {
+    return streamed_;
+  }
+  std::uint64_t flushed_events() const noexcept override {
+    return flushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flush_blocks() const noexcept override {
+    return flush_blocks_;
+  }
+  std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void swap_and_dispatch();                      // producer side
+  void flush_buffer(std::vector<RequestEvent>& buffer);  // flusher side
+  void flusher_loop();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  bool closed_ = false;
+  bool background_;
+
+  std::vector<RequestEvent> active_;
+  std::vector<RequestEvent> pending_;
+  std::string scratch_;  // grow-only serialization buffer (flusher side)
+  std::size_t capacity_;
+
+  std::uint64_t streamed_ = 0;      // producer thread only
+  std::uint64_t flush_blocks_ = 0;  // producer thread only
+  std::atomic<std::uint64_t> flushed_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+
+  // Background mode: the producer hands `pending_` to the flusher under
+  // `mutex_`; `pending_ready_` signals work, `pending_done_` signals the
+  // buffer was drained and may be reused.
+  std::mutex mutex_;
+  std::condition_variable pending_ready_;
+  std::condition_variable pending_done_;
+  bool pending_full_ = false;
+  bool stopping_ = false;
+  std::thread flusher_;
+};
+
 /// Bounded, pre-sized event buffer. `record` never allocates: the buffer
 /// is reserved to `capacity` at construction and events past capacity are
 /// counted as dropped instead of stored — long soaks stay zero-alloc and
 /// the drop counter makes the truncation visible.
+///
+/// With a EventSink attached (`set_sink`), every recorded event is
+/// *also* streamed to the sink — including the ones the bounded buffer
+/// drops — so the trace on disk is complete however small the in-memory
+/// buffer, and trace capacity no longer bounds the horizon. The null
+/// sink (default) is exactly the historical drop-with-count behavior,
+/// and the in-memory accounting (size/dropped/count) is bit-identical
+/// whether or not a sink is attached.
 class EventLog {
  public:
   explicit EventLog(std::size_t capacity = 1 << 16);
 
-  /// Returns false (and counts a drop) when the log is full.
+  /// Returns false (and counts a drop) when the log is full. A drop
+  /// only affects the in-memory buffer: an attached sink still receives
+  /// the event.
   bool record(const RequestEvent& event) noexcept;
+
+  /// Attaches (or detaches, with nullptr) a streaming sink. The caller
+  /// owns the sink and must keep it alive while attached.
+  void set_sink(EventSink* sink) noexcept { sink_ = sink; }
+  EventSink* sink() const noexcept { return sink_; }
 
   std::size_t size() const noexcept { return events_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
@@ -88,6 +214,7 @@ class EventLog {
   std::size_t capacity_;
   std::uint64_t dropped_ = 0;
   std::vector<RequestEvent> events_;
+  EventSink* sink_ = nullptr;
 };
 
 /// Emission facade the instrumented components (BaseStation, downlink,
@@ -167,5 +294,16 @@ class RequestTracer {
   };
   Instruments inst_;
 };
+
+/// Registers `<prefix>.{events,dropped,arrivals,streamed_events,
+/// flushed_events,flush_blocks}` counters in `registry` and sets them
+/// from the tracer's current log/sink state, so soak and fleet runs
+/// expose trace truncation and flush behavior through the ordinary
+/// metrics exports instead of requiring JSONL header parsing. Sinkless
+/// tracers report zero for the sink counters. Strict-registry contract:
+/// call at most once per (registry, prefix).
+void export_trace_metrics(MetricsRegistry& registry,
+                          const RequestTracer& tracer,
+                          const std::string& prefix = "trace");
 
 }  // namespace mobi::obs

@@ -1,21 +1,34 @@
 #include "obs/recorder.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 namespace mobi::obs {
 
+void SeriesRecorder::reserve(std::size_t samples) {
+  reserve_hint_ = std::max(reserve_hint_, samples);
+  ticks_.reserve(reserve_hint_);
+  for (auto& [name, values] : series_) values.reserve(reserve_hint_);
+}
+
 void SeriesRecorder::sample(sim::Tick tick) {
   const std::size_t before = ticks_.size();
   for (const std::string& name : registry_->scalar_names()) {
-    auto& values = series_[name];
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      it = series_.emplace(name, Series(util::ArenaAllocator<double>(arena_)))
+               .first;
+      if (reserve_hint_) it->second.reserve(reserve_hint_);
+    }
+    Series& values = it->second;
     if (values.size() < before) values.resize(before, 0.0);  // late joiner
     values.push_back(registry_->scalar_value(name));
   }
   ticks_.push_back(tick);
 }
 
-const std::vector<double>& SeriesRecorder::series(
+const SeriesRecorder::Series& SeriesRecorder::series(
     const std::string& name) const {
   const auto it = series_.find(name);
   if (it == series_.end()) {

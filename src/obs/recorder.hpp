@@ -11,17 +11,36 @@
 
 #include "obs/metrics.hpp"
 #include "sim/tick.hpp"
+#include "util/arena.hpp"
 #include "util/table.hpp"
 
 namespace mobi::obs {
 
 class SeriesRecorder {
  public:
-  /// The registry must outlive the recorder.
-  explicit SeriesRecorder(MetricsRegistry& registry) : registry_(&registry) {}
+  /// Series storage type: arena-backed when the recorder was built with
+  /// an arena, plain-heap otherwise (the default allocator falls back to
+  /// operator new). Same element layout either way.
+  using Series = std::vector<double, util::ArenaAllocator<double>>;
+
+  /// The registry must outlive the recorder. With an arena, the tick and
+  /// value series allocate from it (the arena must outlive the recorder);
+  /// the arena's single-thread contract applies — sample() from one
+  /// thread only, which the post-join recording discipline already
+  /// guarantees.
+  explicit SeriesRecorder(MetricsRegistry& registry,
+                          util::MonotonicArena* arena = nullptr)
+      : registry_(&registry),
+        arena_(arena),
+        ticks_(util::ArenaAllocator<sim::Tick>(arena)) {}
 
   MetricsRegistry& registry() noexcept { return *registry_; }
   const MetricsRegistry& registry() const noexcept { return *registry_; }
+
+  /// Capacity hint: total samples this run will take. Reserves the tick
+  /// series and every known value series now, and sizes series that join
+  /// later, so steady-state sampling never reallocates.
+  void reserve(std::size_t samples);
 
   /// Snapshots every counter and gauge currently registered. A metric
   /// registered after the first sample joins with zeros backfilled for the
@@ -29,9 +48,12 @@ class SeriesRecorder {
   void sample(sim::Tick tick);
 
   std::size_t samples() const noexcept { return ticks_.size(); }
-  const std::vector<sim::Tick>& ticks() const noexcept { return ticks_; }
+  const std::vector<sim::Tick, util::ArenaAllocator<sim::Tick>>& ticks()
+      const noexcept {
+    return ticks_;
+  }
   /// Throws std::out_of_range for a name never sampled.
-  const std::vector<double>& series(const std::string& name) const;
+  const Series& series(const std::string& name) const;
   std::vector<std::string> series_names() const;
 
   /// {"schema":"mobicache.metrics.v1","ticks":[...],
@@ -42,8 +64,10 @@ class SeriesRecorder {
 
  private:
   MetricsRegistry* registry_;
-  std::vector<sim::Tick> ticks_;
-  std::map<std::string, std::vector<double>> series_;
+  util::MonotonicArena* arena_ = nullptr;
+  std::size_t reserve_hint_ = 0;
+  std::vector<sim::Tick, util::ArenaAllocator<sim::Tick>> ticks_;
+  std::map<std::string, Series> series_;
 };
 
 }  // namespace mobi::obs

@@ -1,0 +1,62 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::util {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+MonotonicArena::MonotonicArena(std::size_t initial_slab_bytes)
+    : next_slab_bytes_(std::max<std::size_t>(64, initial_slab_bytes)) {}
+
+void* MonotonicArena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("MonotonicArena: align must be a power of 2");
+  }
+  if (bytes == 0) bytes = 1;
+  // Walk the retained slabs from the cursor forward. Alignment is
+  // computed against the slab's actual base address, so over-aligned
+  // types work whatever new[] returned.
+  while (current_ < slabs_.size()) {
+    Slab& slab = slabs_[current_];
+    const auto base = reinterpret_cast<std::uintptr_t>(slab.data.get());
+    const std::size_t at = align_up(base + cursor_, align) - base;
+    if (at + bytes <= slab.size) {
+      used_ += (at - cursor_) + bytes;  // alignment padding + payload
+      cursor_ = at + bytes;
+      ++allocations_;
+      return slab.data.get() + at;
+    }
+    ++current_;
+    cursor_ = 0;
+  }
+  // Grow: doubling slabs amortize to O(log) heap allocations per horizon.
+  const std::size_t slab_bytes = std::max(next_slab_bytes_, bytes + align);
+  slabs_.push_back(Slab{std::make_unique<std::byte[]>(slab_bytes), slab_bytes});
+  reserved_ += slab_bytes;
+  next_slab_bytes_ = slab_bytes * 2;
+  current_ = slabs_.size() - 1;
+  const auto base =
+      reinterpret_cast<std::uintptr_t>(slabs_[current_].data.get());
+  const std::size_t at = align_up(base, align) - base;
+  cursor_ = at + bytes;
+  used_ += at + bytes;
+  ++allocations_;
+  return slabs_[current_].data.get() + at;
+}
+
+void MonotonicArena::reset() noexcept {
+  current_ = 0;
+  cursor_ = 0;
+  used_ = 0;
+  allocations_ = 0;
+}
+
+}  // namespace mobi::util

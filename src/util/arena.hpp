@@ -1,0 +1,127 @@
+// Grow-only bump arena for cold-path containers.
+//
+// Horizon-scale multi-cell runs allocate thousands of mid-sized buffers
+// off the hot path: one per-tick CellResult series per shard, the
+// recorder's per-metric series rows, the post-join accumulator rows.
+// Individually each is cheap; collectively they dominate setup/teardown
+// at fleet scale (thousands of cells = thousands of vector growth
+// chains). `MonotonicArena` collapses them into a handful of slab
+// grabs: allocation is a pointer bump, nothing is freed individually,
+// and `reset()` rewinds the arena for reuse without returning slabs to
+// the heap — a warmed arena serves a whole horizon run with zero heap
+// traffic (tests/alloc_regression_test.cpp pins this).
+//
+// Thread-safety contract: an arena is single-threaded. The multi-cell
+// driver therefore carves every shard's storage out of the arena
+// *before* dispatching shards onto the pool (capacities are known:
+// `ticks` snapshots per shard), so worker threads only write into
+// pre-reserved memory and never touch the arena itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mobi::util {
+
+class MonotonicArena {
+ public:
+  /// First slab is allocated lazily on the first allocation, sized
+  /// max(initial_slab_bytes, requested). Subsequent slabs double.
+  explicit MonotonicArena(std::size_t initial_slab_bytes = 1 << 16);
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). Grows a
+  /// new slab only when no retained slab can satisfy the request.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewinds to empty, retaining every slab for reuse. Outstanding
+  /// pointers are invalidated (same contract as destroying the arena).
+  void reset() noexcept;
+
+  /// Live bytes handed out since construction/reset (including
+  /// alignment padding).
+  std::size_t bytes_used() const noexcept { return used_; }
+  /// Total slab capacity held (survives reset()).
+  std::size_t bytes_reserved() const noexcept { return reserved_; }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+  /// Calls to allocate() since construction/reset.
+  std::uint64_t allocations() const noexcept { return allocations_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  // slab index the cursor lives in
+  std::size_t cursor_ = 0;   // offset into slabs_[current_]
+  std::size_t next_slab_bytes_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+/// Standard-library allocator over a MonotonicArena, with a heap
+/// fallback: a default-constructed (null-arena) ArenaAllocator behaves
+/// exactly like std::allocator, so one container type serves both the
+/// arena-backed fleet path and ordinary standalone use.
+///
+/// deallocate() is a no-op for arena memory (reclaimed wholesale by
+/// reset()); geometric vector growth therefore wastes abandoned blocks,
+/// so arena-backed containers should `reserve()` their known final size
+/// up front — the multi-cell driver always can (tick counts are known).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(MonotonicArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::size_t(-1) / sizeof(T)) throw std::bad_alloc();
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_) {
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (!arena_) ::operator delete(p);
+  }
+
+  MonotonicArena* arena() const noexcept { return arena_; }
+
+  /// Copies of a container share the arena; moves between containers
+  /// with different arenas fall back to element-wise transfer (the
+  /// allocator does not propagate on assignment), which keeps
+  /// arena-backed storage from silently escaping its arena's lifetime.
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_ = nullptr;
+};
+
+/// Vector whose storage may live in a MonotonicArena (heap when the
+/// allocator's arena is null).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace mobi::util

@@ -1,8 +1,32 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <numeric>
 
 namespace mobi::util {
+
+namespace {
+
+// Joins every future before letting the first captured exception fly.
+// Rethrowing from the first failed get() directly would unwind the
+// caller's frame — destroying the plan/cursor state the still-running
+// sibling tasks reference — so the fan-out helpers must never leave
+// before every task has finished.
+void rethrow_after_joining_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -69,13 +93,96 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = chunk; i < chunk_end; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  rethrow_after_joining_all(futures);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
   parallel_for(default_pool(), begin, end, fn, grain);
+}
+
+std::uint64_t LptPlan::makespan() const noexcept {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t load : loads) worst = std::max(worst, load);
+  return worst;
+}
+
+LptPlan lpt_plan(const std::vector<std::uint64_t>& costs,
+                 std::size_t workers) {
+  LptPlan plan;
+  plan.queues.resize(std::max<std::size_t>(1, workers));
+  plan.loads.assign(plan.queues.size(), 0);
+
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&costs](std::size_t a, std::size_t b) {
+                     return costs[a] > costs[b];
+                   });
+  for (const std::size_t item : order) {
+    std::size_t target = 0;
+    for (std::size_t w = 1; w < plan.loads.size(); ++w) {
+      if (plan.loads[w] < plan.loads[target]) target = w;
+    }
+    plan.queues[target].push_back(item);
+    // Cost-0 items still charge one unit so they spread instead of all
+    // piling onto whichever queue happened to be lightest.
+    plan.loads[target] += std::max<std::uint64_t>(1, costs[item]);
+  }
+  return plan;
+}
+
+void weighted_parallel_for(ThreadPool& pool,
+                           const std::vector<std::uint64_t>& costs,
+                           const std::function<void(std::size_t)>& fn,
+                           WeightedForStats* stats) {
+  if (costs.empty()) {
+    if (stats) *stats = WeightedForStats{pool.size(), 0, 0};
+    return;
+  }
+  const LptPlan plan = lpt_plan(costs, pool.size());
+  const std::size_t workers = plan.queues.size();
+
+  // One cursor per queue. Owners drain their own queue front-to-back
+  // (largest item first — it was assigned first); a drained owner turns
+  // thief and pulls from the most-loaded victim's remaining tail. Every
+  // index is claimed by exactly one fetch_add, so fn(i) runs once
+  // whatever the interleaving.
+  std::vector<std::atomic<std::size_t>> cursors(workers);
+  for (auto& cursor : cursors) cursor.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> steals{0};
+
+  const auto drain = [&](std::size_t victim, bool stealing) {
+    const std::vector<std::size_t>& queue = plan.queues[victim];
+    for (;;) {
+      const std::size_t slot =
+          cursors[victim].fetch_add(1, std::memory_order_relaxed);
+      if (slot >= queue.size()) return;
+      if (stealing) steals.fetch_add(1, std::memory_order_relaxed);
+      fn(queue[slot]);
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.submit([&, w] {
+      drain(w, /*stealing=*/false);
+      // Steal pass: visit every other queue (starting after our own so
+      // thieves fan out instead of mobbing queue 0).
+      for (std::size_t k = 1; k < workers; ++k) {
+        drain((w + k) % workers, /*stealing=*/true);
+      }
+    }));
+  }
+  rethrow_after_joining_all(futures);
+
+  if (stats) {
+    stats->workers = workers;
+    stats->planned_makespan = plan.makespan();
+    stats->steals = steals.load(std::memory_order_relaxed);
+  }
 }
 
 ThreadPool& default_pool() {

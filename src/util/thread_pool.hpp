@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -69,6 +70,42 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
+
+/// Longest-processing-time-first assignment of weighted items onto
+/// `workers` queues: items sorted by (cost desc, index asc) land on the
+/// least-loaded queue (ties broken toward the lowest queue index), so
+/// the plan is a pure function of the costs — deterministic whatever
+/// thread later executes which queue.
+struct LptPlan {
+  std::vector<std::vector<std::size_t>> queues;  // item indices per worker
+  std::vector<std::uint64_t> loads;              // summed cost per worker
+  /// Modeled makespan: the busiest worker's load, i.e. the wall-clock
+  /// lower bound this assignment achieves on `workers` ideal cores.
+  std::uint64_t makespan() const noexcept;
+};
+
+LptPlan lpt_plan(const std::vector<std::uint64_t>& costs, std::size_t workers);
+
+/// Per-run counters for weighted_parallel_for (all zero-initialized).
+struct WeightedForStats {
+  std::size_t workers = 0;
+  std::uint64_t planned_makespan = 0;  // lpt_plan(costs).makespan()
+  std::uint64_t steals = 0;            // items run off another queue
+};
+
+/// Imbalance-aware parallel_for: runs fn(i) once for every cost index,
+/// scheduling via an LPT plan over `costs` plus dynamic work-stealing —
+/// a worker that drains its own queue pulls remaining items from the
+/// other queues, so one mis-estimated straggler cannot idle the pool.
+/// Exactly pool.size() tasks are submitted however many items there
+/// are. fn must be safe to call concurrently for distinct i (same
+/// contract as parallel_for); which thread runs which item is
+/// unspecified, so fn must keep results independent of placement.
+/// Rethrows the first task exception.
+void weighted_parallel_for(ThreadPool& pool,
+                           const std::vector<std::uint64_t>& costs,
+                           const std::function<void(std::size_t)>& fn,
+                           WeightedForStats* stats = nullptr);
 
 /// Convenience overload using a process-wide default pool.
 void parallel_for(std::size_t begin, std::size_t end,

@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "object/builders.hpp"
 #include "sim/fault_plan.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "workload/access.hpp"
 
@@ -267,6 +268,61 @@ TEST(AllocRegression, CoherentCoopClusterSteadyStateIsAllocationFree) {
     const auto& r = cluster.result();
     EXPECT_GT(r.invalidations + r.propagations + r.lease_expiries, 0u);
   }
+}
+
+TEST(AllocRegression, WarmedArenaReplaySteadyStateIsAllocationFree) {
+  // The fleet cold path's contract: after one horizon run has grown the
+  // arena to its high-water mark, reset() + an identical replay touches
+  // the heap zero times — every vector grab lands in retained slabs.
+  util::MonotonicArena arena(1 << 12);
+  const auto one_run = [&arena] {
+    util::ArenaVector<double> series{util::ArenaAllocator<double>(&arena)};
+    series.reserve(2048);
+    for (int i = 0; i < 2048; ++i) series.push_back(double(i));
+    util::ArenaVector<std::uint64_t> rows{
+        util::ArenaAllocator<std::uint64_t>(&arena)};
+    rows.reserve(512);
+    for (int i = 0; i < 512; ++i) rows.push_back(std::uint64_t(i) * 3);
+    return series.back() + double(rows.back());
+  };
+  one_run();  // warm-up grows the slabs
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::uint64_t before = g_allocations.load();
+  double sum = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    arena.reset();
+    sum += one_run();
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " steady-state heap allocations";
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(AllocRegression, StreamingSinkSteadyStateIsAllocationFree) {
+  // The inline-flush JsonlTraceSink reserves both event halves and the
+  // serialization scratch at construction; steady-state write() is a
+  // push into reserved storage and flushes serialize into the grow-only
+  // scratch and fwrite (stdio buffers are not operator-new traffic). One
+  // warm-up lap past several flush boundaries grows the scratch to its
+  // high-water mark; after that, streaming allocates nothing.
+  obs::JsonlTraceSink sink("/dev/null", {256, /*background_flush=*/false});
+  const auto one_lap = [&sink] {
+    for (std::uint32_t i = 0; i < 2048; ++i) {
+      sink.write({sim::Tick(i), obs::EventKind(i % 13), i % 3, i, i % 7,
+                  double(i % 5)});
+    }
+  };
+  one_lap();  // warm-up: scratch reaches its high-water mark
+  const std::uint64_t before = g_allocations.load();
+  one_lap();
+  sink.flush();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " steady-state heap allocations";
+  EXPECT_EQ(sink.streamed_events(), 4096u);
+  EXPECT_EQ(sink.flushed_events(), 4096u);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// MonotonicArena / ArenaAllocator unit coverage: bump allocation with
+// correct alignment, slab growth, reset-and-reuse retention (the
+// property the fleet cold path relies on — see docs/scaling.md), and
+// the allocator's null-arena heap fallback. Runs under the `perf`
+// ctest label next to the allocation-regression guard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace {
+
+using mobi::util::ArenaAllocator;
+using mobi::util::ArenaVector;
+using mobi::util::MonotonicArena;
+
+TEST(MonotonicArena, StartsEmptyAndAllocatesLazily) {
+  MonotonicArena arena(1024);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.allocations(), 0u);
+
+  void* p = arena.allocate(16, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), 1024u);
+  EXPECT_GE(arena.bytes_used(), 16u);
+  EXPECT_EQ(arena.allocations(), 1u);
+}
+
+TEST(MonotonicArena, RespectsAlignment) {
+  MonotonicArena arena(4096);
+  // Deliberately misalign the cursor with a 1-byte grab, then demand
+  // successively stricter alignments.
+  arena.allocate(1, 1);
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(std::uintptr_t(p) % align, 0u) << "align " << align;
+    arena.allocate(1, 1);  // re-misalign for the next round
+  }
+}
+
+TEST(MonotonicArena, AllocationsDoNotOverlap) {
+  MonotonicArena arena(256);  // small slab forces several growths
+  std::vector<unsigned char*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = static_cast<unsigned char*>(arena.allocate(48, 8));
+    std::memset(p, i, 48);
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t b = 0; b < 48; ++b) {
+      ASSERT_EQ(blocks[std::size_t(i)][b], static_cast<unsigned char>(i));
+    }
+  }
+  EXPECT_GT(arena.slab_count(), 1u);
+}
+
+TEST(MonotonicArena, OversizedRequestGetsItsOwnSlab) {
+  MonotonicArena arena(64);
+  void* p = arena.allocate(10000, 16);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::uintptr_t(p) % 16, 0u);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(MonotonicArena, ResetRetainsSlabsAndServesFromThem) {
+  MonotonicArena arena(512);
+  for (int i = 0; i < 32; ++i) arena.allocate(100, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t slabs = arena.slab_count();
+  ASSERT_GT(reserved, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.allocations(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.slab_count(), slabs);
+
+  // The same workload replayed after reset fits in the retained slabs:
+  // no new reservation, no new slab.
+  for (int i = 0; i < 32; ++i) arena.allocate(100, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.slab_count(), slabs);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  ArenaAllocator<int> heap;  // default = no arena
+  EXPECT_EQ(heap.arena(), nullptr);
+  int* p = heap.allocate(8);
+  ASSERT_NE(p, nullptr);
+  std::iota(p, p + 8, 0);
+  EXPECT_EQ(p[7], 7);
+  heap.deallocate(p, 8);  // must actually free (heap path)
+}
+
+TEST(ArenaAllocator, EqualityComparesArenas) {
+  MonotonicArena a, b;
+  ArenaAllocator<int> on_a(&a), also_on_a(&a), on_b(&b), heap;
+  EXPECT_TRUE(on_a == also_on_a);
+  EXPECT_TRUE(on_a != on_b);
+  EXPECT_TRUE(on_a != heap);
+  // Rebinding (vector internals do this) keeps the arena.
+  ArenaAllocator<double> rebound(on_a);
+  EXPECT_EQ(rebound.arena(), &a);
+  EXPECT_TRUE(rebound == on_a);
+}
+
+TEST(ArenaAllocator, VectorsWorkOnArenaAndHeap) {
+  MonotonicArena arena;
+  ArenaVector<std::uint64_t> in_arena{ArenaAllocator<std::uint64_t>(&arena)};
+  ArenaVector<std::uint64_t> on_heap;  // null-arena allocator
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    in_arena.push_back(i * 3);
+    on_heap.push_back(i * 3);
+  }
+  EXPECT_TRUE(std::equal(in_arena.begin(), in_arena.end(), on_heap.begin()));
+  EXPECT_GT(arena.bytes_used(), 1000 * sizeof(std::uint64_t));
+  // Copying an arena-backed vector keeps the storage in the same arena.
+  ArenaVector<std::uint64_t> copy(in_arena);
+  EXPECT_EQ(copy.get_allocator().arena(), &arena);
+  EXPECT_EQ(copy, in_arena);
+}
+
+TEST(ArenaAllocator, ReserveThenFillUsesOneArenaGrab) {
+  MonotonicArena arena;
+  ArenaVector<double> v{ArenaAllocator<double>(&arena)};
+  v.reserve(4096);
+  const std::uint64_t grabs = arena.allocations();
+  for (int i = 0; i < 4096; ++i) v.push_back(double(i));
+  // The pre-dispatch reservation discipline: reserve() is the only
+  // arena touch; filling afterwards allocates nothing.
+  EXPECT_EQ(arena.allocations(), grabs);
+}
+
+}  // namespace

@@ -93,7 +93,7 @@ TEST(Determinism, InstrumentedPolicySimBitIdenticalToPlain) {
   // watched (warmup requests included, so >= the measured count).
   EXPECT_EQ(recorder.samples(),
             std::size_t(config.warmup_ticks + config.measure_ticks));
-  const std::vector<double>& requests = recorder.series("bs.requests");
+  const auto& requests = recorder.series("bs.requests");
   EXPECT_GE(requests.back(), double(plain.requests));
   EXPECT_GT(registry.find_counter("bs.fetches")->value(), 0u);
 
@@ -343,6 +343,72 @@ TEST(Determinism, TracedMultiCellBitIdenticalAcrossPoolSizes) {
   const exp::MultiCellResult bare = exp::run_multi_cell(untraced);
   expect_identical(serial.aggregate, bare.aggregate);
   EXPECT_TRUE(bare.shard_traces.empty());
+}
+
+// Shard scheduling must never leak into simulation output: with a
+// Zipf-like skewed fleet (cell_client_counts) and an active fault plan,
+// every ShardSchedule — static blocks, the legacy grain-1 queue, and
+// LPT packing with work stealing — must produce the same bits as the
+// serial run at every pool size, down to the merged registry export and
+// every shard's event log. Stealing reorders *execution*, not results.
+TEST(Determinism, SkewScheduledMultiCellBitIdenticalAcrossPoolSizes) {
+  exp::MultiCellConfig config;
+  config.cell_count = 7;
+  config.cell.object_count = 40;
+  config.cell.client_count = 8;
+  config.cell.ticks = 30;
+  config.cell.server_count = 2;
+  config.cell.fetch_retry_limit = 2;
+  config.cell.faults.fetch_failure_rate = 0.2;
+  config.cell.faults.downlink_drop_rate = 0.1;
+  config.cell.faults.server_outage_rate = 0.05;
+  config.cell.faults.server_outage_ticks = 3;
+  // Heavily skewed fleet: one giant cell, a heavy head, a thin tail —
+  // the shape that makes scheduling decisions diverge across pools.
+  config.cell_client_counts = {40, 16, 8, 4, 2, 1, 1};
+  config.trace_sample_every = 2;
+  config.keep_trace = true;
+
+  // Cost estimates follow the skew (clients x ticks), so the planner has
+  // real imbalance to react to.
+  const auto costs = exp::shard_cost_estimates(config);
+  ASSERT_EQ(costs.size(), config.cell_count);
+  EXPECT_EQ(costs[0], 40u * 30u);
+  EXPECT_GT(costs[0], 10 * costs[6]);
+
+  obs::MetricsRegistry serial_registry;
+  obs::SeriesRecorder serial_recorder(serial_registry);
+  const exp::MultiCellResult serial =
+      exp::run_multi_cell(config, nullptr, &serial_recorder);
+  const std::string serial_export = serial_registry.to_json();
+  EXPECT_GT(serial.aggregate.failed_fetches, 0u)
+      << "fault plan must be active, not vacuously identical";
+
+  for (const exp::ShardSchedule schedule :
+       {exp::ShardSchedule::kStaticBlocked, exp::ShardSchedule::kQueue,
+        exp::ShardSchedule::kLptSteal}) {
+    SCOPED_TRACE(exp::shard_schedule_name(schedule));
+    config.schedule = schedule;
+    for (std::size_t pool_size : {1u, 2u, 8u}) {
+      SCOPED_TRACE("pool size " + std::to_string(pool_size));
+      util::ThreadPool pool(pool_size);
+      obs::MetricsRegistry registry;
+      obs::SeriesRecorder recorder(registry);
+      const exp::MultiCellResult pooled =
+          exp::run_multi_cell(config, &pool, &recorder);
+      expect_identical(serial.aggregate, pooled.aggregate);
+      for (std::size_t i = 0; i < config.cell_count; ++i) {
+        expect_identical(serial.per_cell[i], pooled.per_cell[i]);
+        EXPECT_EQ(pooled.shard_traces[i].to_jsonl(),
+                  serial.shard_traces[i].to_jsonl());
+      }
+      EXPECT_EQ(registry.to_json(), serial_export);
+      EXPECT_EQ(pooled.schedule_stats.workers, pool_size);
+      if (schedule != exp::ShardSchedule::kQueue) {
+        EXPECT_GT(pooled.schedule_stats.planned_makespan, 0u);
+      }
+    }
+  }
 }
 
 void expect_identical(const coop::CoopResult& a, const coop::CoopResult& b) {

@@ -6,10 +6,13 @@
 // delivers, every fetch attempt resolves, histograms mirror the log).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "exp/policy_sim.hpp"
 #include "obs/event_log.hpp"
@@ -73,6 +76,201 @@ TEST(EventLog, KindNamesAreStable) {
   EXPECT_STREQ(event_kind_name(EventKind::kDownlinkDelivered),
                "downlink_delivered");
   EXPECT_STREQ(event_kind_name(EventKind::kNetBatch), "net_batch");
+}
+
+// ---------------------------------------------------------------------------
+// JsonlTraceSink: streamed JSONL must carry the same body bytes as the
+// buffered to_jsonl() export, dual-write must leave the in-memory log's
+// accounting untouched, and the footer must reconcile the counters.
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(JsonlTraceSink, StreamedBodyMatchesBufferedJsonl) {
+  const std::string path = temp_path("streamed_vs_buffered.jsonl");
+
+  // Two identically-seeded traced runs under live faults: one plain,
+  // one streaming through an inline-flush sink with a tiny buffer (so
+  // several flush boundaries land mid-run).
+  exp::PolicySimConfig config;
+  config.object_count = 40;
+  config.requests_per_tick = 20;
+  config.warmup_ticks = 5;
+  config.measure_ticks = 20;
+  config.server_count = 2;
+  config.fetch_retry_limit = 2;
+  config.faults.fetch_failure_rate = 0.25;
+
+  RequestTracer plain;
+  exp::run_policy_sim(config, nullptr, &plain);
+
+  RequestTracer streamed;
+  {
+    JsonlTraceSink sink(path, {/*buffer_events=*/64,
+                               /*background_flush=*/false});
+    streamed.log().set_sink(&sink);
+    exp::run_policy_sim(config, nullptr, &streamed);
+    streamed.log().set_sink(nullptr);
+    sink.close();
+    EXPECT_TRUE(sink.ok());
+    // Everything streamed reached the file before close returned.
+    EXPECT_GT(sink.streamed_events(), 0u);
+    EXPECT_EQ(sink.flushed_events(), sink.streamed_events());
+    EXPECT_EQ(sink.flush_blocks(), 0u);  // inline mode never stalls
+  }
+
+  // Dual-write is pure observation: the in-memory log (and thus the
+  // buffered export) is bit-identical with or without the sink.
+  EXPECT_EQ(streamed.log().to_jsonl(), plain.log().to_jsonl());
+
+  // File framing: streamed header, buffered body bytes, footer.
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines.front(),
+            "{\"schema\":\"mobicache.trace.v1\",\"streamed\":true}");
+  EXPECT_EQ(lines.back().rfind("{\"streamed_end\":true,\"events\":", 0), 0u);
+
+  std::istringstream buffered(plain.log().to_jsonl());
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(buffered, line)) expected.push_back(line);
+  ASSERT_GE(expected.size(), 1u);
+  // to_jsonl holds only the capacity-bounded buffer; the stream holds
+  // every event. The retained prefix must match byte for byte.
+  ASSERT_LE(expected.size() - 1, lines.size() - 2);
+  for (std::size_t i = 1; i < expected.size(); ++i) {
+    EXPECT_EQ(lines[i], expected[i]) << "body line " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTraceSink, SinkSeesEventsTheBufferDrops) {
+  const std::string path = temp_path("sink_sees_drops.jsonl");
+  EventLog log(2);
+  {
+    JsonlTraceSink sink(path, {16, false});
+    log.set_sink(&sink);
+    EXPECT_EQ(log.sink(), &sink);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      log.record({sim::Tick(i), EventKind::kArrival, 0, i, 7, 0.0});
+    }
+    log.set_sink(nullptr);
+    sink.close();
+    // The bounded buffer kept 2 and dropped 3 — but the stream saw all 5
+    // (drop accounting is a property of the in-memory buffer alone).
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.dropped(), 3u);
+    EXPECT_EQ(sink.streamed_events(), 5u);
+    EXPECT_EQ(sink.flushed_events(), 5u);
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 7u);  // header + 5 events + footer
+  EXPECT_EQ(lines[1], "{\"t\":0,\"ev\":\"arrival\",\"obj\":0,\"client\":7}");
+  EXPECT_EQ(lines[5], "{\"t\":4,\"ev\":\"arrival\",\"obj\":4,\"client\":7}");
+  EXPECT_EQ(lines[6],
+            "{\"streamed_end\":true,\"events\":5,\"flushes\":1,"
+            "\"flush_blocks\":0}");
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTraceSink, BackgroundFlushWritesTheSameBodyBytes) {
+  const std::string inline_path = temp_path("sink_inline.jsonl");
+  const std::string background_path = temp_path("sink_background.jsonl");
+  const auto feed = [](EventSink& sink) {
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+      sink.write({sim::Tick(i), EventKind(i % 13), i % 3, i, i % 11,
+                  double(i % 5)});
+    }
+  };
+  {
+    JsonlTraceSink inline_sink(inline_path, {32, false});
+    JsonlTraceSink background_sink(background_path, {32, true});
+    feed(inline_sink);
+    feed(background_sink);
+    inline_sink.close();
+    background_sink.close();
+    EXPECT_EQ(inline_sink.streamed_events(), 1000u);
+    EXPECT_EQ(background_sink.streamed_events(), 1000u);
+    // close() drains everything in both modes.
+    EXPECT_EQ(inline_sink.flushed_events(), 1000u);
+    EXPECT_EQ(background_sink.flushed_events(), 1000u);
+  }
+  const std::vector<std::string> a = read_lines(inline_path);
+  const std::vector<std::string> b = read_lines(background_path);
+  ASSERT_EQ(a.size(), 1002u);
+  ASSERT_EQ(b.size(), 1002u);
+  // Body bytes are identical; only the footer's flush accounting may
+  // differ between modes (flush_blocks is backpressure timing).
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "line " << i;
+  }
+  std::remove(inline_path.c_str());
+  std::remove(background_path.c_str());
+}
+
+TEST(JsonlTraceSink, WriteAfterCloseIsACountedNoop) {
+  const std::string path = temp_path("sink_closed.jsonl");
+  JsonlTraceSink sink(path, {8, false});
+  sink.write({1, EventKind::kArrival, 0, 2, 3, 0.0});
+  sink.close();
+  sink.close();  // idempotent
+  sink.write({2, EventKind::kArrival, 0, 2, 3, 0.0});
+  EXPECT_EQ(sink.streamed_events(), 2u);  // counted...
+  EXPECT_EQ(sink.flushed_events(), 1u);   // ...but not emitted
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);  // header + 1 event + footer
+  EXPECT_EQ(lines[2].rfind("{\"streamed_end\":true,\"events\":1,", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTraceSink, RejectsZeroBufferAndUnopenablePath) {
+  EXPECT_THROW(JsonlTraceSink("x.jsonl", {0, false}), std::invalid_argument);
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir-zz/x.jsonl"),
+               std::runtime_error);
+}
+
+TEST(ExportTraceMetrics, MirrorsTracerAndSinkCounters) {
+  const std::string path = temp_path("export_metrics.jsonl");
+  RequestTracer::Config config;
+  config.sample_every = 2;
+  config.event_capacity = 4;
+  RequestTracer tracer(config);
+  JsonlTraceSink sink(path, {16, false});
+  tracer.log().set_sink(&sink);
+  tracer.begin_tick(0);
+  for (std::uint32_t i = 0; i < 10; ++i) tracer.on_arrival(i, 0);
+  tracer.log().set_sink(nullptr);
+  sink.close();
+
+  MetricsRegistry registry;
+  // Export while the sink is detached: the sink counters read zero...
+  export_trace_metrics(registry, tracer);
+  EXPECT_EQ(registry.find_counter("trace.events")->value(), 4u);
+  EXPECT_EQ(registry.find_counter("trace.dropped")->value(), 1u);
+  EXPECT_EQ(registry.find_counter("trace.arrivals")->value(), 10u);
+  EXPECT_EQ(registry.find_counter("trace.streamed_events")->value(), 0u);
+  EXPECT_EQ(registry.find_counter("trace.flushed_events")->value(), 0u);
+  EXPECT_EQ(registry.find_counter("trace.flush_blocks")->value(), 0u);
+
+  // ...and with it attached they mirror the sink (custom prefix too).
+  tracer.log().set_sink(&sink);
+  MetricsRegistry attached;
+  export_trace_metrics(attached, tracer, "t2");
+  EXPECT_EQ(attached.find_counter("t2.events")->value(), 4u);
+  EXPECT_EQ(attached.find_counter("t2.streamed_events")->value(), 5u);
+  EXPECT_EQ(attached.find_counter("t2.flushed_events")->value(), 5u);
+  EXPECT_EQ(attached.find_counter("t2.flush_blocks")->value(), 0u);
+  tracer.log().set_sink(nullptr);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -129,8 +129,8 @@ TEST(MultiCell, RecorderAggregatesShardSumsAndPerturbsNothing) {
   expect_identical(bare.aggregate, observed.aggregate);
 
   ASSERT_EQ(recorder.samples(), std::size_t(config.cell.ticks));
-  const std::vector<double>& requests = recorder.series("mc.requests");
-  const std::vector<double>& units = recorder.series("mc.units_downloaded");
+  const auto& requests = recorder.series("mc.requests");
+  const auto& units = recorder.series("mc.units_downloaded");
   for (std::size_t t = 0; t < recorder.samples(); ++t) {
     std::size_t want_requests = 0;
     object::Units want_units = 0;
@@ -230,6 +230,65 @@ TEST(MultiCell, RejectsDegenerateConfigs) {
   coop.topology = exp::CellTopology::kCoopClusters;
   coop.cells_per_cluster = 0;
   EXPECT_THROW(exp::run_multi_cell(coop), std::invalid_argument);
+
+  // A per-cell client override must cover every cell exactly.
+  exp::MultiCellConfig skew = small_config();
+  skew.cell_client_counts = {4, 4};  // 2 != cell_count (6)
+  EXPECT_THROW(exp::run_multi_cell(skew), std::invalid_argument);
+  EXPECT_THROW(exp::shard_cost_estimates(skew), std::invalid_argument);
+}
+
+TEST(MultiCell, ShardCostEstimatesFollowClientsTimesTicks) {
+  exp::MultiCellConfig config = small_config();  // 6 cells, 8 clients, 40 ticks
+  const auto uniform = exp::shard_cost_estimates(config);
+  ASSERT_EQ(uniform.size(), 6u);
+  for (const auto cost : uniform) EXPECT_EQ(cost, 8u * 40u);
+
+  config.cell_client_counts = {20, 10, 5, 2, 1, 1};
+  const auto skewed = exp::shard_cost_estimates(config);
+  ASSERT_EQ(skewed.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(skewed[i], config.cell_client_counts[i] * 40u);
+  }
+
+  exp::MultiCellConfig coop = small_config();
+  coop.topology = exp::CellTopology::kCoopClusters;
+  coop.cells_per_cluster = 3;
+  const auto clusters = exp::shard_cost_estimates(coop);
+  ASSERT_EQ(clusters.size(), 2u);  // 6 cells / 3 per cluster
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_GT(clusters[0], 0u);
+}
+
+// The per-cell client override changes the simulation (more clients =
+// more requests) but not the determinism contract: skewed fleets are
+// bit-identical across schedules and pool sizes (pinned in
+// determinism_test); here we pin that the override actually takes
+// effect and scales per-cell load.
+TEST(MultiCell, CellClientCountsOverrideScalesPerCellLoad) {
+  exp::MultiCellConfig config = small_config();
+  config.cell_client_counts = {32, 8, 8, 8, 8, 1};
+  const exp::MultiCellResult result = exp::run_multi_cell(config);
+  ASSERT_EQ(result.per_cell.size(), 6u);
+  // Requests scale with the client count: the 32-client cell sees ~4x
+  // the traffic of an 8-client cell, the 1-client cell ~1/8th.
+  EXPECT_GT(result.per_cell[0].requests, 2 * result.per_cell[1].requests);
+  EXPECT_LT(result.per_cell[5].requests, result.per_cell[1].requests / 2);
+
+  // Uniform override == no override, bit for bit.
+  exp::MultiCellConfig uniform = small_config();
+  uniform.cell_client_counts.assign(6, uniform.cell.client_count);
+  const exp::MultiCellResult overridden = exp::run_multi_cell(uniform);
+  const exp::MultiCellResult plain = exp::run_multi_cell(small_config());
+  expect_identical(overridden.aggregate, plain.aggregate);
+}
+
+TEST(MultiCell, ScheduleNames) {
+  EXPECT_STREQ(exp::shard_schedule_name(exp::ShardSchedule::kStaticBlocked),
+               "static-blocked");
+  EXPECT_STREQ(exp::shard_schedule_name(exp::ShardSchedule::kQueue), "queue");
+  EXPECT_STREQ(exp::shard_schedule_name(exp::ShardSchedule::kLptSteal),
+               "lpt-steal");
 }
 
 TEST(MultiCell, TopologyNames) {

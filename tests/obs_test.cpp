@@ -374,6 +374,12 @@ TEST(MetricsRegistry, TableHasRowPerMetric) {
 // ---------------------------------------------------------------------------
 // SeriesRecorder.
 
+// Series storage may be arena-backed (allocator differs from the plain
+// std::vector<double> literals below); compare by value.
+std::vector<double> as_vec(const SeriesRecorder::Series& series) {
+  return std::vector<double>(series.begin(), series.end());
+}
+
 TEST(SeriesRecorder, AlignsSeriesWithTicks) {
   MetricsRegistry registry;
   Counter& counter = registry.register_counter("events");
@@ -385,9 +391,9 @@ TEST(SeriesRecorder, AlignsSeriesWithTicks) {
     recorder.sample(t);
   }
   ASSERT_EQ(recorder.samples(), 3u);
-  EXPECT_EQ(recorder.series("events"),
+  EXPECT_EQ(as_vec(recorder.series("events")),
             (std::vector<double>{2.0, 4.0, 6.0}));  // cumulative
-  EXPECT_EQ(recorder.series("level"), (std::vector<double>{-0.5, 0.5, 1.5}));
+  EXPECT_EQ(as_vec(recorder.series("level")), (std::vector<double>{-0.5, 0.5, 1.5}));
   EXPECT_THROW(recorder.series("missing"), std::out_of_range);
 }
 
@@ -399,7 +405,7 @@ TEST(SeriesRecorder, LateRegisteredMetricIsBackfilled) {
   recorder.sample(1);
   registry.register_counter("late").add(9);
   recorder.sample(2);
-  EXPECT_EQ(recorder.series("late"), (std::vector<double>{0.0, 0.0, 9.0}));
+  EXPECT_EQ(as_vec(recorder.series("late")), (std::vector<double>{0.0, 0.0, 9.0}));
   EXPECT_EQ(recorder.series("early").size(), 3u);
 }
 
@@ -417,7 +423,7 @@ TEST(SeriesRecorder, LateRegisteredGaugeIsBackfilledWithZeros) {
   recorder.sample(2);
   late.set(7.0);
   recorder.sample(3);
-  EXPECT_EQ(recorder.series("late.level"),
+  EXPECT_EQ(as_vec(recorder.series("late.level")),
             (std::vector<double>{0.0, 0.0, -2.5, 7.0}));
   EXPECT_EQ(recorder.series("steady").size(), 4u);
   // The JSON export carries the backfilled prefix too.

@@ -85,6 +85,107 @@ TEST(DefaultPool, IsSingleton) {
   EXPECT_EQ(&default_pool(), &default_pool());
 }
 
+TEST(LptPlan, PacksLongestFirstOntoLeastLoadedWorker) {
+  // Classic LPT example: costs {7,6,5,4,3} on 2 workers, longest first,
+  // each to the least-loaded queue (ties to the lowest queue index):
+  // 7->w0 (7|0), 6->w1 (7|6), 5->w1 (7|11), 4->w0 (11|11), then the
+  // tie sends 3->w0 (14|11). Makespan 14 — optimal is 13, inside LPT's
+  // 4/3 bound.
+  const LptPlan plan = lpt_plan({7, 6, 5, 4, 3}, 2);
+  ASSERT_EQ(plan.queues.size(), 2u);
+  ASSERT_EQ(plan.loads.size(), 2u);
+  EXPECT_EQ(plan.loads[0], 14u);
+  EXPECT_EQ(plan.loads[1], 11u);
+  EXPECT_EQ(plan.makespan(), 14u);
+  EXPECT_EQ(plan.queues[0], (std::vector<std::size_t>{0, 3, 4}));
+  EXPECT_EQ(plan.queues[1], (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(LptPlan, CoversEveryIndexOnceAndChargesZeroCostAsOne) {
+  const LptPlan plan = lpt_plan({0, 0, 0, 9, 0}, 3);
+  std::vector<int> seen(5, 0);
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < plan.queues.size(); ++w) {
+    for (std::size_t i : plan.queues[w]) ++seen[i];
+    total += plan.loads[w];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  // Four zero-cost items charged one unit each + the 9.
+  EXPECT_EQ(total, 13u);
+  EXPECT_EQ(plan.makespan(), 9u);
+}
+
+TEST(LptPlan, MoreWorkersThanItemsLeavesQueuesEmpty) {
+  const LptPlan plan = lpt_plan({5, 2}, 8);
+  ASSERT_EQ(plan.queues.size(), 8u);
+  EXPECT_EQ(plan.makespan(), 5u);
+  std::size_t nonempty = 0;
+  for (const auto& q : plan.queues) nonempty += !q.empty();
+  EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(WeightedParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> costs(257);
+  for (std::size_t i = 0; i < costs.size(); ++i) costs[i] = i % 13;
+  std::vector<std::atomic<int>> hits(costs.size());
+  WeightedForStats stats;
+  weighted_parallel_for(pool, costs, [&](std::size_t i) { ++hits[i]; },
+                        &stats);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_EQ(stats.planned_makespan, lpt_plan(costs, 4).makespan());
+}
+
+TEST(WeightedParallelFor, EmptyCostsIsNoopAndStatsStayZeroWork) {
+  ThreadPool pool(2);
+  int calls = 0;
+  WeightedForStats stats;
+  weighted_parallel_for(pool, {}, [&](std::size_t) { ++calls; }, &stats);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.planned_makespan, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(WeightedParallelFor, RethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      weighted_parallel_for(pool, std::vector<std::uint64_t>(10, 1),
+                            [&](std::size_t i) {
+                              if (i == 7) throw std::logic_error("seven");
+                            }),
+      std::logic_error);
+}
+
+// Stealing exists to keep a drained worker busy: with one giant item
+// pinning a worker and a long tail behind it, the other workers must
+// pull the tail over. Nondeterministic *which* items get stolen, but a
+// blocked-queue layout this lopsided must steal at least once, and the
+// result (covered indices) is identical regardless.
+TEST(WeightedParallelForStress, StealsUnderImbalanceWithoutDoubleRuns) {
+  std::mt19937 rng(0x5EED);
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2 + rng() % 3);
+    std::vector<std::uint64_t> costs(64);
+    for (auto& c : costs) c = 1 + rng() % 100;
+    std::vector<std::atomic<int>> hits(costs.size());
+    std::atomic<std::uint64_t> sum{0};
+    WeightedForStats stats;
+    weighted_parallel_for(pool, costs,
+                          [&](std::size_t i) {
+                            ++hits[i];
+                            sum += costs[i];
+                          },
+                          &stats);
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+      expected += costs[i];
+    }
+    EXPECT_EQ(sum.load(), expected) << "round " << round;
+  }
+}
+
 // Destroying a pool with futures still outstanding must run every queued
 // task before joining, so dropped futures never dangle and no submission
 // is lost. Seeded, no sleeps — the interleavings come from scheduling
