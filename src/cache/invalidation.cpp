@@ -20,20 +20,26 @@ void InvalidationLog::record_update(object::ObjectId id, sim::Tick tick) {
 
 InvalidationReport InvalidationLog::make_report(sim::Tick from,
                                                 sim::Tick to) const {
-  if (from > to) throw std::invalid_argument("InvalidationLog: from > to");
   InvalidationReport report;
-  report.window_start = from;
-  report.window_end = to;
+  make_report_into(from, to, report);
+  return report;
+}
+
+void InvalidationLog::make_report_into(sim::Tick from, sim::Tick to,
+                                       InvalidationReport& out) const {
+  if (from > to) throw std::invalid_argument("InvalidationLog: from > to");
+  out.window_start = from;
+  out.window_end = to;
+  out.items.clear();
   for (object::ObjectId id = 0; id < object_count_; ++id) {
     const auto& history = updates_[id];
     const auto lo = std::lower_bound(history.begin(), history.end(), from);
     const auto hi = std::lower_bound(history.begin(), history.end(), to);
     const auto count = std::uint32_t(hi - lo);
     if (count > 0) {
-      report.items.push_back(InvalidationReport::Item{id, count});
+      out.items.push_back(InvalidationReport::Item{id, count});
     }
   }
-  return report;
 }
 
 void InvalidationLog::prune(sim::Tick before) {

@@ -46,6 +46,13 @@ class InvalidationLog {
   /// Builds the report covering [from, to); items appear in id order.
   InvalidationReport make_report(sim::Tick from, sim::Tick to) const;
 
+  /// make_report into a caller-owned report (cleared first). Reusing one
+  /// scratch report per reporting site makes the periodic-report tick
+  /// allocation-free once `out.items` reaches its high-water capacity —
+  /// the mobility fleet's steady state depends on this.
+  void make_report_into(sim::Tick from, sim::Tick to,
+                        InvalidationReport& out) const;
+
   /// Drops records older than `before` (bounded memory for long runs).
   void prune(sim::Tick before);
 

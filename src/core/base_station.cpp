@@ -171,6 +171,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   ctx.servers = servers_;
   ctx.scorer = scorer_.get();
   ctx.peers = peers_;
+  ctx.residency = residency_;
   ctx.now = now;
   ctx.budget = budget_left;
   {

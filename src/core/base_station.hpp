@@ -211,6 +211,18 @@ class BaseStation {
 
   const PeerSource* peer_source() const noexcept { return peers_; }
 
+  /// Attaches a mobility residency probe (core/residency.hpp): the policy
+  /// context's knapsack benefit is scaled per requesting client by the
+  /// probability the client is still resident when the fetch lands.
+  /// Probes are pure reads (no draws, no mutation), so this only changes
+  /// what the policy values — nullptr (the default) is bit-identical to
+  /// the residence-blind station.
+  void set_residency_probe(const ResidencyProbe* probe) noexcept {
+    residency_ = probe;
+  }
+
+  const ResidencyProbe* residency_probe() const noexcept { return residency_; }
+
   /// Objects currently awaiting a backoff retry (tests/diagnostics).
   std::size_t retry_queue_depth() const noexcept { return retry_queue_.size(); }
 
@@ -260,6 +272,7 @@ class BaseStation {
   // retry_pending_ dedups queue entries so the preallocated retry queue
   // is bounded by the catalog.
   PeerSource* peers_ = nullptr;
+  const ResidencyProbe* residency_ = nullptr;
   net::FaultInjector* fault_ = nullptr;
   std::vector<RetryEntry> retry_queue_;
   std::vector<std::uint8_t> retry_pending_;

@@ -19,6 +19,16 @@ const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
                                             const RecencyScorer& scorer,
                                             const PeerSource* peers,
                                             sim::Tick now) {
+  return build(batch, catalog, cache, scorer, peers, now, nullptr);
+}
+
+const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
+                                            const object::Catalog& catalog,
+                                            const cache::Cache& cache,
+                                            const RecencyScorer& scorer,
+                                            const PeerSource* peers,
+                                            sim::Tick now,
+                                            const ResidencyProbe* residency) {
   set_.candidates.clear();
   set_.total_requests = batch.size();
   set_.baseline_score_sum = 0.0;
@@ -56,10 +66,29 @@ const CandidateSet& CandidateBuilder::build(const workload::RequestBatch& batch,
     DownloadCandidate& cand = set_.candidates[slot_[id]];
     ++cand.requests;
     cand.cached_score_sum += cached_score;
-    cand.profit += 1.0 - cached_score;
-    if (cand.tier == SourceTier::kPeer) {
-      cand.peer_score_sum +=
-          scorer.score(cand.peer_recency, request.target_recency);
+    if (residency == nullptr) {
+      // Residence-blind accumulation, expression-for-expression the
+      // pre-mobility builder (bit-identity is load-bearing: the probe-off
+      // differential locks on it).
+      cand.profit += 1.0 - cached_score;
+      if (cand.tier == SourceTier::kPeer) {
+        cand.peer_score_sum +=
+            scorer.score(cand.peer_recency, request.target_recency);
+      }
+    } else {
+      const double p = residency->probability(request.client);
+      // Expected value of the download under delivery latency: the
+      // serve pays (1 - cached_score) only if the client is still
+      // resident when the payload lands, which is what p estimates.
+      cand.profit += p * (1.0 - cached_score);
+      if (cand.tier == SourceTier::kPeer) {
+        // tier_profit reads peer_score_sum - cached_score_sum, so fold
+        // the weighting into the stored sum: the delta contributed here
+        // is p * (peer score - cached score).
+        const double peer_score =
+            scorer.score(cand.peer_recency, request.target_recency);
+        cand.peer_score_sum += cached_score + p * (peer_score - cached_score);
+      }
     }
     set_.baseline_score_sum += cached_score;
   }

@@ -13,6 +13,7 @@
 
 #include "cache/cache.hpp"
 #include "core/peer_source.hpp"
+#include "core/residency.hpp"
 #include "core/scoring.hpp"
 #include "object/object.hpp"
 #include "sim/tick.hpp"
@@ -113,6 +114,23 @@ class CandidateBuilder {
                             const cache::Cache& cache,
                             const RecencyScorer& scorer,
                             const PeerSource* peers, sim::Tick now);
+
+  /// Mobility-aware build: additionally scales each requester's benefit
+  /// contribution by `residency->probability(client)` — the chance the
+  /// client is still resident when the download lands — so profit becomes
+  ///   profit(u) = sum_i p_i * (1 - score(cached recency, C_i))
+  /// and the peer tier's gain sum_i p_i * (peer score - cached score).
+  /// Serving-outcome accounting (cached_score_sum, baseline_score_sum) is
+  /// NOT weighted: those describe what actually happens, not what a
+  /// download is worth. nullptr `residency` takes the exact unweighted
+  /// code path of the overload above (bit-identical, branch not float
+  /// math).
+  const CandidateSet& build(const workload::RequestBatch& batch,
+                            const object::Catalog& catalog,
+                            const cache::Cache& cache,
+                            const RecencyScorer& scorer,
+                            const PeerSource* peers, sim::Tick now,
+                            const ResidencyProbe* residency);
 
  private:
   std::vector<std::uint64_t> stamp_;  // per-object epoch of last touch

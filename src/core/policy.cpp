@@ -79,8 +79,9 @@ void OnDemandKnapsackPolicy::select_into(const workload::RequestBatch& batch,
                                          std::vector<object::ObjectId>& out) {
   check_context(ctx, /*needs_scorer=*/true);
   out.clear();
-  const CandidateSet& set = builder_.build(batch, *ctx.catalog, *ctx.cache,
-                                           *ctx.scorer, ctx.peers, ctx.now);
+  const CandidateSet& set =
+      builder_.build(batch, *ctx.catalog, *ctx.cache, *ctx.scorer, ctx.peers,
+                     ctx.now, ctx.residency);
   if (set.candidates.empty()) return;
 
   // Unlimited budget: take everything with positive tier profit.

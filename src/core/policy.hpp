@@ -23,6 +23,7 @@
 #include "cache/cache.hpp"
 #include "core/benefit.hpp"
 #include "core/knapsack.hpp"
+#include "core/residency.hpp"
 #include "core/scoring.hpp"
 #include "object/object.hpp"
 #include "server/remote_server.hpp"
@@ -48,6 +49,11 @@ struct PolicyContext {
   /// peer tier's discounted weight and relayed recency. nullptr (the
   /// default) is bit-identical to the pre-peer candidate builder.
   const PeerSource* peers = nullptr;
+  /// Mobility probe (core/residency.hpp); non-null makes the knapsack
+  /// builder scale each requester's benefit by the probability the client
+  /// is still resident when the fetch lands. nullptr (the default) is
+  /// bit-identical to the residence-blind builder.
+  const ResidencyProbe* residency = nullptr;
   sim::Tick now = 0;
   /// Download budget for this tick, in data units; negative = unlimited.
   object::Units budget = -1;

@@ -1,0 +1,29 @@
+// ResidencyProbe: the policy layer's view of client mobility.
+//
+// A probe answers one question per requesting client: with what
+// probability is this client still resident in the station's cell when a
+// download issued now lands? The knapsack's per-client benefit is scaled
+// by that probability (MobiCacher's utility term, PAPERS.md arXiv
+// 1407.1307), so the station stops spending budget on clients about to
+// hand off. The core layer only sees this interface; the concrete
+// implementation wraps sim::ResidencyPredictor (src/sim/mobility.hpp) and
+// is attached by the mobility fleet (src/exp/mobility_fleet.hpp).
+//
+// Contract: probability() is a pure read in [0, 1] — no RNG draws, no
+// state mutation — so attaching a probe never perturbs the simulation
+// stream, and a nullptr probe is bit-identical to the pre-mobility build.
+#pragma once
+
+#include "workload/requests.hpp"
+
+namespace mobi::core {
+
+class ResidencyProbe {
+ public:
+  virtual ~ResidencyProbe() = default;
+
+  /// P(client still resident at fetch-landing time), in [0, 1].
+  virtual double probability(workload::ClientId client) const = 0;
+};
+
+}  // namespace mobi::core

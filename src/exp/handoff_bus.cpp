@@ -1,0 +1,48 @@
+#include "exp/handoff_bus.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace mobi::exp {
+
+HandoffBus::HandoffBus(std::size_t cell_count) : cell_count_(cell_count) {
+  if (cell_count == 0) {
+    throw std::invalid_argument("HandoffBus: need >= 1 cell");
+  }
+}
+
+void HandoffBus::reserve(std::size_t capacity) { queue_.reserve(capacity); }
+
+void HandoffBus::post(const HandoffRecord& record) {
+  if (record.to >= cell_count_ || record.from >= cell_count_) {
+    throw std::out_of_range("HandoffBus: cell out of range");
+  }
+  queue_.push_back(record);
+  ++posted_;
+}
+
+void HandoffBus::set_metrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  if (!registry) {
+    posted_counter_ = delivered_counter_ = units_counter_ = nullptr;
+    return;
+  }
+  posted_counter_ = &registry->register_counter(prefix + ".posted");
+  delivered_counter_ = &registry->register_counter(prefix + ".delivered");
+  units_counter_ = &registry->register_counter(prefix + ".migrated_units");
+  published_posted_ = published_delivered_ = published_units_ = 0;
+  publish();
+}
+
+void HandoffBus::publish() noexcept {
+  if (!posted_counter_) return;
+  posted_counter_->add(posted_ - published_posted_);
+  delivered_counter_->add(delivered_ - published_delivered_);
+  units_counter_->add(migrated_units_ - published_units_);
+  published_posted_ = posted_;
+  published_delivered_ = delivered_;
+  published_units_ = migrated_units_;
+}
+
+}  // namespace mobi::exp

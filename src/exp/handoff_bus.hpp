@@ -1,0 +1,93 @@
+// HandoffBus: the deterministic mailbox that carries client state between
+// cells when the mobility model reports a boundary crossing.
+//
+// Shards of a multi-cell run are share-nothing while cells tick in
+// parallel; mobility is the first cross-shard interaction (the PR 7
+// coherence directory coordinates caches, never clients). The bus keeps
+// the determinism contract by construction: crossings are posted and
+// drained only at the single-threaded per-tick barrier between parallel
+// cell steps, records are delivered strictly in post order — a client
+// hopping through two cells in one tick (trace mode) must leave the
+// first before it can leave the second — and the whole structure is
+// routing-plus-accounting: it draws no RNG.
+//
+// A record migrates the client's *identity* between cell rosters; the
+// client object itself (cache, invalidation listener, counters) is owned
+// by the fleet and never moves in memory, so the "migrated cache units"
+// ride along as accounting, not as a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "object/object.hpp"
+
+namespace mobi::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace mobi::obs
+
+namespace mobi::exp {
+
+struct HandoffRecord {
+  std::uint32_t client = 0;  // global client id
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  object::Units cache_units = 0;  // client-cache payload riding along
+};
+
+class HandoffBus {
+ public:
+  explicit HandoffBus(std::size_t cell_count);
+
+  /// Pre-sizes the queue so steady-state post() never allocates.
+  void reserve(std::size_t capacity);
+
+  /// Enqueues a record (cells range-checked). Barrier-thread only.
+  void post(const HandoffRecord& record);
+
+  /// Delivers every pending record in post order, then clears the queue
+  /// (capacity retained). `apply` performs the roster/state migration;
+  /// the bus only routes and counts.
+  template <typename Apply>
+  void drain(Apply&& apply) {
+    for (const HandoffRecord& record : queue_) {
+      apply(record);
+      ++delivered_;
+      migrated_units_ += std::uint64_t(record.cache_units);
+    }
+    queue_.clear();
+    publish();
+  }
+
+  std::size_t cell_count() const noexcept { return cell_count_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t posted() const noexcept { return posted_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t migrated_units() const noexcept { return migrated_units_; }
+
+  /// Exports `<prefix>.posted` / `.delivered` / `.migrated_units`
+  /// counters (default prefix "mobility"), kept current after every
+  /// drain. nullptr detaches. Observation only.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "mobility");
+
+ private:
+  void publish() noexcept;
+
+  std::size_t cell_count_;
+  std::vector<HandoffRecord> queue_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t migrated_units_ = 0;
+
+  obs::Counter* posted_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* units_counter_ = nullptr;
+  std::uint64_t published_posted_ = 0;
+  std::uint64_t published_delivered_ = 0;
+  std::uint64_t published_units_ = 0;
+};
+
+}  // namespace mobi::exp

@@ -1,0 +1,184 @@
+// MobilityFleet: the multi-cell engine for runs where clients move.
+//
+// client::run_cell owns everything per cell — catalog, clients, RNG
+// streams — which is exactly what makes sharded runs embarrassingly
+// parallel, and exactly what breaks once a client can leave: a migrating
+// client must find the same object sizes and a consistent server state
+// in its new cell. The fleet therefore restructures the run:
+//
+//   * ONE catalog, built from the master seed, shared by every cell;
+//     per-cell ServerPools stay version-consistent because the staggered
+//     update process (deterministic, RNG-free) is applied identically in
+//     each cell.
+//   * ONE stable client vector, global ids, constructed once and never
+//     reallocated (MobileClient's invalidation listener captures the
+//     address of its own cache — the object must not move). Cells hold
+//     rosters of ids; migration moves ids, never objects.
+//   * Per-cell streams (connectivity, requests, faults) seeded with the
+//     same position-addressable shard_seed discipline as the sharded
+//     path, so a pool-of-K run is bit-identical to serial for every K.
+//
+// Each tick: cells run the run_cell-shaped body in parallel (updates ->
+// report -> client requests -> process_batch -> stores -> snapshot),
+// then a single-threaded barrier steps the MobilityModel, posts each
+// crossing to the HandoffBus, and drains it — roster moves plus a
+// deterministic handoff window on the crossing client. With
+// mobility_predictive set, every station's knapsack sees a ResidencyProbe
+// backed by the model's dwell estimates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/invalidation.hpp"
+#include "client/cell.hpp"
+#include "client/mobile_client.hpp"
+#include "core/base_station.hpp"
+#include "core/residency.hpp"
+#include "exp/handoff_bus.hpp"
+#include "exp/multi_cell.hpp"
+#include "net/fault_injector.hpp"
+#include "server/remote_server.hpp"
+#include "sim/mobility.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/access.hpp"
+#include "workload/requests.hpp"
+#include "workload/updates.hpp"
+
+namespace mobi::obs {
+class RequestTracer;
+}  // namespace mobi::obs
+
+namespace mobi::exp {
+
+/// core::ResidencyProbe backed by the fleet's mobility model. Pure reads
+/// against state frozen at the last barrier, so concurrent cell steps
+/// may query it freely.
+class FleetResidencyProbe final : public core::ResidencyProbe {
+ public:
+  explicit FleetResidencyProbe(const sim::ResidencyPredictor& predictor)
+      : predictor_(&predictor) {}
+  double probability(workload::ClientId client) const override {
+    return predictor_->probability(client);
+  }
+
+ private:
+  const sim::ResidencyPredictor* predictor_;
+};
+
+class MobilityFleet {
+ public:
+  /// Requires sharded topology and a non-empty config.mobility (throws
+  /// otherwise). Honors cell_client_counts; clients get global ids in
+  /// cell-major order (cell 0 holds ids [0, n0), cell 1 the next n1, ...).
+  explicit MobilityFleet(const MultiCellConfig& config);
+  MobilityFleet(const MobilityFleet&) = delete;
+  MobilityFleet& operator=(const MobilityFleet&) = delete;
+
+  /// Attach observation before the first step. The tracer follows the
+  /// run_cell contract (station + links); `series` (may be nullptr)
+  /// receives one cumulative CellResult snapshot per tick, appended by
+  /// whichever worker runs the cell — reserve it to ticks() up front.
+  void set_tracer(std::size_t cell, obs::RequestTracer* tracer);
+  void attach_series(std::size_t cell, client::CellSeries* series);
+
+  /// Runs one tick: parallel cell bodies (serial when pool is null),
+  /// then the single-threaded mobility barrier. The serial path is
+  /// allocation-free once scratch capacities are warm.
+  void step(util::ThreadPool* pool = nullptr);
+
+  sim::Tick now() const noexcept { return next_tick_; }
+  sim::Tick ticks() const noexcept { return ticks_; }
+  bool done() const noexcept { return next_tick_ >= ticks_; }
+
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  std::size_t client_count() const noexcept { return clients_.size(); }
+
+  const client::CellResult& cell_result(std::size_t cell) const {
+    return cells_.at(cell)->result;
+  }
+  /// Sorted global ids currently resident in `cell`.
+  const std::vector<std::uint32_t>& roster(std::size_t cell) const {
+    return cells_.at(cell)->roster;
+  }
+  std::uint32_t cell_of_client(std::uint32_t client) const {
+    return model_->cell_of(client);
+  }
+
+  const sim::MobilityModel& model() const noexcept { return *model_; }
+  const HandoffBus& bus() const noexcept { return *bus_; }
+  bool predictive() const noexcept { return probe_.has_value(); }
+
+  /// Cumulative handoff accounting; `mobility_series()[t]` is the state
+  /// after tick t's barrier (one row per completed tick).
+  const MobilityRunStats& stats() const noexcept { return stats_; }
+  const std::vector<MobilityRunStats>& mobility_series() const noexcept {
+    return rows_;
+  }
+
+ private:
+  /// One serve in flight on a cell's downlink: decided at some tick,
+  /// landing at `land`. `recency` is frozen at send time (the payload's
+  /// content does not change mid-flight).
+  struct Delivery {
+    std::uint32_t client = 0;
+    object::ObjectId object = 0;
+    double recency = 1.0;
+    sim::Tick land = 0;
+  };
+
+  struct CellState {
+    server::ServerPool servers;
+    core::BaseStation station;
+    cache::InvalidationLog log;
+    std::unique_ptr<workload::UpdateProcess> updates;
+    std::optional<net::FaultInjector> injector;
+    util::Rng connectivity_rng;
+    util::Rng request_rng;
+    std::vector<std::uint32_t> roster;  // sorted global client ids
+    client::CellResult result;
+    std::uint64_t delivered_payloads = 0;
+    std::uint64_t lost_deliveries = 0;
+    // Reused per-tick scratch (reserved in the constructor).
+    workload::RequestBatch batch;
+    std::vector<std::uint32_t> requester;  // global id per batch entry
+    std::vector<Delivery> in_flight;  // kept compact, enqueue order
+    cache::InvalidationReport report;
+    obs::RequestTracer* tracer = nullptr;
+    client::CellSeries* series = nullptr;
+
+    CellState(const object::Catalog& catalog, const MultiCellConfig& config,
+              std::uint64_t cell_seed, std::size_t initial_clients);
+  };
+
+  void run_cell_tick(CellState& cell, sim::Tick t);
+  void land_deliveries(CellState& cell, sim::Tick t);
+  void barrier(sim::Tick t);
+
+  MultiCellConfig config_;
+  object::Catalog catalog_;
+  core::ReciprocalScorer landing_scorer_;
+  std::shared_ptr<const workload::AccessDistribution> access_;
+  std::vector<std::unique_ptr<CellState>> cells_;
+  std::vector<client::MobileClient> clients_;  // stable; never reallocates
+  // Last-published per-client counters: per-tick deltas are attributed to
+  // the cell the client is resident in, so per-cell series stay monotone
+  // even though the underlying counters travel with the client.
+  std::vector<std::uint64_t> seen_sleeper_drops_;
+  std::vector<std::uint64_t> seen_handoffs_;
+
+  std::optional<sim::MobilityModel> model_;
+  std::optional<sim::ResidencyPredictor> predictor_;
+  std::optional<FleetResidencyProbe> probe_;
+  std::optional<HandoffBus> bus_;
+  std::vector<sim::Crossing> crossings_;  // barrier scratch
+
+  MobilityRunStats stats_;
+  std::vector<MobilityRunStats> rows_;
+  sim::Tick next_tick_ = 0;
+  sim::Tick ticks_ = 0;
+};
+
+}  // namespace mobi::exp

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "exp/mobility_fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/arena.hpp"
@@ -123,9 +124,13 @@ void accumulate_rows(util::ArenaVector<Row>& acc, const SeriesRows& series) {
   }
 }
 
+// `mobility` (row t = cumulative handoff totals through tick t) adds
+// mc.mobility.* counters; nullptr — every mobility-off run — registers
+// nothing, keeping the registry byte-identical to the pre-mobility path.
 template <typename SeriesRows>
 void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
-                    std::size_t cells, util::MonotonicArena& arena) {
+                    std::size_t cells, util::MonotonicArena& arena,
+                    const std::vector<MobilityRunStats>* mobility = nullptr) {
   obs::MetricsRegistry& registry = recorder.registry();
   obs::Counter& requests = registry.register_counter("mc.requests");
   obs::Counter& local_hits = registry.register_counter("mc.local_hits");
@@ -138,12 +143,25 @@ void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
   obs::Gauge& score_sum = registry.register_gauge("mc.score_sum");
   obs::Gauge& average_score = registry.register_gauge("mc.average_score");
   registry.register_gauge("mc.cells").set(double(cells));
+  obs::Counter* mob_crossings = nullptr;
+  obs::Counter* mob_migrations = nullptr;
+  obs::Counter* mob_units = nullptr;
+  obs::Counter* mob_deliveries = nullptr;
+  obs::Counter* mob_lost = nullptr;
+  if (mobility) {
+    mob_crossings = &registry.register_counter("mc.mobility.crossings");
+    mob_migrations = &registry.register_counter("mc.mobility.migrations");
+    mob_units = &registry.register_counter("mc.mobility.migrated_units");
+    mob_deliveries = &registry.register_counter("mc.mobility.deliveries");
+    mob_lost = &registry.register_counter("mc.mobility.lost_deliveries");
+  }
 
   util::ArenaVector<client::CellResult> acc{
       util::ArenaAllocator<client::CellResult>(&arena)};
   accumulate_rows(acc, series);
   recorder.reserve(recorder.samples() + acc.size());
   client::CellResult prev;
+  MobilityRunStats mob_prev;
   for (std::size_t t = 0; t < acc.size(); ++t) {
     const client::CellResult& now = acc[t];
     requests.add(now.requests - prev.requests);
@@ -156,6 +174,15 @@ void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
     degraded.add(now.degraded_serves - prev.degraded_serves);
     score_sum.set(now.score_sum);
     average_score.set(now.average_score());
+    if (mobility && t < mobility->size()) {
+      const MobilityRunStats& mob_now = (*mobility)[t];
+      mob_crossings->add(mob_now.crossings - mob_prev.crossings);
+      mob_migrations->add(mob_now.migrations - mob_prev.migrations);
+      mob_units->add(mob_now.migrated_units - mob_prev.migrated_units);
+      mob_deliveries->add(mob_now.deliveries - mob_prev.deliveries);
+      mob_lost->add(mob_now.lost_deliveries - mob_prev.lost_deliveries);
+      mob_prev = mob_now;
+    }
     recorder.sample(sim::Tick(t));
     prev = now;
   }
@@ -312,6 +339,11 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
   if (config.cell_count == 0) {
     throw std::invalid_argument("run_multi_cell: need >= 1 cell");
   }
+  if (!config.mobility.empty() &&
+      config.topology != CellTopology::kSharded) {
+    throw std::invalid_argument(
+        "run_multi_cell: mobility requires sharded topology");
+  }
   MultiCellResult result;
   result.cells = config.cell_count;
   const bool want_series = config.keep_series || recorder != nullptr;
@@ -367,19 +399,43 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
         }
       }
     }
-    dispatch_shards(
-        pool, config.schedule, costs,
-        [&](std::size_t i) {
-          client::CellConfig cell = config.cell;
-          cell.seed = shard_seed(config.seed, i);
-          if (!config.cell_client_counts.empty()) {
-            cell.client_count = config.cell_client_counts[i];
-          }
-          result.per_cell[i] =
-              client::run_cell(cell, want_series ? &series[i] : nullptr,
-                               want_trace ? tracers[i].get() : nullptr);
-        },
-        &result.schedule_stats);
+    std::vector<MobilityRunStats> mobility_rows;
+    if (config.mobility.empty()) {
+      dispatch_shards(
+          pool, config.schedule, costs,
+          [&](std::size_t i) {
+            client::CellConfig cell = config.cell;
+            cell.seed = shard_seed(config.seed, i);
+            if (!config.cell_client_counts.empty()) {
+              cell.client_count = config.cell_client_counts[i];
+            }
+            result.per_cell[i] =
+                client::run_cell(cell, want_series ? &series[i] : nullptr,
+                                 want_trace ? tracers[i].get() : nullptr);
+          },
+          &result.schedule_stats);
+    } else {
+      // Mobile clients: cells can no longer run start-to-finish as
+      // independent shards — every tick ends at the fleet's handoff
+      // barrier, so parallelism is per-tick across cells instead of
+      // per-run across shards (the schedule knob does not apply).
+      MobilityFleet fleet(config);
+      for (std::size_t i = 0; i < shards; ++i) {
+        if (want_series) fleet.attach_series(i, &series[i]);
+        if (want_trace) fleet.set_tracer(i, tracers[i].get());
+      }
+      while (!fleet.done()) fleet.step(pool);
+      for (std::size_t i = 0; i < shards; ++i) {
+        result.per_cell[i] = fleet.cell_result(i);
+      }
+      result.schedule_stats.workers = pool ? pool->size() : 1;
+      result.mobility = fleet.stats();
+      mobility_rows = fleet.mobility_series();
+      result.client_cells.resize(fleet.client_count());
+      for (std::size_t c = 0; c < fleet.client_count(); ++c) {
+        result.client_cells[c] = fleet.cell_of_client(std::uint32_t(c));
+      }
+    }
     // Close the streamed traces (footer + fclose) before merging so the
     // exported flushed_events equals streamed_events deterministically.
     for (auto& sink : sinks) sink->close();
@@ -391,7 +447,8 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
       merge_shard_traces(*recorder, tracers, shard_regs);
     }
     if (recorder) {
-      record_sharded(*recorder, series, config.cell_count, arena);
+      record_sharded(*recorder, series, config.cell_count, arena,
+                     config.mobility.empty() ? nullptr : &mobility_rows);
     }
     if (config.keep_series) {
       result.cell_series.reserve(series.size());

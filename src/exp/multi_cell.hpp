@@ -21,6 +21,7 @@
 #include "client/cell.hpp"
 #include "coop/cooperative.hpp"
 #include "obs/event_log.hpp"
+#include "sim/mobility.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mobi::obs {
@@ -88,7 +89,42 @@ struct MultiCellConfig {
   /// JsonlTraceSink, so the on-disk trace is complete even when the
   /// in-memory log drops. The directory must already exist.
   std::string trace_jsonl_dir;
+  /// Client mobility over the cell grid (sim/mobility.hpp). The default
+  /// (kOff) takes the pre-mobility sharded path bit for bit — zero extra
+  /// RNG draws, byte-identical registry JSON. A non-empty config routes
+  /// the run through exp::MobilityFleet: cells tick in parallel, then a
+  /// single-threaded barrier steps the model and migrates crossing
+  /// clients between cell rosters through an exp::HandoffBus. Sharded
+  /// topology only. The mobility seed is remixed with `seed`, so runs
+  /// with different master seeds get independent trajectories.
+  sim::MobilityConfig mobility;
+  /// Mobility mode: attach a ResidencyProbe to every station so the
+  /// knapsack scales per-client benefit by predicted residency (the
+  /// MobiCacher term). Off = the residence-blind twin, same trajectories.
+  bool mobility_predictive = true;
+  /// Fetch-landing horizon for the residency predictor, in ticks.
+  sim::Tick mobility_horizon = 8;
+  /// Mobility mode: downlink delivery latency in ticks. A base-station
+  /// serve decided at tick t lands on the client at t + delivery; the
+  /// payload is LOST (units spent, no score) if the client has crossed
+  /// to another cell or is off the air when it lands — the physical
+  /// waste the residency-weighted knapsack exists to avoid. 0 = legacy
+  /// instant delivery (the pre-mobility serve accounting, where
+  /// residency cannot matter).
+  sim::Tick mobility_delivery_ticks = 2;
   std::uint64_t seed = 42;
+};
+
+/// Mobility accounting, cumulative. Also the per-tick row type of the
+/// fleet's mobility series (row t = totals through tick t), from which
+/// the recorder derives the `mc.mobility.*` per-tick counters.
+struct MobilityRunStats {
+  std::uint64_t crossings = 0;       // boundary crossings observed
+  std::uint64_t migrations = 0;      // handoff records delivered
+  std::uint64_t migrated_units = 0;  // client-cache units that rode along
+  // Delivery-latency accounting (zero when mobility_delivery_ticks == 0).
+  std::uint64_t deliveries = 0;       // payloads that landed on their client
+  std::uint64_t lost_deliveries = 0;  // client moved/off-air before landing
 };
 
 struct MultiCellResult {
@@ -116,6 +152,11 @@ struct MultiCellResult {
   /// cost), and observed steals. Diagnostic only — `steals` depends on
   /// thread timing and must never feed back into simulation or metrics.
   util::WeightedForStats schedule_stats;
+
+  /// Mobility runs only: handoff totals and the final client -> cell
+  /// residency map (indexed by global client id), for invariant checks.
+  MobilityRunStats mobility;
+  std::vector<std::uint32_t> client_cells;
 };
 
 /// Seed for shard `index` of master stream `master`: the index-th output

@@ -168,6 +168,7 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kDownlinkDelivered: return "downlink_delivered";
     case EventKind::kDownlinkDrop: return "downlink_drop";
     case EventKind::kNetBatch: return "net_batch";
+    case EventKind::kHandoff: return "handoff";
   }
   return "?";
 }
@@ -316,6 +317,11 @@ void RequestTracer::on_net_batch(std::size_t transfers,
                                  double completion) noexcept {
   emit(EventKind::kNetBatch, 0, RequestEvent::kNoClient,
        std::uint32_t(transfers), completion);
+}
+
+void RequestTracer::on_handoff(std::uint32_t client, std::uint32_t to_cell,
+                               double migrated_units) noexcept {
+  emit(EventKind::kHandoff, 0, client, to_cell, migrated_units);
 }
 
 void export_trace_metrics(MetricsRegistry& registry,

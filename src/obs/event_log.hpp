@@ -45,6 +45,8 @@ enum class EventKind : std::uint8_t {
   kDownlinkDelivered,  // chunk fully delivered; value = queue-wait ticks
   kDownlinkDrop,       // chunk dropped mid-flight; value = dropped units
   kNetBatch,           // fixed-network batch; value = completion time
+  kHandoff,            // client crossed a cell boundary; attempt = dest
+                       // cell, value = migrated cache units
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -273,6 +275,12 @@ class RequestTracer {
   void on_downlink_delivered(sim::Tick queue_wait) noexcept;
   void on_downlink_drop(double units) noexcept;
   void on_net_batch(std::size_t transfers, double completion) noexcept;
+
+  // --- mobility-scoped; always recorded (a crossing is as rare as a
+  // fetch). `to_cell` rides in the attempt field, migrated cache units in
+  // the value, so the POD event layout is unchanged.
+  void on_handoff(std::uint32_t client, std::uint32_t to_cell,
+                  double migrated_units) noexcept;
 
  private:
   void emit(EventKind kind, std::uint32_t object, std::uint32_t client,

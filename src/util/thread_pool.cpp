@@ -137,6 +137,10 @@ void weighted_parallel_for(ThreadPool& pool,
                            const std::vector<std::uint64_t>& costs,
                            const std::function<void(std::size_t)>& fn,
                            WeightedForStats* stats) {
+  // Reset up front so a reused stats struct never reports a previous
+  // run's numbers — in particular when fn throws below, where the late
+  // assignment after the join is never reached.
+  if (stats) *stats = WeightedForStats{};
   if (costs.empty()) {
     if (stats) *stats = WeightedForStats{pool.size(), 0, 0};
     return;

@@ -21,6 +21,8 @@
 #include "cache/decay.hpp"
 #include "coop/cooperative.hpp"
 #include "core/base_station.hpp"
+#include "exp/mobility_fleet.hpp"
+#include "exp/multi_cell.hpp"
 #include "net/fault_injector.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -298,6 +300,61 @@ TEST(AllocRegression, WarmedArenaReplaySteadyStateIsAllocationFree) {
       << (after - before) << " steady-state heap allocations";
   EXPECT_EQ(arena.bytes_reserved(), reserved);
   EXPECT_GT(sum, 0.0);
+}
+
+TEST(AllocRegression, MobilityFleetSteadyStateIsAllocationFree) {
+  // The serial fleet path under *active* mobility: clients keep crossing
+  // cells, rosters shift, handoff windows open and close, payloads sit in
+  // flight, and every barrier appends a stats row — all on capacity
+  // reserved in the constructor (rosters/batches/in-flight to the fleet
+  // population, rows to the tick count). The station-side scratch
+  // (candidate builder, knapsack workspace, downlink queue) grows with
+  // the largest batch a cell has ever seen, and under mobility that
+  // high-water mark is population-dependent — so the warm-up uses a
+  // trace that parks the ENTIRE fleet in each cell in turn, forcing
+  // every station through the global worst case (a full-population
+  // batch) before measurement starts. The measured churn phase keeps
+  // clients hopping every tick at far smaller per-cell populations;
+  // those steady-state ticks must allocate nothing.
+  constexpr std::uint32_t kCells = 3;
+  constexpr std::uint32_t kClients = 12;  // 4 per cell at construction
+  std::vector<sim::TraceHop> trace;
+  for (std::uint32_t cell = 0; cell < kCells; ++cell) {
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      trace.push_back({sim::Tick(5 + 10 * cell), c, cell});
+    }
+  }
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    trace.push_back({35, c, c % kCells});  // spread back out
+  }
+  for (sim::Tick t = 40; t < 120; ++t) {  // rolling churn, one hop per tick
+    const auto client = std::uint32_t(t % kClients);
+    // Rotate the target each lap so every hop is a genuine crossing.
+    trace.push_back({t, client,
+                     std::uint32_t((t / kClients + client) % kCells)});
+  }
+
+  exp::MultiCellConfig config;
+  config.cell_count = kCells;
+  config.cell.client_count = kClients / kCells;
+  config.cell.object_count = 24;
+  config.cell.ticks = 120;
+  config.cell.base_budget = 8;
+  config.mobility.mode = sim::MobilityMode::kTraceDriven;
+  config.mobility.trace = trace;
+  config.mobility.handoff_ticks = 2;
+  config.seed = 11;
+  exp::MobilityFleet fleet(config);
+  for (int t = 0; t < 60; ++t) fleet.step();  // warm-up: mass-dwell phases
+  const std::uint64_t warm_crossings = fleet.stats().crossings;
+  const std::uint64_t before = g_allocations.load();
+  while (!fleet.done()) fleet.step();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " steady-state heap allocations";
+  // The measured ticks actually carried mobility traffic.
+  EXPECT_GT(fleet.stats().crossings, warm_crossings);
+  EXPECT_GT(fleet.stats().deliveries, 0u);
 }
 
 TEST(AllocRegression, StreamingSinkSteadyStateIsAllocationFree) {

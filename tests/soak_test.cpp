@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 
+#include "exp/multi_cell.hpp"
 #include "exp/soak.hpp"
 #include "obs/metrics_diff.hpp"
 #include "util/json.hpp"
@@ -119,6 +120,45 @@ TEST(Soak, TrendsShowGracefulDegradationUnderTheRamp) {
 
   // Unknown series stay a hard error (typo guard for gate configs).
   EXPECT_THROW(result.at("no.such.series"), std::out_of_range);
+}
+
+TEST(Soak, HandoffStormDegradesMeanRecencyGracefully) {
+  // Mobility chaos leg: the same fleet under a calm window (slow walkers,
+  // long pauses) and a handoff-storm window (~10x the boundary-crossing
+  // churn: everyone sprints, nobody pauses). A storm costs real recency —
+  // every crossing opens an off-air handoff window and in-flight payloads
+  // land on departed clients — but the degradation must stay graceful: a
+  // bounded ratio of the calm window's mean score, not a cliff to zero.
+  MultiCellConfig config;
+  config.cell_count = 6;
+  config.cell.client_count = 8;
+  config.cell.object_count = 40;
+  config.cell.ticks = 150;
+  config.cell.base_budget = 16;
+  config.mobility.mode = sim::MobilityMode::kRandomWaypoint;
+  config.mobility.speed_lo = 0.02;
+  config.mobility.speed_hi = 0.06;
+  config.mobility.pause_lo = 2;
+  config.mobility.pause_hi = 6;
+  config.mobility.handoff_ticks = 2;
+  config.seed = 97;
+  const MultiCellResult calm = run_multi_cell(config);
+
+  config.mobility.speed_lo *= 10.0;
+  config.mobility.speed_hi *= 10.0;
+  config.mobility.pause_lo = 0;
+  config.mobility.pause_hi = 0;
+  const MultiCellResult storm = run_multi_cell(config);
+
+  // The storm is a real storm: several-fold the calm crossing rate, and
+  // payloads actually die in flight.
+  EXPECT_GE(storm.mobility.crossings, 7 * calm.mobility.crossings);
+  EXPECT_GT(storm.mobility.lost_deliveries, calm.mobility.lost_deliveries);
+
+  const double calm_score = calm.aggregate.average_score();
+  const double storm_score = storm.aggregate.average_score();
+  EXPECT_LT(storm_score, calm_score);         // churn costs recency...
+  EXPECT_GT(storm_score, 0.4 * calm_score);   // ...but degrades gracefully
 }
 
 TEST(Soak, ExportFeedsTheMetricsDiffGate) {

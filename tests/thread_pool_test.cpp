@@ -147,6 +147,38 @@ TEST(WeightedParallelFor, EmptyCostsIsNoopAndStatsStayZeroWork) {
   EXPECT_EQ(stats.steals, 0u);
 }
 
+TEST(WeightedParallelFor, ReusedStatsNeverReportAPreviousRun) {
+  // Callers keep one WeightedForStats across runs (run_multi_cell does).
+  // The struct must be reset on entry, not only assigned after the join:
+  // otherwise a second run that throws mid-loop leaves the FIRST run's
+  // workers/makespan/steals in place, and telemetry silently lies.
+  ThreadPool pool(2);
+  std::vector<std::uint64_t> heavy(64, 1);
+  heavy[0] = 1000;  // lopsided plan: nonzero makespan for run 1
+  WeightedForStats stats;
+  weighted_parallel_for(pool, heavy, [](std::size_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_GT(stats.planned_makespan, 0u);
+
+  // Run 2 reuses the struct and throws, so the post-join assignment is
+  // never reached — the entry reset is all that stands between the
+  // caller and run 1's stale numbers.
+  EXPECT_THROW(
+      weighted_parallel_for(
+          pool, std::vector<std::uint64_t>(4, 1),
+          [](std::size_t) { throw std::logic_error("boom"); }, &stats),
+      std::logic_error);
+  EXPECT_EQ(stats.workers, 0u);
+  EXPECT_EQ(stats.planned_makespan, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+
+  // A clean follow-up run reports its own numbers, not a mix.
+  weighted_parallel_for(pool, std::vector<std::uint64_t>(4, 1),
+                        [](std::size_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_EQ(stats.planned_makespan, 2u);
+}
+
 TEST(WeightedParallelFor, RethrowsTaskException) {
   ThreadPool pool(2);
   EXPECT_THROW(
