@@ -6,6 +6,21 @@
 // cliff to zero. With --out=<dir> the full windowed series ship as
 // <dir>/soak_metrics.json (schema mobicache.soak.v1); tools/metrics_diff
 // compares that artifact against the checked-in golden as the CI gate.
+//
+// Online observability (ISSUE 10):
+//   --obs-windows=N  N-tick tumbling WindowAggregator on every leg; with
+//                    --out, frames ship as <dir>/soak_windows.json
+//                    (schema mobicache.windows.v1, gated against
+//                    results/golden_windows.json with the wall-clock
+//                    prof.phase.*.wall_ns* columns masked).
+//   --profile        driver-thread PhaseProfiler across all legs; with
+//                    --flame=<path>, collapsed stacks land there
+//                    (pipe through flamegraph.pl).
+//   --slo            attach exp::default_soak_slos() (needs
+//                    --obs-windows); alert totals print below the table
+//                    and stream as slo_alert events into --trace-jsonl.
+// Every sim-time series in soak_metrics.json is bit-identical with all
+// three switches on or off — observation is read-only.
 #include <iostream>
 #include <optional>
 
@@ -39,6 +54,10 @@ int main(int argc, char** argv) {
   // diffing against the buffered golden.
   config.trace_jsonl = flags.get_string("trace-jsonl", "");
 
+  config.obs_window_ticks = sim::Tick(flags.get_int("obs-windows", 0));
+  config.profile = flags.get_bool("profile", false);
+  if (flags.get_bool("slo", false)) config.slos = exp::default_soak_slos();
+
   const int threads = int(flags.get_int("threads", 0));
   std::optional<util::ThreadPool> pool;
   if (threads > 0) pool.emplace(std::size_t(threads));
@@ -63,12 +82,31 @@ int main(int argc, char** argv) {
   bench::emit(flags, "Soak: windowed trends under a ramped fault rate",
               "soak", table);
 
+  if (!config.slos.empty()) {
+    std::cout << "SLO: " << result.slo_evaluations << " evaluations, "
+              << result.slo_breaches << " breaches, " << result.slo_alerts
+              << " alerts\n";
+  }
+
   const std::string dir = flags.get_string("out", "");
   if (!dir.empty()) {
     const std::string path = dir + "/soak_metrics.json";
     util::write_file(path, result.to_json());
     std::cout << "(wrote " << path << ": " << result.windows << " windows x "
               << result.series.size() << " series)\n";
+    if (config.obs_window_ticks > 0) {
+      const std::string wpath = dir + "/soak_windows.json";
+      util::write_file(wpath, result.windows_to_json());
+      std::cout << "(wrote " << wpath << ": " << result.window_frames
+                << " frames x " << result.window_series.size()
+                << " columns)\n";
+    }
+  }
+  const std::string flame = flags.get_string("flame", "");
+  if (!flame.empty()) {
+    util::write_file(flame, result.flamegraph);
+    std::cout << "(wrote " << flame << ": collapsed stacks, feed to "
+              << "flamegraph.pl)\n";
   }
   return 0;
 }

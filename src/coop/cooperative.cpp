@@ -10,6 +10,7 @@
 #include "core/scoring.hpp"
 #include "object/builders.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "server/remote_server.hpp"
 #include "util/rng.hpp"
@@ -154,6 +155,14 @@ const CoherenceDirectory* CoopCluster::directory() const noexcept {
   return impl_->directory.get();
 }
 
+void CoopCluster::set_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    coherence_phase_ = profiler_->phase("coop.coherence");
+    cells_phase_ = profiler_->phase("coop.cells");
+  }
+}
+
 void CoopCluster::invalidate_copy(std::size_t cell, object::ObjectId id) {
   impl_->cells[cell].cache->evict(id);
 }
@@ -173,6 +182,9 @@ void CoopCluster::tick() {
   const sim::Tick t = now_;
   CoherenceDirectory* dir = im.directory.get();
 
+  updates_this_tick_ = 0;
+  if (profiler_) profiler_->enter(coherence_phase_);
+
   // Lease sweep first: copies whose TTL ran out overnight must not serve
   // this tick's requests (tests pin lease_expiry > t for every copy).
   if (dir) dir->begin_tick(t);
@@ -181,6 +193,7 @@ void CoopCluster::tick() {
   // per-tick update walk allocates nothing.
   im.updates->for_each_updated(t, [this, t](object::ObjectId id) {
     Impl& im2 = *impl_;
+    ++updates_this_tick_;
     im2.servers.apply_update(id, t);
     CoherenceDirectory* dir2 = im2.directory.get();
     if (!dir2) {
@@ -203,11 +216,17 @@ void CoopCluster::tick() {
         break;
     }
   });
+  if (profiler_) {
+    profiler_->add_cost(updates_this_tick_);
+    profiler_->exit();
+    profiler_->enter(cells_phase_);
+  }
 
   const bool measured = t >= config_.warmup_ticks;
   for (std::size_t c = 0; c < im.cells.size(); ++c) {
     Impl::Cell& cell = im.cells[c];
     cell.requests->next_batch_into(cell.batch);
+    if (profiler_) profiler_->add_cost(cell.batch.size());
     core::PolicyContext ctx;
     ctx.catalog = &im.catalog;
     ctx.cache = cell.cache.get();
@@ -285,6 +304,8 @@ void CoopCluster::tick() {
       }
     }
   }
+
+  if (profiler_) profiler_->exit();
 
   if (dir) {
     // Directory counters run from tick 0 (the protocol has no warmup);

@@ -36,6 +36,7 @@
 namespace mobi::obs {
 class MetricsRegistry;
 class SeriesRecorder;
+class PhaseProfiler;
 }  // namespace mobi::obs
 
 namespace mobi::server {
@@ -131,6 +132,14 @@ class CoopCluster : public CoherenceDirectory::Listener {
   /// nullptr when coherence is disabled.
   const CoherenceDirectory* directory() const noexcept;
 
+  /// Attaches a phase profiler: each tick() runs a `coop.coherence` span
+  /// (lease sweep + server updates driving the consistency mode; cost =
+  /// objects updated) and a `coop.cells` span (per-cell select / resolve
+  /// / serve; cost = requests served). Single-threaded — attach only
+  /// when the cluster is driven from one thread (the parallel shard
+  /// workers of run_multi_cell must not share one). nullptr detaches.
+  void set_profiler(obs::PhaseProfiler* profiler);
+
   // CoherenceDirectory::Listener — protocol actions applied to the cells.
   void invalidate_copy(std::size_t cell, object::ObjectId id) override;
   void propagate_copy(std::size_t cell, object::ObjectId id) override;
@@ -143,6 +152,10 @@ class CoopCluster : public CoherenceDirectory::Listener {
   CoopResult result_;
   CoherenceStats warmup_snapshot_;
   std::unique_ptr<Impl> impl_;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  std::uint32_t coherence_phase_ = 0;
+  std::uint32_t cells_phase_ = 0;
+  std::uint64_t updates_this_tick_ = 0;  // profiler cost scratch
 };
 
 CoopResult run_cooperative(const CoopConfig& config);

@@ -7,6 +7,7 @@
 #include "net/fault_injector.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace mobi::core {
@@ -113,6 +114,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // the surviving entries in insertion order without allocating.
   if (!retry_queue_.empty()) {
     obs::ScopedTrace span(trace_, "bs.retry", now);
+    obs::ScopedPhase phase(profiler_, phase_ids_.retry);
     std::size_t keep = 0;
     for (std::size_t i = 0; i < retry_queue_.size(); ++i) {
       RetryEntry entry = retry_queue_[i];
@@ -163,6 +165,7 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
       if (tracer_) tracer_->on_fetch_done(entry.id, now - entry.first_failure);
     }
     retry_queue_.resize(keep);
+    phase.add_cost(result.retries);
   }
 
   PolicyContext ctx;
@@ -176,6 +179,8 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   ctx.budget = budget_left;
   {
     obs::ScopedTrace span(trace_, "bs.select", now);
+    obs::ScopedPhase phase(profiler_, phase_ids_.select);
+    phase.add_cost(batch.size());
     if (metrics_) {
       // Wall-clock solve time is observational only: the select call is
       // identical on both branches, so enabling metrics cannot change
@@ -196,6 +201,8 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // the whole tick's traffic.
   {
     obs::ScopedTrace span(trace_, "bs.fetch", now);
+    obs::ScopedPhase phase(profiler_, phase_ids_.fetch);
+    phase.add_cost(to_fetch_.size());
     for (object::ObjectId id : to_fetch_) {
       if (tracer_) tracer_->on_fetch_selected(id);
       if (peers_) {
@@ -278,6 +285,8 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
   // (the bump happened at the top of this function).
   {
     obs::ScopedTrace span(trace_, "bs.serve", now);
+    obs::ScopedPhase phase(profiler_, phase_ids_.serve);
+    phase.add_cost(batch.size());
     for (const workload::Request& request : batch) {
       cache_.record_read(request.object);
       const double x = cache_.recency_or_zero(request.object);
@@ -325,7 +334,11 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
         downlink_.enqueue(catalog_->object_size(request.object));
       }
     }
-    result.downlink_delivered = downlink_.tick();
+    {
+      obs::ScopedPhase downlink_phase(profiler_, phase_ids_.downlink);
+      result.downlink_delivered = downlink_.tick();
+      downlink_phase.add_cost(std::uint64_t(result.downlink_delivered));
+    }
   }
   if (metrics_) {
     inst_.requests->add(result.requests);
@@ -334,6 +347,17 @@ TickResult BaseStation::process_batch(const workload::RequestBatch& batch,
 
   totals_.add(result);
   return result;
+}
+
+void BaseStation::set_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    phase_ids_.retry = profiler_->phase("bs.retry");
+    phase_ids_.select = profiler_->phase("bs.select");
+    phase_ids_.fetch = profiler_->phase("bs.fetch");
+    phase_ids_.serve = profiler_->phase("bs.serve");
+    phase_ids_.downlink = profiler_->phase("bs.downlink");
+  }
 }
 
 void BaseStation::set_metrics(obs::MetricsRegistry* registry,

@@ -9,6 +9,7 @@
 //   5. pushes response payloads onto the wireless downlink.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@ class Gauge;
 class FixedHistogram;
 class TraceSink;
 class RequestTracer;
+class PhaseProfiler;
 }  // namespace mobi::obs
 
 namespace mobi::core {
@@ -184,6 +186,17 @@ class BaseStation {
     return tracer_;
   }
 
+  /// Attaches a phase profiler: the tick sections run under ScopedPhase
+  /// spans (`bs.retry` / `bs.select` / `bs.fetch` / `bs.serve` with a
+  /// nested `bs.downlink`) carrying deterministic sim costs — retries
+  /// attempted, requests selected over, objects fetched, requests
+  /// served, downlink units delivered. The profiler is single-threaded;
+  /// attach one per driving thread. nullptr (the default) detaches and
+  /// costs one branch per section.
+  void set_profiler(obs::PhaseProfiler* profiler);
+
+  obs::PhaseProfiler* profiler() const noexcept { return profiler_; }
+
   /// Attaches a fault injector: its per-tick windows are advanced at the
   /// top of process_batch, fetch-failure draws gate every remote fetch,
   /// congestion draws stretch fixed-network completions, and downlink-drop
@@ -305,6 +318,18 @@ class BaseStation {
   obs::TraceSink* trace_ = nullptr;
   obs::RequestTracer* tracer_ = nullptr;
   Instruments inst_;
+
+  // Phase ids cached at set_profiler so the hot path never touches
+  // strings (obs::PhaseProfiler::phase does a name lookup).
+  obs::PhaseProfiler* profiler_ = nullptr;
+  struct PhaseIds {
+    std::uint32_t retry = 0;
+    std::uint32_t select = 0;
+    std::uint32_t fetch = 0;
+    std::uint32_t serve = 0;
+    std::uint32_t downlink = 0;
+  };
+  PhaseIds phase_ids_;
 };
 
 }  // namespace mobi::core

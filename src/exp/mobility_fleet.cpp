@@ -6,6 +6,7 @@
 
 #include "cache/decay.hpp"
 #include "obs/event_log.hpp"
+#include "obs/profiler.hpp"
 #include "object/builders.hpp"
 
 namespace mobi::exp {
@@ -278,6 +279,14 @@ void MobilityFleet::land_deliveries(CellState& cell, sim::Tick t) {
   cell.in_flight.resize(keep);
 }
 
+void MobilityFleet::set_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    cells_phase_ = profiler_->phase("fleet.cells");
+    barrier_phase_ = profiler_->phase("fleet.barrier");
+  }
+}
+
 void MobilityFleet::barrier(sim::Tick t) {
   model_->step(t, crossings_);
   for (const sim::Crossing& crossing : crossings_) {
@@ -323,15 +332,25 @@ void MobilityFleet::barrier(sim::Tick t) {
 void MobilityFleet::step(util::ThreadPool* pool) {
   if (done()) throw std::logic_error("MobilityFleet: run already complete");
   const sim::Tick t = next_tick_++;
-  if (pool) {
-    util::parallel_for(*pool, 0, cells_.size(),
-                       [this, t](std::size_t i) {
-                         run_cell_tick(*cells_[i], t);
-                       });
-  } else {
-    for (auto& cell : cells_) run_cell_tick(*cell, t);
+  {
+    // Driver-side span: wall time covers the whole (possibly parallel)
+    // region; the workers themselves never touch the profiler.
+    obs::ScopedPhase span(profiler_, cells_phase_);
+    span.add_cost(cells_.size());
+    if (pool) {
+      util::parallel_for(*pool, 0, cells_.size(),
+                         [this, t](std::size_t i) {
+                           run_cell_tick(*cells_[i], t);
+                         });
+    } else {
+      for (auto& cell : cells_) run_cell_tick(*cell, t);
+    }
   }
-  barrier(t);
+  {
+    obs::ScopedPhase span(profiler_, barrier_phase_);
+    barrier(t);
+    span.add_cost(crossings_.size());
+  }
   if (done()) {
     // Final attribution sweep: increments since each client's last
     // sighting (including handoffs granted at the last barrier) land in

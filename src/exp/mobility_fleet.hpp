@@ -49,6 +49,7 @@
 
 namespace mobi::obs {
 class RequestTracer;
+class PhaseProfiler;
 }  // namespace mobi::obs
 
 namespace mobi::exp {
@@ -83,6 +84,14 @@ class MobilityFleet {
   /// whichever worker runs the cell — reserve it to ticks() up front.
   void set_tracer(std::size_t cell, obs::RequestTracer* tracer);
   void attach_series(std::size_t cell, client::CellSeries* series);
+
+  /// Attaches a phase profiler to the *driver* thread: each step() runs a
+  /// `fleet.cells` span around the (possibly parallel) cell bodies (cost
+  /// = cells ticked; per-cell work is not individually profiled — the
+  /// profiler is single-threaded by contract) and a `fleet.barrier` span
+  /// around the single-threaded mobility barrier (cost = crossings
+  /// granted). nullptr detaches.
+  void set_profiler(obs::PhaseProfiler* profiler);
 
   /// Runs one tick: parallel cell bodies (serial when pool is null),
   /// then the single-threaded mobility barrier. The serial path is
@@ -179,6 +188,9 @@ class MobilityFleet {
   std::vector<MobilityRunStats> rows_;
   sim::Tick next_tick_ = 0;
   sim::Tick ticks_ = 0;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  std::uint32_t cells_phase_ = 0;
+  std::uint32_t barrier_phase_ = 0;
 };
 
 }  // namespace mobi::exp

@@ -6,7 +6,9 @@
 
 #include "exp/mobility_fleet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/window.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
 
@@ -130,7 +132,8 @@ void accumulate_rows(util::ArenaVector<Row>& acc, const SeriesRows& series) {
 template <typename SeriesRows>
 void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
                     std::size_t cells, util::MonotonicArena& arena,
-                    const std::vector<MobilityRunStats>* mobility = nullptr) {
+                    const std::vector<MobilityRunStats>* mobility = nullptr,
+                    obs::WindowAggregator* windows = nullptr) {
   obs::MetricsRegistry& registry = recorder.registry();
   obs::Counter& requests = registry.register_counter("mc.requests");
   obs::Counter& local_hits = registry.register_counter("mc.local_hits");
@@ -160,6 +163,9 @@ void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
       util::ArenaAllocator<client::CellResult>(&arena)};
   accumulate_rows(acc, series);
   recorder.reserve(recorder.samples() + acc.size());
+  // Column snapshot must follow the last registration above (and any
+  // slo.* / prof.phase.* counters the caller registered beforehand).
+  if (windows) windows->begin();
   client::CellResult prev;
   MobilityRunStats mob_prev;
   for (std::size_t t = 0; t < acc.size(); ++t) {
@@ -184,13 +190,16 @@ void record_sharded(obs::SeriesRecorder& recorder, const SeriesRows& series,
       mob_prev = mob_now;
     }
     recorder.sample(sim::Tick(t));
+    if (windows) windows->on_tick(sim::Tick(t));
     prev = now;
   }
+  if (windows) windows->finish();
 }
 
 void record_coop(obs::SeriesRecorder& recorder,
                  const std::vector<std::vector<coop::CoopResult>>& series,
-                 std::size_t cells, util::MonotonicArena& arena) {
+                 std::size_t cells, util::MonotonicArena& arena,
+                 obs::WindowAggregator* windows = nullptr) {
   obs::MetricsRegistry& registry = recorder.registry();
   obs::Counter& requests = registry.register_counter("mc.requests");
   obs::Counter& origin_units = registry.register_counter("mc.origin_units");
@@ -220,6 +229,7 @@ void record_coop(obs::SeriesRecorder& recorder,
       util::ArenaAllocator<coop::CoopResult>(&arena)};
   accumulate_rows(acc, series);
   recorder.reserve(recorder.samples() + acc.size());
+  if (windows) windows->begin();
   coop::CoopResult prev;
   for (std::size_t t = 0; t < acc.size(); ++t) {
     const coop::CoopResult& now = acc[t];
@@ -239,8 +249,10 @@ void record_coop(obs::SeriesRecorder& recorder,
     score_sum.set(now.score_sum);
     average_score.set(now.average_score());
     recorder.sample(sim::Tick(t));
+    if (windows) windows->on_tick(sim::Tick(t));
     prev = now;
   }
+  if (windows) windows->finish();
 }
 
 // Folds every shard's private lat.* histograms (and event/drop totals)
@@ -336,6 +348,15 @@ void dispatch_shards(util::ThreadPool* pool, ShardSchedule schedule,
 MultiCellResult run_multi_cell(const MultiCellConfig& config,
                                util::ThreadPool* pool,
                                obs::SeriesRecorder* recorder) {
+  MultiCellObservers observers;
+  observers.recorder = recorder;
+  return run_multi_cell(config, pool, observers);
+}
+
+MultiCellResult run_multi_cell(const MultiCellConfig& config,
+                               util::ThreadPool* pool,
+                               const MultiCellObservers& observers) {
+  obs::SeriesRecorder* recorder = observers.recorder;
   if (config.cell_count == 0) {
     throw std::invalid_argument("run_multi_cell: need >= 1 cell");
   }
@@ -343,6 +364,21 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
       config.topology != CellTopology::kSharded) {
     throw std::invalid_argument(
         "run_multi_cell: mobility requires sharded topology");
+  }
+  if (observers.windows != nullptr && recorder == nullptr) {
+    throw std::invalid_argument(
+        "run_multi_cell: windows require a recorder (the aggregator reads "
+        "the recorder's registry)");
+  }
+  // Driver-side phases only: shard workers never see the profiler (it is
+  // single-threaded by contract); the mobility fleet nests its own
+  // fleet.* spans under mc.dispatch from the driver thread.
+  obs::PhaseProfiler* profiler = observers.profiler;
+  std::uint32_t dispatch_phase = 0;
+  std::uint32_t record_phase = 0;
+  if (profiler) {
+    dispatch_phase = profiler->phase("mc.dispatch");
+    record_phase = profiler->phase("mc.record");
   }
   MultiCellResult result;
   result.cells = config.cell_count;
@@ -401,6 +437,8 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
     }
     std::vector<MobilityRunStats> mobility_rows;
     if (config.mobility.empty()) {
+      obs::ScopedPhase dispatch_span(profiler, dispatch_phase);
+      dispatch_span.add_cost(std::uint64_t(shards));
       dispatch_shards(
           pool, config.schedule, costs,
           [&](std::size_t i) {
@@ -424,7 +462,12 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
         if (want_series) fleet.attach_series(i, &series[i]);
         if (want_trace) fleet.set_tracer(i, tracers[i].get());
       }
-      while (!fleet.done()) fleet.step(pool);
+      fleet.set_profiler(profiler);
+      {
+        obs::ScopedPhase dispatch_span(profiler, dispatch_phase);
+        dispatch_span.add_cost(std::uint64_t(fleet.ticks()));
+        while (!fleet.done()) fleet.step(pool);
+      }
       for (std::size_t i = 0; i < shards; ++i) {
         result.per_cell[i] = fleet.cell_result(i);
       }
@@ -443,12 +486,13 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
       accumulate(result.aggregate, cell);
     }
     result.total_requests = result.aggregate.requests;
-    if (recorder && want_trace) {
-      merge_shard_traces(*recorder, tracers, shard_regs);
-    }
     if (recorder) {
+      obs::ScopedPhase record_span(profiler, record_phase);
+      record_span.add_cost(std::uint64_t(config.cell.ticks));
+      if (want_trace) merge_shard_traces(*recorder, tracers, shard_regs);
       record_sharded(*recorder, series, config.cell_count, arena,
-                     config.mobility.empty() ? nullptr : &mobility_rows);
+                     config.mobility.empty() ? nullptr : &mobility_rows,
+                     observers.windows);
     }
     if (config.keep_series) {
       result.cell_series.reserve(series.size());
@@ -473,21 +517,31 @@ MultiCellResult run_multi_cell(const MultiCellConfig& config,
   result.shards = shards;
   result.per_cluster.resize(shards);
   std::vector<std::vector<coop::CoopResult>> series(want_series ? shards : 0);
-  dispatch_shards(
-      pool, config.schedule, costs,
-      [&](std::size_t i) {
-        coop::CoopConfig cluster = config.cluster;
-        cluster.seed = shard_seed(config.seed, i);
-        cluster.cell_count = std::min(width, config.cell_count - i * width);
-        result.per_cluster[i] =
-            coop::run_cooperative(cluster, want_series ? &series[i] : nullptr);
-      },
-      &result.schedule_stats);
+  {
+    obs::ScopedPhase dispatch_span(profiler, dispatch_phase);
+    dispatch_span.add_cost(std::uint64_t(shards));
+    dispatch_shards(
+        pool, config.schedule, costs,
+        [&](std::size_t i) {
+          coop::CoopConfig cluster = config.cluster;
+          cluster.seed = shard_seed(config.seed, i);
+          cluster.cell_count = std::min(width, config.cell_count - i * width);
+          result.per_cluster[i] = coop::run_cooperative(
+              cluster, want_series ? &series[i] : nullptr);
+        },
+        &result.schedule_stats);
+  }
   for (const auto& cluster : result.per_cluster) {
     accumulate(result.coop_aggregate, cluster);
   }
   result.total_requests = result.coop_aggregate.requests;
-  if (recorder) record_coop(*recorder, series, config.cell_count, arena);
+  if (recorder) {
+    obs::ScopedPhase record_span(profiler, record_phase);
+    record_span.add_cost(std::uint64_t(config.cluster.warmup_ticks) +
+                         std::uint64_t(config.cluster.measure_ticks));
+    record_coop(*recorder, series, config.cell_count, arena,
+                observers.windows);
+  }
   if (config.keep_series) result.cluster_series = std::move(series);
   return result;
 }

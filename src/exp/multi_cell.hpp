@@ -26,6 +26,8 @@
 
 namespace mobi::obs {
 class SeriesRecorder;
+class WindowAggregator;
+class PhaseProfiler;
 }  // namespace mobi::obs
 
 namespace mobi::exp {
@@ -172,6 +174,23 @@ std::uint64_t shard_seed(std::uint64_t master, std::size_t index) noexcept;
 /// the config, so plans are reproducible across runs and machines.
 std::vector<std::uint64_t> shard_cost_estimates(const MultiCellConfig& config);
 
+/// Optional observation hooks for run_multi_cell, all owned by the
+/// caller and attachable independently (mirrors exp::SimObservers).
+struct MultiCellObservers {
+  obs::SeriesRecorder* recorder = nullptr;
+  /// Windowed aggregation over the recorder's registry. Requires
+  /// `recorder` (throws otherwise). The aggregator's begin() runs after
+  /// every `mc.*` registration, then ticks once per recorded sample —
+  /// window frames key on recorded ticks, so a pool-of-K run produces
+  /// bit-identical frames to the serial run for every K.
+  obs::WindowAggregator* windows = nullptr;
+  /// Driver-thread phase spans: `mc.dispatch` around the (possibly
+  /// pooled) shard dispatch — mobility fleets nest their `fleet.*`
+  /// spans under it — and `mc.record` around the post-join series
+  /// recording. Never shared with parallel shard workers.
+  obs::PhaseProfiler* profiler = nullptr;
+};
+
 /// Runs the configured cells. `pool == nullptr` runs shards serially in
 /// shard order; otherwise shards are dispatched onto the pool. With a
 /// recorder attached, per-tick shard series are summed (in shard order)
@@ -180,5 +199,10 @@ std::vector<std::uint64_t> shard_cost_estimates(const MultiCellConfig& config);
 MultiCellResult run_multi_cell(const MultiCellConfig& config,
                                util::ThreadPool* pool = nullptr,
                                obs::SeriesRecorder* recorder = nullptr);
+
+/// Same run with the full observer set attached.
+MultiCellResult run_multi_cell(const MultiCellConfig& config,
+                               util::ThreadPool* pool,
+                               const MultiCellObservers& observers);
 
 }  // namespace mobi::exp

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "net/fault_injector.hpp"
 
@@ -11,7 +12,9 @@
 #include "core/policy.hpp"
 #include "core/scoring.hpp"
 #include "object/builders.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/window.hpp"
 #include "server/remote_server.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -32,6 +35,21 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
 PolicySimResult run_policy_sim(const PolicySimConfig& config,
                                obs::SeriesRecorder* recorder,
                                obs::RequestTracer* tracer) {
+  SimObservers observers;
+  observers.recorder = recorder;
+  observers.tracer = tracer;
+  return run_policy_sim(config, observers);
+}
+
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               const SimObservers& observers) {
+  obs::SeriesRecorder* recorder = observers.recorder;
+  obs::RequestTracer* tracer = observers.tracer;
+  if (observers.windows != nullptr && recorder == nullptr) {
+    throw std::invalid_argument(
+        "run_policy_sim: windows require a recorder (the aggregator reads "
+        "the recorder's registry)");
+  }
   util::Rng rng(config.seed);
   const object::Catalog catalog = object::make_random_catalog(
       config.object_count, config.size_lo, config.size_hi, rng);
@@ -66,6 +84,14 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
     if (injector) injector->set_metrics(&recorder->registry());
   }
   if (tracer) station.set_request_tracer(tracer);
+  obs::PhaseProfiler* profiler = observers.profiler;
+  std::uint32_t tick_phase = 0;
+  std::uint32_t updates_phase = 0;
+  if (profiler) {
+    tick_phase = profiler->phase("sim.tick");
+    updates_phase = profiler->phase("sim.updates");
+    station.set_profiler(profiler);
+  }
 
   std::shared_ptr<const workload::AccessDistribution> access;
   switch (config.access) {
@@ -94,12 +120,22 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
   double score_sum = 0.0;
   double recency_sum = 0.0;
   std::vector<double> per_request_scores;
+  // Windowed aggregation snapshots its column set at begin(), so it must
+  // run after the last registration above (station, servers, injector —
+  // and anything the caller registered before handing us the hooks,
+  // e.g. SLO counters or live profiler counters).
+  if (observers.windows) observers.windows->begin();
   const sim::Tick total = config.warmup_ticks + config.measure_ticks;
   for (sim::Tick t = 0; t < total; ++t) {
-    station.apply_updates(*updates, t);
+    obs::ScopedPhase tick_span(profiler, tick_phase);
+    {
+      obs::ScopedPhase updates_span(profiler, updates_phase);
+      station.apply_updates(*updates, t);
+    }
     const auto batch = generator.next_batch();
     const auto tick = station.process_batch(batch, t);
     if (recorder) recorder->sample(t);
+    if (observers.windows) observers.windows->on_tick(t);
     if (t < config.warmup_ticks) continue;
     score_sum += tick.score_sum;
     recency_sum += tick.recency_sum;
@@ -118,6 +154,7 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
                                  request.target_recency));
     }
   }
+  if (observers.windows) observers.windows->finish();
   if (result.requests > 0) {
     result.average_score = score_sum / double(result.requests);
     result.average_recency = recency_sum / double(result.requests);

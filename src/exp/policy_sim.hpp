@@ -17,6 +17,8 @@
 namespace mobi::obs {
 class SeriesRecorder;
 class RequestTracer;
+class WindowAggregator;
+class PhaseProfiler;
 }  // namespace mobi::obs
 
 namespace mobi::exp {
@@ -92,5 +94,26 @@ PolicySimResult run_policy_sim(const PolicySimConfig& config,
 PolicySimResult run_policy_sim(const PolicySimConfig& config,
                                obs::SeriesRecorder* recorder,
                                obs::RequestTracer* tracer);
+
+/// The full observability hookup for one simulation run. Everything is
+/// optional and observation-only: any combination of hooks produces
+/// results bit-identical to the bare run.
+struct SimObservers {
+  obs::SeriesRecorder* recorder = nullptr;
+  obs::RequestTracer* tracer = nullptr;
+  /// Windowed aggregation: begin() is called after every component has
+  /// registered its metrics (so the column set is complete), on_tick()
+  /// after each tick's sample, finish() after the last tick. Requires
+  /// `recorder` (the aggregator reads the recorder's registry; throws
+  /// std::invalid_argument without one).
+  obs::WindowAggregator* windows = nullptr;
+  /// Phase profiling: attached to the station; each tick runs under a
+  /// root `sim.tick` span with a `sim.updates` child around the update
+  /// process and the station's `bs.*` phases nested inside.
+  obs::PhaseProfiler* profiler = nullptr;
+};
+
+PolicySimResult run_policy_sim(const PolicySimConfig& config,
+                               const SimObservers& observers);
 
 }  // namespace mobi::exp

@@ -5,8 +5,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <optional>
+
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/window.hpp"
 
 namespace mobi::exp {
 
@@ -27,6 +31,33 @@ sim::FaultPlan soak_plan_at(const SoakConfig& config, std::size_t window) {
   return plan;
 }
 
+std::vector<obs::SloObjective> default_soak_slos() {
+  std::vector<obs::SloObjective> slos(3);
+  slos[0].name = "serve-latency";
+  slos[0].column = "lat.ticks_to_serve.p99";
+  slos[0].cmp = obs::SloObjective::Cmp::kLe;
+  slos[0].threshold = 16.0;
+  slos[1].name = "hit-rate";
+  slos[1].column = "bs.hits.rate";
+  slos[1].denominator = "bs.requests.rate";
+  slos[1].cmp = obs::SloObjective::Cmp::kGe;
+  slos[1].threshold = 0.5;
+  // Any fault retry in a window breaches; with the default ramp the
+  // high-rate windows breach every frame, so the fast+slow burn pair is
+  // guaranteed to fire — the deterministic-alert acceptance check.
+  slos[2].name = "fault-ceiling";
+  slos[2].column = "bs.fault.retries.rate";
+  slos[2].cmp = obs::SloObjective::Cmp::kLe;
+  slos[2].threshold = 0.0;
+  for (auto& slo : slos) {
+    slo.fast_windows = 3;
+    slo.fast_burn = 1.0;
+    slo.slow_windows = 6;
+    slo.slow_burn = 0.5;
+  }
+  return slos;
+}
+
 const std::vector<double>& SoakResult::at(const std::string& name) const {
   const auto it = series.find(name);
   if (it == series.end()) {
@@ -45,6 +76,32 @@ std::string SoakResult::to_json() const {
   out << "],\"window_ticks\":" << window_ticks << ",\"series\":{";
   bool first = true;
   for (const auto& [name, values] : series) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << obs::json::escape(name) << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out << ',';
+      out << obs::json::number(values[i]);
+    }
+    out << ']';
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string SoakResult::windows_to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"mobicache.windows.v1\",\"window_ticks\":"
+      << obs_window_ticks << ",\"stride_ticks\":" << obs_window_ticks
+      << ",\"windows_closed\":" << window_frames
+      << ",\"dropped_frames\":0,\"windows\":[";
+  for (std::size_t f = 0; f < window_frames; ++f) {
+    if (f) out << ',';
+    out << f;
+  }
+  out << "],\"series\":{";
+  bool first = true;
+  for (const auto& [name, values] : window_series) {
     if (!first) out << ',';
     first = false;
     out << '"' << obs::json::escape(name) << "\":[";
@@ -97,12 +154,53 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
     throw std::invalid_argument("run_soak: trace_sample_every must be >= 1");
   }
 
+  if (config.obs_window_ticks < 0) {
+    throw std::invalid_argument("run_soak: obs_window_ticks must be >= 0");
+  }
+  if (!config.slos.empty() && config.obs_window_ticks == 0) {
+    throw std::invalid_argument(
+        "run_soak: SLOs need obs_window_ticks > 0 (objectives evaluate on "
+        "closed windows)");
+  }
+
   SoakResult result;
   result.windows = config.windows;
   result.window_ticks = config.window_ticks;
+  result.obs_window_ticks = config.obs_window_ticks;
   const auto push = [&result](const std::string& name, double value) {
     result.series[name].push_back(value);
   };
+
+  // Concatenates one leg's closed frames onto the cross-leg window
+  // series: columns new to this leg are zero-backfilled over the frames
+  // already collected, and columns absent from this leg get zeros for
+  // its frames — the document stays rectangular whatever each leg's
+  // registry happened to contain.
+  const auto append_frames = [&result](const obs::WindowAggregator& agg) {
+    const std::size_t have = result.window_frames;
+    const std::size_t frames = agg.frames();
+    if (frames == 0) return;
+    for (std::size_t c = 0; c < agg.column_count(); ++c) {
+      result.window_series[agg.column_name(c)].resize(have, 0.0);
+    }
+    for (auto& [name, column] : result.window_series) {
+      const std::size_t c = agg.column_index(name);
+      for (std::size_t f = 0; f < frames; ++f) {
+        column.push_back(c == obs::WindowAggregator::npos ? 0.0
+                                                          : agg.value(f, c));
+      }
+    }
+    result.window_frames += frames;
+  };
+  const auto frame_capacity = [&config](sim::Tick ticks) {
+    const sim::Tick w = config.obs_window_ticks;
+    return std::size_t((ticks + w - 1) / w) + 1;
+  };
+
+  // One profiler for the whole horizon (driver thread only); each leg
+  // re-attaches its live counters to that leg's fresh registry.
+  std::optional<obs::PhaseProfiler> profiler;
+  if (config.profile) profiler.emplace();
 
   // One streaming sink for the whole horizon: each window's tracer is
   // attached in turn, so the file carries every window's events while
@@ -132,7 +230,36 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
           config.trace_sample_every, config.trace_event_capacity});
       tracer.register_histograms(&registry);
       if (sink) tracer.log().set_sink(sink.get());
-      const PolicySimResult r = run_policy_sim(sim, &recorder, &tracer);
+      // Observability attachments. Registration order matters only for
+      // the window column snapshot: slo.* and prof.phase.* counters must
+      // exist before run_policy_sim calls windows->begin().
+      if (profiler) profiler->attach_registry(&registry);
+      std::optional<obs::SloMonitor> monitor;
+      if (!config.slos.empty()) {
+        monitor.emplace(&registry, config.slos);
+        if (sink) monitor->set_sink(sink.get());
+      }
+      std::optional<obs::WindowAggregator> windows;
+      if (config.obs_window_ticks > 0) {
+        obs::WindowAggregator::Config wcfg;
+        wcfg.window_ticks = config.obs_window_ticks;
+        wcfg.frame_capacity =
+            frame_capacity(config.window_warmup + config.window_ticks);
+        windows.emplace(registry, wcfg);
+        if (monitor) windows->set_listener(&*monitor);
+      }
+      SimObservers observers;
+      observers.recorder = &recorder;
+      observers.tracer = &tracer;
+      observers.windows = windows ? &*windows : nullptr;
+      observers.profiler = profiler ? &*profiler : nullptr;
+      const PolicySimResult r = run_policy_sim(sim, observers);
+      if (windows) append_frames(*windows);
+      if (monitor) {
+        result.slo_evaluations += monitor->evaluations();
+        result.slo_breaches += monitor->breaches();
+        result.slo_alerts += monitor->alerts();
+      }
       // Surface drop/flush accounting as ordinary registry metrics
       // (trace.events/dropped/arrivals/streamed_events/flushed_events/
       // flush_blocks). Registered after the run, so they are not in the
@@ -173,7 +300,20 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
 
       obs::MetricsRegistry registry;
       obs::SeriesRecorder recorder(registry);
-      const MultiCellResult m = run_multi_cell(mc, pool, &recorder);
+      if (profiler) profiler->attach_registry(&registry);
+      std::optional<obs::WindowAggregator> windows;
+      if (config.obs_window_ticks > 0) {
+        obs::WindowAggregator::Config wcfg;
+        wcfg.window_ticks = config.obs_window_ticks;
+        wcfg.frame_capacity = frame_capacity(mc.cell.ticks);
+        windows.emplace(registry, wcfg);
+      }
+      MultiCellObservers observers;
+      observers.recorder = &recorder;
+      observers.windows = windows ? &*windows : nullptr;
+      observers.profiler = profiler ? &*profiler : nullptr;
+      const MultiCellResult m = run_multi_cell(mc, pool, observers);
+      if (windows) append_frames(*windows);
 
       push("mc.requests", double(m.aggregate.requests));
       push("mc.average_score", m.aggregate.average_score());
@@ -192,6 +332,12 @@ SoakResult run_soak(const SoakConfig& config, util::ThreadPool* pool) {
     }
   }
   if (sink) sink->close();
+  if (profiler) {
+    // Detach before the profiler dies with this frame; the flamegraph is
+    // the horizon-wide path profile (wall-clock — never golden-gated).
+    profiler->attach_registry(nullptr);
+    result.flamegraph = profiler->flamegraph_collapsed();
+  }
   return result;
 }
 

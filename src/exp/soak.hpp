@@ -21,6 +21,7 @@
 
 #include "exp/multi_cell.hpp"
 #include "exp/policy_sim.hpp"
+#include "obs/slo.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mobi::exp {
@@ -62,6 +63,22 @@ struct SoakConfig {
   /// produced buffered.
   std::string trace_jsonl;
 
+  /// Online observability (all read-only over the simulation — every
+  /// exported sim-time series is bit-identical with these on or off).
+  /// obs_window_ticks > 0 attaches a tumbling WindowAggregator of that
+  /// width to each leg's registry; the closed frames concatenate — in
+  /// run order, zero-backfilled where the two legs' column sets differ —
+  /// into SoakResult::window_series (`mobicache.windows.v1`).
+  sim::Tick obs_window_ticks = 0;
+  /// Attach one driver-thread PhaseProfiler across every leg of every
+  /// window (live `prof.phase.*` counters per leg registry); the
+  /// collapsed flamegraph lands in SoakResult::flamegraph.
+  bool profile = false;
+  /// Objectives evaluated on every closed station-leg window (needs
+  /// obs_window_ticks > 0; ignored otherwise). Alerts stream as
+  /// kSloAlert events to the trace_jsonl sink when one is attached.
+  std::vector<obs::SloObjective> slos;
+
   std::uint64_t seed = 42;
 
   SoakConfig() {
@@ -74,6 +91,14 @@ struct SoakConfig {
 
 /// The fault plan window `w` runs at (exposed so tests can pin the ramp).
 sim::FaultPlan soak_plan_at(const SoakConfig& config, std::size_t window);
+
+/// The objective set bench/soak --slo attaches: served-latency p99
+/// ("lat.ticks_to_serve.p99" <= 16), hit rate ("bs.hits.rate" /
+/// "bs.requests.rate" >= 0.5), and a fault ceiling ("bs.fault.retries
+/// .rate" <= 0 — any retry in a window breaches, so the ramped-fault
+/// phase of the default soak deterministically burns through the
+/// fast+slow pair and fires at least one alert).
+std::vector<obs::SloObjective> default_soak_slos();
 
 struct SoakResult {
   /// One value per window for every trended series, keyed by name
@@ -92,6 +117,27 @@ struct SoakResult {
   /// Consumable by obs::diff_metrics / tools/metrics_diff (the axis is
   /// the window index).
   std::string to_json() const;
+
+  /// Online-observability outputs (populated only when the matching
+  /// SoakConfig switch was on). window_series holds every closed
+  /// WindowAggregator frame across all legs and soak windows, in run
+  /// order (station leg frames, then multi-cell leg frames, per soak
+  /// window), zero-backfilled where a column exists in only one leg.
+  /// All columns except `prof.phase.*.wall_ns` are sim-time
+  /// deterministic; the wall columns are masked in the CI gate.
+  std::map<std::string, std::vector<double>> window_series;
+  std::size_t window_frames = 0;
+  sim::Tick obs_window_ticks = 0;
+  std::uint64_t slo_evaluations = 0;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_alerts = 0;
+  /// flamegraph.pl collapsed stacks (empty when profiling was off).
+  std::string flamegraph;
+
+  /// `mobicache.windows.v1` export of window_series (same shape as
+  /// WindowAggregator::to_json, axis = frame ordinal), accepted by
+  /// obs::diff_metrics / tools/metrics_diff / tools/metrics_query.
+  std::string windows_to_json() const;
 };
 
 /// Runs the soak. The pool (optional) parallelizes the multi-cell leg's

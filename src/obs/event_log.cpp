@@ -169,6 +169,7 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kDownlinkDrop: return "downlink_drop";
     case EventKind::kNetBatch: return "net_batch";
     case EventKind::kHandoff: return "handoff";
+    case EventKind::kSloAlert: return "slo_alert";
   }
   return "?";
 }

@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   kNetBatch,           // fixed-network batch; value = completion time
   kHandoff,            // client crossed a cell boundary; attempt = dest
                        // cell, value = migrated cache units
+  kSloAlert,           // SLO burn-rate alert fired; obj = window ordinal,
+                       // attempt = objective index, value = fast burn rate
 };
 
 const char* event_kind_name(EventKind kind) noexcept;

@@ -49,7 +49,8 @@ Document open_document(const Value& root, const char* which) {
   doc.schema = root.at("schema").str();
   if (doc.schema == "mobicache.metrics.v1") {
     doc.axis_name = "ticks";
-  } else if (doc.schema == "mobicache.soak.v1") {
+  } else if (doc.schema == "mobicache.soak.v1" ||
+             doc.schema == "mobicache.windows.v1") {
     doc.axis_name = "windows";
   } else {
     throw std::runtime_error("metrics_diff: unsupported schema '" +
@@ -168,11 +169,32 @@ class Differ {
 }  // namespace
 
 bool ToleranceRule::matches(const std::string& name) const {
-  if (!pattern.empty() && pattern.back() == '*') {
-    return name.compare(0, pattern.size() - 1, pattern, 0,
-                        pattern.size() - 1) == 0;
+  // General '*' glob (zero or more characters, anywhere in the pattern),
+  // via the classic backtracking scan: remember the last star and the
+  // name position it matched up to; on mismatch, extend that star by one
+  // character and retry. Subsumes the original prefix-glob ("lat.*") and
+  // exact-name behaviors, and admits mid-star rules like
+  // "prof.phase.*.wall_ns*".
+  std::size_t p = 0;
+  std::size_t n = 0;
+  std::size_t star = std::string::npos;
+  std::size_t mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (p < pattern.size() && pattern[p] == name[n]) {
+      ++p;
+      ++n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
   }
-  return name == pattern;
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
 }
 
 ToleranceRule parse_tolerance_rule(const std::string& spec) {

@@ -1,6 +1,7 @@
 // Golden-metrics comparison: diffs two exported metrics documents
-// (mobicache.metrics.v1 per-tick series or mobicache.soak.v1 windowed
-// aggregates) series by series under per-series tolerances. The engine
+// (mobicache.metrics.v1 per-tick series, mobicache.soak.v1 windowed
+// aggregates, or mobicache.windows.v1 window frames) series by series
+// under per-series tolerances. The engine
 // behind tools/metrics_diff and the CI regression gate: a checked-in
 // golden artifact is compared against a freshly produced one, and any
 // drift outside tolerance is a regression.
@@ -27,8 +28,9 @@
 
 namespace mobi::obs {
 
-/// Per-series tolerance. `pattern` is an exact name or a prefix glob
-/// ending in '*' (e.g. "lat.*" matches every latency histogram series).
+/// Per-series tolerance. `pattern` is an exact name or a glob where each
+/// '*' matches zero or more characters anywhere in the name — "lat.*"
+/// (prefix), "prof.phase.*.wall_ns*" (mid-star), "*.rate" (suffix).
 struct ToleranceRule {
   std::string pattern;
   double rtol = 0.0;

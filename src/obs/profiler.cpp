@@ -1,0 +1,180 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobi::obs {
+
+PhaseProfiler::PhaseProfiler(const Config& config) : config_(config) {
+  if (config_.max_phases == 0 || config_.max_depth == 0 ||
+      config_.max_nodes == 0) {
+    throw std::invalid_argument("PhaseProfiler: limits must be > 0");
+  }
+  phases_.reserve(config_.max_phases);
+  nodes_.reserve(config_.max_nodes);
+  stack_.resize(config_.max_depth);
+}
+
+PhaseProfiler::PhaseId PhaseProfiler::phase(const std::string& name) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) return PhaseId(i);
+  }
+  if (phases_.size() >= config_.max_phases) {
+    throw std::length_error("PhaseProfiler: max_phases exceeded");
+  }
+  phases_.push_back(Phase{});
+  phases_.back().name = name;
+  if (registry_ != nullptr) register_live_counters(phases_.back());
+  return PhaseId(phases_.size() - 1);
+}
+
+void PhaseProfiler::register_live_counters(Phase& phase) {
+  const std::string base = prefix_ + "." + phase.name;
+  phase.calls_counter = &registry_->register_counter(base + ".calls");
+  phase.cost_counter = &registry_->register_counter(base + ".sim_cost");
+  phase.wall_counter = &registry_->register_counter(base + ".wall_ns");
+}
+
+void PhaseProfiler::attach_registry(MetricsRegistry* registry,
+                                    const std::string& prefix) {
+  registry_ = registry;
+  prefix_ = prefix;
+  for (Phase& phase : phases_) {
+    if (registry_ != nullptr) {
+      register_live_counters(phase);
+    } else {
+      phase.calls_counter = nullptr;
+      phase.cost_counter = nullptr;
+      phase.wall_counter = nullptr;
+    }
+  }
+}
+
+std::int32_t PhaseProfiler::find_or_create_node(std::int32_t parent,
+                                                PhaseId id) noexcept {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == parent && nodes_[i].phase == id) {
+      return std::int32_t(i);
+    }
+  }
+  if (nodes_.size() >= config_.max_nodes) {
+    ++node_overflows_;
+    return -1;
+  }
+  Node node;
+  node.parent = parent;
+  node.phase = id;
+  nodes_.push_back(node);  // within reserve(): no allocation
+  return std::int32_t(nodes_.size() - 1);
+}
+
+void PhaseProfiler::enter(PhaseId id) noexcept {
+  if (overflow_depth_ > 0 || depth_ >= config_.max_depth ||
+      id >= phases_.size()) {
+    ++overflow_depth_;
+    ++depth_overflows_;
+    return;
+  }
+  const std::int32_t parent = depth_ > 0 ? stack_[depth_ - 1].node : -1;
+  Frame& frame = stack_[depth_++];
+  frame.node = find_or_create_node(parent, id);
+  frame.phase = id;
+  frame.child_ns = 0;
+  frame.start = Clock::now();
+}
+
+void PhaseProfiler::add_cost(std::uint64_t units) noexcept {
+  if (overflow_depth_ > 0 || depth_ == 0) {
+    dropped_cost_ += units;
+    return;
+  }
+  Phase& phase = phases_[stack_[depth_ - 1].phase];
+  phase.sim_cost += units;
+  if (phase.cost_counter != nullptr) phase.cost_counter->add(units);
+}
+
+void PhaseProfiler::exit() noexcept {
+  if (overflow_depth_ > 0) {
+    --overflow_depth_;
+    return;
+  }
+  if (depth_ == 0) return;  // unbalanced exit; ignore
+  Frame& frame = stack_[--depth_];
+  const auto elapsed = Clock::now() - frame.start;
+  const std::uint64_t dt = std::uint64_t(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+             .count()));
+  Phase& phase = phases_[frame.phase];
+  ++phase.calls;
+  phase.total_ns += dt;
+  // child_ns is a sum of disjoint sub-intervals of this span measured
+  // with the same monotonic clock, so dt >= child_ns and self stays
+  // exact — the Σself == root-total invariant depends on no clamping.
+  phase.self_ns += dt - frame.child_ns;
+  if (depth_ > 0) {
+    stack_[depth_ - 1].child_ns += dt;
+  } else {
+    root_total_ns_ += dt;
+  }
+  if (frame.node >= 0) {
+    nodes_[frame.node].wall_ns += dt;
+    ++nodes_[frame.node].calls;
+  }
+  if (phase.calls_counter != nullptr) phase.calls_counter->add(1);
+  if (phase.wall_counter != nullptr) phase.wall_counter->add(dt);
+}
+
+std::string PhaseProfiler::flamegraph_collapsed() const {
+  // Self wall ns per node = node total minus its children's totals.
+  std::vector<std::uint64_t> self(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) self[i] = nodes_[i].wall_ns;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent >= 0) {
+      std::uint64_t& parent_self = self[std::size_t(nodes_[i].parent)];
+      parent_self -= std::min(parent_self, nodes_[i].wall_ns);
+    }
+  }
+  std::vector<std::string> lines;
+  lines.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::string path = phases_[nodes_[i].phase].name;
+    for (std::int32_t p = nodes_[i].parent; p >= 0;
+         p = nodes_[std::size_t(p)].parent) {
+      path = phases_[nodes_[std::size_t(p)].phase].name + ";" + path;
+    }
+    lines.push_back(path + " " + std::to_string(self[i]) + "\n");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line;
+  return out;
+}
+
+void PhaseProfiler::export_metrics(MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  for (const Phase& phase : phases_) {
+    const std::string base = prefix + "." + phase.name;
+    registry.register_counter(base + ".calls").add(phase.calls);
+    registry.register_counter(base + ".sim_cost").add(phase.sim_cost);
+    registry.register_counter(base + ".wall_ns").add(phase.total_ns);
+    registry.register_counter(base + ".self_wall_ns").add(phase.self_ns);
+  }
+}
+
+void PhaseProfiler::reset() noexcept {
+  for (Phase& phase : phases_) {
+    phase.calls = 0;
+    phase.sim_cost = 0;
+    phase.total_ns = 0;
+    phase.self_ns = 0;
+  }
+  nodes_.clear();  // keeps reserve()d capacity
+  depth_ = 0;
+  overflow_depth_ = 0;
+  root_total_ns_ = 0;
+  depth_overflows_ = 0;
+  node_overflows_ = 0;
+  dropped_cost_ = 0;
+}
+
+}  // namespace mobi::obs

@@ -1,0 +1,175 @@
+// Phase profiler: RAII scoped timers over the named phases of a tick
+// (serve / retry / policy+knapsack / fetch / coherence / downlink /
+// mobility-barrier) with two strictly separated series per phase:
+//
+//   - deterministic sim-cost counters (`calls` — spans opened, and
+//     `sim_cost` — caller-supplied work units such as requests served or
+//     units fetched), which are pure functions of the simulation and are
+//     safe to export into golden-diffed series; and
+//   - wall-clock accumulators (`wall_ns`, plus per-phase self/total
+//     attribution), which are *not* reproducible and must stay out of
+//     golden comparisons — the CI gate masks `prof.phase.*.wall_ns*`
+//     columns with an always-pass tolerance rule.
+//
+// Attribution is path-aware: spans nest on a bounded stack and every
+// (call-path, phase) pair accumulates into a preallocated trie node, so
+// the profile exports as flamegraph.pl-compatible collapsed stacks
+// ("a;b;c <self_ns>" lines) as well as flat per-phase totals.
+//
+// Contracts: single-threaded (one profiler per driving thread — the
+// parallel shard workers of a multi-cell run are *not* profiled, only
+// the driver-side phases are); components hold a null-default pointer so
+// the disabled path is one branch; the steady state allocates nothing —
+// phases, stack, and trie nodes are all preallocated, and new trie paths
+// only appear the first time a call shape occurs (warmup).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mobi::obs {
+
+class PhaseProfiler {
+ public:
+  using PhaseId = std::uint32_t;
+
+  struct Config {
+    std::size_t max_phases = 64;
+    std::size_t max_depth = 32;
+    std::size_t max_nodes = 512;
+  };
+
+  PhaseProfiler() : PhaseProfiler(Config{}) {}
+  explicit PhaseProfiler(const Config& config);
+
+  /// Finds or creates the phase with this name. Throws std::length_error
+  /// past max_phases. Components call this once at attach time and cache
+  /// the id — enter/exit never touch strings.
+  PhaseId phase(const std::string& name);
+
+  /// Attaches live counters: every known phase (and any registered
+  /// later) gets `<prefix>.<name>.calls`, `<prefix>.<name>.sim_cost`,
+  /// and `<prefix>.<name>.wall_ns` counters in `registry`, bumped on
+  /// exit — so windowed aggregation sees per-window phase activity.
+  /// The strict-registry contract applies (re-attaching to the same
+  /// registry twice throws); nullptr detaches. A re-attach points the
+  /// counters at the new registry and accumulates only from zero there.
+  void attach_registry(MetricsRegistry* registry,
+                       const std::string& prefix = "prof.phase");
+
+  // --- span operations (ScopedPhase calls these; null-safe there).
+  void enter(PhaseId id) noexcept;
+  /// Adds deterministic work units to the innermost open span's phase.
+  /// No open span: the units are counted in dropped_cost() instead.
+  void add_cost(std::uint64_t units) noexcept;
+  void exit() noexcept;
+
+  // --- accessors.
+  std::size_t phase_count() const noexcept { return phases_.size(); }
+  const std::string& phase_name(PhaseId id) const {
+    return phases_.at(id).name;
+  }
+  std::uint64_t calls(PhaseId id) const { return phases_.at(id).calls; }
+  std::uint64_t sim_cost(PhaseId id) const { return phases_.at(id).sim_cost; }
+  std::uint64_t total_wall_ns(PhaseId id) const {
+    return phases_.at(id).total_ns;
+  }
+  std::uint64_t self_wall_ns(PhaseId id) const {
+    return phases_.at(id).self_ns;
+  }
+  /// Wall time of root-level spans — by construction exactly equal to
+  /// the sum of self_wall_ns over all phases (the Σself == root-total
+  /// invariant the tests pin).
+  std::uint64_t root_total_wall_ns() const noexcept { return root_total_ns_; }
+  std::uint64_t depth_overflows() const noexcept { return depth_overflows_; }
+  std::uint64_t node_overflows() const noexcept { return node_overflows_; }
+  std::uint64_t dropped_cost() const noexcept { return dropped_cost_; }
+
+  /// flamegraph.pl-compatible collapsed stacks: one "path;to;phase N"
+  /// line per observed call path, N = self wall ns at that exact path,
+  /// sorted lexicographically. Feed to flamegraph.pl (or any collapsed-
+  /// stack viewer) unchanged.
+  std::string flamegraph_collapsed() const;
+
+  /// Post-run snapshot export: registers `<prefix>.<name>.{calls,
+  /// sim_cost,wall_ns,self_wall_ns}` counters in `registry` at their
+  /// current values. Use on a registry that was *not* live-attached
+  /// (strict naming would collide).
+  void export_metrics(MetricsRegistry& registry,
+                      const std::string& prefix = "prof.phase") const;
+
+  /// Zeroes every accumulator and forgets trie paths; keeps phase ids
+  /// and any live-counter attachment.
+  void reset() noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Phase {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t sim_cost = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+    Counter* calls_counter = nullptr;
+    Counter* cost_counter = nullptr;
+    Counter* wall_counter = nullptr;
+  };
+  struct Node {
+    std::int32_t parent = -1;  // -1 = root
+    PhaseId phase = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t calls = 0;
+  };
+  struct Frame {
+    std::int32_t node = -1;  // -1 when the node table overflowed
+    PhaseId phase = 0;
+    Clock::time_point start;
+    std::uint64_t child_ns = 0;
+  };
+
+  void register_live_counters(Phase& phase);
+  std::int32_t find_or_create_node(std::int32_t parent, PhaseId id) noexcept;
+
+  Config config_;
+  std::vector<Phase> phases_;
+  std::vector<Node> nodes_;
+  std::vector<Frame> stack_;
+  std::size_t depth_ = 0;
+  std::uint64_t overflow_depth_ = 0;  // open spans past max_depth
+  std::uint64_t root_total_ns_ = 0;
+  std::uint64_t depth_overflows_ = 0;
+  std::uint64_t node_overflows_ = 0;
+  std::uint64_t dropped_cost_ = 0;
+  MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+/// RAII span. Null profiler = fully disabled (one branch per call, the
+/// same discipline as every other obs hook).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, PhaseProfiler::PhaseId id) noexcept
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->enter(id);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) profiler_->exit();
+  }
+
+  /// Deterministic work units attributed to this span's phase.
+  void add_cost(std::uint64_t units) noexcept {
+    if (profiler_ != nullptr) profiler_->add_cost(units);
+  }
+
+ private:
+  PhaseProfiler* profiler_;
+};
+
+}  // namespace mobi::obs

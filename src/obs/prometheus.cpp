@@ -16,10 +16,46 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
-std::string to_prometheus(const MetricsRegistry& registry) {
-  std::ostringstream out;
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void render(std::ostringstream& out, const MetricsRegistry& registry,
+            const std::map<std::string, std::string>* help) {
   for (const std::string& name : registry.names()) {
     const std::string flat = prometheus_name(name);
+    if (help) {
+      const auto it = help->find(name);
+      if (it != help->end()) {
+        out << "# HELP " << flat << ' ' << prometheus_escape_help(it->second)
+            << '\n';
+      }
+    }
     switch (registry.kind(name)) {
       case MetricKind::kCounter:
         out << "# TYPE " << flat << " counter\n"
@@ -38,7 +74,8 @@ std::string to_prometheus(const MetricsRegistry& registry) {
         std::uint64_t cumulative = h.underflow();
         for (std::size_t i = 0; i < h.bucket_count(); ++i) {
           cumulative += h.bucket(i);
-          out << flat << "_bucket{le=\"" << json::number(h.bucket_hi(i))
+          out << flat << "_bucket{le=\""
+              << prometheus_escape_label(json::number(h.bucket_hi(i)))
               << "\"} " << cumulative << '\n';
         }
         out << flat << "_bucket{le=\"+Inf\"} " << h.total() << '\n'
@@ -48,6 +85,20 @@ std::string to_prometheus(const MetricsRegistry& registry) {
       }
     }
   }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  render(out, registry, nullptr);
+  return out.str();
+}
+
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const std::map<std::string, std::string>& help) {
+  std::ostringstream out;
+  render(out, registry, &help);
   return out.str();
 }
 

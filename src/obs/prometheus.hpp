@@ -4,6 +4,7 @@
 // metrics the SeriesRecorder snapshots per tick.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -17,6 +18,16 @@ namespace mobi::obs {
 /// only) cannot collide.
 std::string prometheus_name(const std::string& name);
 
+/// Escapes a label *value* per the text exposition format: backslash ->
+/// `\\`, double quote -> `\"`, newline -> `\n`. Required for any value
+/// interpolated inside `{name="..."}` — an unescaped `"` truncates the
+/// label and corrupts the whole scrape.
+std::string prometheus_escape_label(const std::string& value);
+
+///// Escapes a HELP docstring: backslash -> `\\`, newline -> `\n` (quotes
+/// are legal in HELP text and pass through verbatim).
+std::string prometheus_escape_help(const std::string& value);
+
 /// Renders every metric, sorted by name, as
 ///   # TYPE <name> counter|gauge|histogram
 /// followed by its sample lines. Histograms follow the Prometheus
@@ -26,7 +37,16 @@ std::string prometheus_name(const std::string& name);
 /// appear in `_count` (and the +Inf bucket) but in no finite bucket and
 /// not in `_sum` — see FixedHistogram's NaN contract.
 /// Values are formatted with json::number (locale-independent, shortest
-/// round-trip form), so output is byte-stable across platforms.
+/// round-trip form), so output is byte-stable across platforms. No
+/// OpenMetrics `_created` series are ever emitted (the registry has no
+/// creation timestamps, and golden outputs must stay wall-clock-free).
 std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Same, additionally emitting a `# HELP <name> <text>` line (escaped via
+/// prometheus_escape_help) before the TYPE line for every metric whose
+/// dotted name appears in `help`. Metrics without an entry render exactly
+/// as the plain overload.
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const std::map<std::string, std::string>& help);
 
 }  // namespace mobi::obs

@@ -1,0 +1,136 @@
+#include "obs/slo.hpp"
+
+#include <stdexcept>
+
+namespace mobi::obs {
+
+SloMonitor::SloMonitor(MetricsRegistry* registry,
+                       std::vector<SloObjective> objectives) {
+  states_.reserve(objectives.size());
+  for (SloObjective& objective : objectives) {
+    if (objective.column.empty()) {
+      throw std::invalid_argument("SloMonitor: objective needs a column");
+    }
+    if (objective.fast_windows == 0 ||
+        objective.fast_windows > objective.slow_windows) {
+      throw std::invalid_argument(
+          "SloMonitor: need 1 <= fast_windows <= slow_windows");
+    }
+    State state;
+    state.objective = std::move(objective);
+    state.ring.assign(state.objective.slow_windows, 0);
+    states_.push_back(std::move(state));
+  }
+  if (registry != nullptr) {
+    evaluations_counter_ = &registry->register_counter("slo.evaluations");
+    breaches_counter_ = &registry->register_counter("slo.breaches");
+    alerts_counter_ = &registry->register_counter("slo.alerts");
+  }
+}
+
+void SloMonitor::resolve_columns(const WindowAggregator& agg) {
+  for (State& state : states_) {
+    state.column = agg.column_index(state.objective.column);
+    if (state.column == WindowAggregator::npos) {
+      throw std::invalid_argument("SloMonitor: unknown column " +
+                                  state.objective.column);
+    }
+    if (!state.objective.denominator.empty()) {
+      state.denominator = agg.column_index(state.objective.denominator);
+      if (state.denominator == WindowAggregator::npos) {
+        throw std::invalid_argument("SloMonitor: unknown column " +
+                                    state.objective.denominator);
+      }
+    }
+  }
+  resolved_ = true;
+}
+
+std::size_t SloMonitor::breaches_in_last(const State& state,
+                                         std::size_t count) const {
+  const std::size_t window = std::min(count, state.seen);
+  std::size_t total = 0;
+  for (std::size_t back = 0; back < window; ++back) {
+    const std::size_t slot =
+        (state.seen - 1 - back) % state.objective.slow_windows;
+    total += state.ring[slot];
+  }
+  return total;
+}
+
+std::size_t SloMonitor::fast_breaches(std::size_t i) const {
+  const State& state = states_.at(i);
+  return breaches_in_last(state, state.objective.fast_windows);
+}
+
+std::size_t SloMonitor::slow_breaches(std::size_t i) const {
+  const State& state = states_.at(i);
+  return breaches_in_last(state, state.objective.slow_windows);
+}
+
+void SloMonitor::on_window(const WindowAggregator& agg, std::size_t frame) {
+  if (!resolved_) resolve_columns(agg);
+  const WindowAggregator::FrameView meta = agg.frame(frame);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& state = states_[i];
+    const SloObjective& objective = state.objective;
+
+    bool vacuous = false;
+    double value = agg.value(frame, state.column);
+    if (state.denominator != WindowAggregator::npos) {
+      const double denom = agg.value(frame, state.denominator);
+      if (denom == 0.0) {
+        vacuous = true;
+        value = 0.0;
+      } else {
+        value /= denom;
+      }
+    }
+    state.last_value = value;
+
+    const bool holds =
+        vacuous || (objective.cmp == SloObjective::Cmp::kLe
+                        ? value <= objective.threshold
+                        : value >= objective.threshold);
+    ++evaluations_;
+    if (evaluations_counter_ != nullptr) evaluations_counter_->add(1);
+    if (!holds) {
+      ++breaches_;
+      if (breaches_counter_ != nullptr) breaches_counter_->add(1);
+    }
+    state.ring[state.seen % objective.slow_windows] = holds ? 0 : 1;
+    ++state.seen;
+
+    bool burn = false;
+    if (state.seen >= objective.fast_windows) {
+      const std::size_t fast = breaches_in_last(state, objective.fast_windows);
+      const std::size_t slow_span =
+          std::min(state.seen, objective.slow_windows);
+      const std::size_t slow = breaches_in_last(state, slow_span);
+      burn = double(fast) >= objective.fast_burn *
+                                 double(objective.fast_windows) &&
+             double(slow) >= objective.slow_burn * double(slow_span);
+    }
+    if (burn && !state.alerting) {
+      state.alerting = true;
+      ++alerts_;
+      if (alerts_counter_ != nullptr) alerts_counter_->add(1);
+      if (sink_ != nullptr) {
+        RequestEvent event;
+        event.tick = meta.end_tick;
+        event.kind = EventKind::kSloAlert;
+        event.attempt = std::uint32_t(i);
+        event.object = std::uint32_t(meta.index);
+        event.client = RequestEvent::kNoClient;
+        event.value =
+            double(breaches_in_last(state, objective.fast_windows)) /
+            double(objective.fast_windows);
+        sink_->write(event);
+      }
+    } else if (!burn && state.alerting) {
+      state.alerting = false;
+    }
+  }
+}
+
+}  // namespace mobi::obs

@@ -1,0 +1,110 @@
+// Declarative SLOs over WindowAggregator frames with multi-window
+// burn-rate alerting (the Google SRE workbook shape: a *fast* window
+// that reacts quickly and a *slow* window that suppresses flapping; an
+// alert fires only when both burn rates are over their thresholds).
+//
+// Everything here is deterministic: objectives are evaluated against
+// sim-time window columns, the breach history is a preallocated ring of
+// bits, and no RNG is consumed — a monitored run is bit-identical to an
+// unmonitored one. Alerts emit `slo.{evaluations,breaches,alerts}`
+// counters plus a kSloAlert trace event written *directly* to an
+// attached EventSink, deliberately bypassing EventLog so the in-memory
+// trace accounting (`trace.events` series, log sizes) stays untouched
+// by monitoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace mobi::obs {
+
+/// One objective over a window column. `column` names a WindowAggregator
+/// column (e.g. "lat.ticks_to_serve.p99" or "bs.cache.hits.rate"); with
+/// a non-empty `denominator` the evaluated value is the ratio
+/// column/denominator per window (hit-rate style), and a zero
+/// denominator makes the window vacuously compliant (no traffic, no
+/// breach). The objective holds when `value cmp threshold`.
+struct SloObjective {
+  std::string name;         // short id, used in accessors/diagnostics
+  std::string column;       // numerator window column
+  std::string denominator;  // optional denominator window column
+  enum class Cmp { kLe, kGe };
+  Cmp cmp = Cmp::kLe;
+  double threshold = 0.0;
+
+  // Burn-rate pair: breached-window fraction over the last
+  // `fast_windows` frames must reach `fast_burn` AND the fraction over
+  // the last `slow_windows` frames must reach `slow_burn` for the alert
+  // to fire. fast <= slow; an alert re-arms once the condition clears.
+  std::size_t fast_windows = 3;
+  double fast_burn = 1.0;
+  std::size_t slow_windows = 12;
+  double slow_burn = 0.5;
+};
+
+/// Evaluates objectives on every closed frame (attach with
+/// `aggregator.set_listener(&monitor)`). Counters registered at
+/// construction (strict-name contract; pass nullptr to skip metrics):
+///   slo.evaluations  — objective-window evaluations performed
+///   slo.breaches     — evaluations that violated their objective
+///   slo.alerts       — burn-rate alert *firings* (transitions into the
+///                      alerting state, not per-window re-assertions)
+/// Column indices resolve lazily on the first frame; an objective naming
+/// an unknown column throws std::invalid_argument there.
+class SloMonitor final : public WindowAggregator::Listener {
+ public:
+  SloMonitor(MetricsRegistry* registry, std::vector<SloObjective> objectives);
+
+  /// Alerts stream here as kSloAlert events (object = window ordinal,
+  /// attempt = objective index, value = fast burn rate). Caller owns the
+  /// sink; nullptr detaches.
+  void set_sink(EventSink* sink) noexcept { sink_ = sink; }
+
+  void on_window(const WindowAggregator& agg, std::size_t frame) override;
+
+  std::size_t objective_count() const noexcept { return states_.size(); }
+  const SloObjective& objective(std::size_t i) const {
+    return states_.at(i).objective;
+  }
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t breaches() const noexcept { return breaches_; }
+  std::uint64_t alerts() const noexcept { return alerts_; }
+  /// Is objective `i` currently in the alerting state?
+  bool alerting(std::size_t i) const { return states_.at(i).alerting; }
+  /// Breached-window count over the last min(seen, fast/slow) frames.
+  std::size_t fast_breaches(std::size_t i) const;
+  std::size_t slow_breaches(std::size_t i) const;
+  /// Value evaluated on the most recent frame.
+  double last_value(std::size_t i) const { return states_.at(i).last_value; }
+
+ private:
+  struct State {
+    SloObjective objective;
+    std::size_t column = WindowAggregator::npos;
+    std::size_t denominator = WindowAggregator::npos;
+    std::vector<std::uint8_t> ring;  // breach bits, slow_windows long
+    std::size_t seen = 0;
+    bool alerting = false;
+    double last_value = 0.0;
+  };
+
+  void resolve_columns(const WindowAggregator& agg);
+  std::size_t breaches_in_last(const State& state, std::size_t count) const;
+
+  std::vector<State> states_;
+  bool resolved_ = false;
+  EventSink* sink_ = nullptr;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t breaches_ = 0;
+  std::uint64_t alerts_ = 0;
+  Counter* evaluations_counter_ = nullptr;
+  Counter* breaches_counter_ = nullptr;
+  Counter* alerts_counter_ = nullptr;
+};
+
+}  // namespace mobi::obs

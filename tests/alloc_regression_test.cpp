@@ -26,6 +26,9 @@
 #include "net/fault_injector.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/window.hpp"
 #include "object/builders.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/arena.hpp"
@@ -380,6 +383,107 @@ TEST(AllocRegression, StreamingSinkSteadyStateIsAllocationFree) {
       << (after - before) << " steady-state heap allocations";
   EXPECT_EQ(sink.streamed_events(), 4096u);
   EXPECT_EQ(sink.flushed_events(), 4096u);
+}
+
+TEST(AllocRegression, WindowedProfiledSloSteadyStateIsAllocationFree) {
+  // The full online-observability stack at once: live bs.* metrics, a
+  // phase profiler with live prof.phase.* counters, a tumbling
+  // WindowAggregator whose tiny ring wraps during warm-up, and an SLO
+  // monitor evaluating (and alerting) on every closed frame. All of it
+  // runs on storage preallocated at begin()/construction — frame
+  // baselines, the closed-frame ring, breach-bit rings, trie nodes — so
+  // the observed steady state must allocate exactly as much as the
+  // unobserved one: nothing.
+  constexpr std::size_t kObjects = 128;
+  constexpr std::size_t kBatch = 64;
+  constexpr int kUpdatesPerTick = 4;
+
+  util::Rng rng(3);
+  const auto catalog = object::make_random_catalog(kObjects, 1, 8, rng);
+  server::ServerPool servers(catalog, 4);
+  sim::FaultPlan plan;
+  plan.fetch_failure_rate = 0.2;
+  net::FaultInjector injector(plan, servers.server_count());
+  core::BaseStationConfig config;
+  config.download_budget = object::Units(kObjects) / 4;
+  config.downlink_capacity = 1 << 20;
+  config.fetch_retry_limit = 3;
+  core::BaseStation station(catalog, servers, cache::make_harmonic_decay(),
+                            std::make_unique<core::ReciprocalScorer>(),
+                            core::make_policy("on-demand-knapsack"), config);
+  station.set_fault_injector(&injector);
+  servers.set_fault_injector(&injector);
+
+  obs::MetricsRegistry registry;
+  station.set_metrics(&registry);
+  obs::PhaseProfiler profiler;
+  profiler.attach_registry(&registry);
+  station.set_profiler(&profiler);  // creates phases -> live counters
+
+  // Retry ceiling (breaches on every faulty frame, so the burn-rate
+  // alert fires mid-run) plus a hit-rate ratio objective.
+  obs::SloObjective retry_ceiling;
+  retry_ceiling.name = "retry-ceiling";
+  retry_ceiling.column = "bs.fault.retries.rate";
+  retry_ceiling.threshold = 0.0;
+  retry_ceiling.fast_windows = 2;
+  retry_ceiling.slow_windows = 4;
+  obs::SloObjective hit_rate;
+  hit_rate.name = "hit-rate";
+  hit_rate.column = "bs.hits.rate";
+  hit_rate.denominator = "bs.requests.rate";
+  hit_rate.cmp = obs::SloObjective::Cmp::kGe;
+  hit_rate.threshold = 0.5;
+  hit_rate.fast_windows = 2;
+  hit_rate.slow_windows = 4;
+  obs::SloMonitor monitor(&registry, {retry_ceiling, hit_rate});
+
+  obs::WindowAggregator::Config window_config;
+  window_config.window_ticks = 8;
+  window_config.frame_capacity = 2;  // wraps well inside warm-up
+  obs::WindowAggregator windows(registry, window_config);
+  windows.set_listener(&monitor);
+  windows.begin();  // after the last registration (slo.* included)
+
+  workload::RequestGenerator generator(
+      workload::make_zipf_access(kObjects, 1.0), workload::ConstantTarget{1.0},
+      kBatch, rng.split());
+  std::vector<workload::RequestBatch> batches;
+  for (int b = 0; b < 16; ++b) batches.push_back(generator.next_batch());
+  std::vector<object::ObjectId> update_ids;
+  for (std::size_t i = 0; i < batches.size() * kUpdatesPerTick; ++i) {
+    update_ids.push_back(
+        object::ObjectId(rng.uniform_int(0, std::int64_t(kObjects) - 1)));
+  }
+
+  sim::Tick now = 0;
+  const auto one_pass = [&] {
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      for (int u = 0; u < kUpdatesPerTick; ++u) {
+        station.on_server_update(update_ids[b * kUpdatesPerTick + u], now);
+      }
+      station.process_batch(batches[b], now);
+      windows.on_tick(now);
+      ++now;
+    }
+  };
+
+  for (int pass = 0; pass < 2; ++pass) one_pass();  // warm-up
+  EXPECT_GT(windows.dropped_frames(), 0u);  // the ring already wrapped
+  const std::uint64_t before = g_allocations.load();
+  for (int pass = 0; pass < 3; ++pass) one_pass();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " steady-state heap allocations";
+
+  // The measured frames actually exercised the whole stack.
+  windows.finish();
+  EXPECT_EQ(windows.windows_closed(), 10u);  // 80 ticks / W=8
+  EXPECT_EQ(monitor.evaluations(), 20u);     // 10 frames x 2 objectives
+  EXPECT_GT(monitor.breaches(), 0u);
+  EXPECT_GT(monitor.alerts(), 0u);
+  EXPECT_GT(profiler.root_total_wall_ns(), 0u);
+  EXPECT_EQ(registry.scalar_value("slo.alerts"), double(monitor.alerts()));
 }
 
 }  // namespace

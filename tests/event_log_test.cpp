@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -373,6 +374,57 @@ TEST(Prometheus, ExpositionFormatIsPinned) {
       "# TYPE score_avg gauge\n"
       "score_avg 0.5\n";
   EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+TEST(Prometheus, LabelAndHelpEscaping) {
+  // Label values live inside {name="..."}: backslash, quote and newline
+  // must all escape or the scrape line is corrupted.
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("two\nlines"), "two\\nlines");
+  EXPECT_EQ(prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+
+  // HELP text escapes backslash and newline only; quotes are legal there
+  // and pass through verbatim.
+  EXPECT_EQ(prometheus_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_help("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(prometheus_escape_help("two\nlines"), "two\\nlines");
+}
+
+TEST(Prometheus, HelpOverloadEmitsEscapedHelpBeforeType) {
+  MetricsRegistry registry;
+  registry.register_counter("bs.fetches").add(3);
+  registry.register_gauge("score.avg").set(1.5);
+
+  const std::map<std::string, std::string> help = {
+      {"bs.fetches", "remote \"origin\" fetches\nper C:\\cell"}};
+  const std::string expected =
+      "# HELP bs_fetches remote \"origin\" fetches\\nper C:\\\\cell\n"
+      "# TYPE bs_fetches counter\n"
+      "bs_fetches 3\n"
+      "# TYPE score_avg gauge\n"
+      "score_avg 1.5\n";
+  EXPECT_EQ(to_prometheus(registry, help), expected);
+  // An empty help map renders exactly as the plain overload.
+  EXPECT_EQ(to_prometheus(registry, {}), to_prometheus(registry));
+}
+
+TEST(Prometheus, NeverEmitsCreatedSeries) {
+  // OpenMetrics `_created` series carry wall-clock creation timestamps;
+  // this exporter must never synthesize them for counters or histograms
+  // — golden outputs stay wall-clock-free.
+  MetricsRegistry registry;
+  registry.register_counter("bs.fetches").add(1);
+  registry.register_gauge("score.avg").set(0.25);
+  registry.register_histogram("lat.wait", 0.0, 4.0, 4).observe(1.0);
+
+  const std::string text = to_prometheus(registry);
+  EXPECT_EQ(text.find("_created"), std::string::npos);
+  // The histogram still gets its full series family.
+  EXPECT_NE(text.find("lat_wait_bucket"), std::string::npos);
+  EXPECT_NE(text.find("lat_wait_sum"), std::string::npos);
+  EXPECT_NE(text.find("lat_wait_count"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,225 @@
+// SloMonitor suite: the multi-window burn-rate alert fires exactly on a
+// pinned breach schedule (no RNG anywhere — every assertion is an exact
+// equality), objective validation, ratio objectives with the vacuous
+// zero-denominator rule, the slo.* counter contract, and kSloAlert
+// events streaming to a JsonlTraceSink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/window.hpp"
+
+namespace mobi::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// One-tick windows: each on_tick closes a frame, so a breach schedule
+// maps 1:1 onto frames. `errors.rate` <= 0 breaches exactly on the
+// frames where the counter advanced.
+SloObjective error_budget_objective() {
+  SloObjective objective;
+  objective.name = "error-budget";
+  objective.column = "errors.rate";
+  objective.cmp = SloObjective::Cmp::kLe;
+  objective.threshold = 0.0;
+  objective.fast_windows = 2;
+  objective.fast_burn = 1.0;
+  objective.slow_windows = 4;
+  objective.slow_burn = 0.5;
+  return objective;
+}
+
+// Drives the pinned schedule: frame f breaches iff breach[f]. Returns
+// the alert count after each frame.
+std::vector<std::uint64_t> run_schedule(SloMonitor& monitor,
+                                        MetricsRegistry& registry,
+                                        Counter& errors,
+                                        const std::vector<int>& breach) {
+  WindowAggregator::Config config;
+  config.window_ticks = 1;
+  WindowAggregator agg(registry, config);
+  agg.set_listener(&monitor);
+  agg.begin();
+  std::vector<std::uint64_t> alerts_after;
+  for (std::size_t f = 0; f < breach.size(); ++f) {
+    if (breach[f]) errors.add(1);
+    agg.on_tick(sim::Tick(f));
+    alerts_after.push_back(monitor.alerts());
+  }
+  agg.finish();
+  return alerts_after;
+}
+
+TEST(SloMonitor, BurnRateFiresExactlyOnPinnedSchedule) {
+  MetricsRegistry registry;
+  Counter& errors = registry.register_counter("errors");
+  SloMonitor monitor(&registry, {error_budget_objective()});
+
+  // fast = last 2 frames all breached; slow = >= half of the last
+  // min(seen, 4) frames breached. Schedule: frames 2,3 breach (first
+  // alert exactly at frame 3), frame 4 holds (re-arms), frames 5,6
+  // breach (second alert at frame 6: slow span {3,4,5,6} has 3 >= 2).
+  const std::vector<int> breach = {0, 0, 1, 1, 0, 1, 1};
+  const std::vector<std::uint64_t> alerts_after =
+      run_schedule(monitor, registry, errors, breach);
+
+  EXPECT_EQ(alerts_after,
+            (std::vector<std::uint64_t>{0, 0, 0, 1, 1, 1, 2}));
+  EXPECT_EQ(monitor.evaluations(), 7u);
+  EXPECT_EQ(monitor.breaches(), 4u);
+  EXPECT_EQ(monitor.alerts(), 2u);
+  EXPECT_TRUE(monitor.alerting(0));  // frame 6 left it alerting
+  EXPECT_EQ(monitor.fast_breaches(0), 2u);
+  EXPECT_EQ(monitor.slow_breaches(0), 3u);
+  EXPECT_EQ(monitor.last_value(0), 1.0);
+
+  // The counters registered at construction mirror the accessors.
+  EXPECT_EQ(registry.scalar_value("slo.evaluations"), 7.0);
+  EXPECT_EQ(registry.scalar_value("slo.breaches"), 4.0);
+  EXPECT_EQ(registry.scalar_value("slo.alerts"), 2.0);
+}
+
+TEST(SloMonitor, AlertDoesNotReassertWhileStillBurning) {
+  MetricsRegistry registry;
+  Counter& errors = registry.register_counter("errors");
+  SloMonitor monitor(&registry, {error_budget_objective()});
+
+  // Breaching every frame keeps the condition true from frame 1 onward,
+  // but alerts() counts *transitions into* the alerting state: exactly 1.
+  const std::vector<int> breach = {1, 1, 1, 1, 1, 1};
+  const std::vector<std::uint64_t> alerts_after =
+      run_schedule(monitor, registry, errors, breach);
+  EXPECT_EQ(alerts_after, (std::vector<std::uint64_t>{0, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(monitor.breaches(), 6u);
+  EXPECT_TRUE(monitor.alerting(0));
+}
+
+TEST(SloMonitor, AlertsStreamToJsonlSink) {
+  MetricsRegistry registry;
+  Counter& errors = registry.register_counter("errors");
+  SloMonitor monitor(&registry, {error_budget_objective()});
+
+  const std::string path = temp_path("slo_alerts.jsonl");
+  {
+    JsonlTraceSink::Config sink_config;
+    sink_config.background_flush = false;
+    JsonlTraceSink sink(path, sink_config);
+    monitor.set_sink(&sink);
+    run_schedule(monitor, registry, errors, {0, 0, 1, 1, 0, 1, 1});
+    sink.close();
+    EXPECT_EQ(sink.streamed_events(), 2u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> alert_lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("slo_alert") != std::string::npos) {
+      alert_lines.push_back(line);
+    }
+  }
+  // One event per firing: objective 0 (the "k" attempt field is elided
+  // when 0), window ordinal in "obj", tick = the frame's end tick, and
+  // the fast burn fraction in "v" (2/2 breached frames = 1).
+  ASSERT_EQ(alert_lines.size(), 2u);
+  EXPECT_EQ(alert_lines[0], "{\"t\":3,\"ev\":\"slo_alert\",\"obj\":3,\"v\":1}");
+  EXPECT_EQ(alert_lines[1], "{\"t\":6,\"ev\":\"slo_alert\",\"obj\":6,\"v\":1}");
+}
+
+TEST(SloMonitor, RatioObjectiveIsVacuousOnZeroDenominator) {
+  MetricsRegistry registry;
+  Counter& hits = registry.register_counter("hits");
+  Counter& requests = registry.register_counter("requests");
+
+  SloObjective objective;
+  objective.name = "hit-rate";
+  objective.column = "hits.rate";
+  objective.denominator = "requests.rate";
+  objective.cmp = SloObjective::Cmp::kGe;
+  objective.threshold = 0.5;
+  objective.fast_windows = 1;
+  objective.slow_windows = 1;
+  SloMonitor monitor(&registry, {objective});
+
+  WindowAggregator::Config config;
+  config.window_ticks = 1;
+  WindowAggregator agg(registry, config);
+  agg.set_listener(&monitor);
+  agg.begin();
+
+  agg.on_tick(0);  // no traffic: vacuously compliant, not a breach
+  EXPECT_EQ(monitor.breaches(), 0u);
+  EXPECT_EQ(monitor.last_value(0), 0.0);
+
+  hits.add(1);
+  requests.add(4);
+  agg.on_tick(1);  // 0.25 < 0.5: breach
+  EXPECT_EQ(monitor.breaches(), 1u);
+  EXPECT_EQ(monitor.last_value(0), 0.25);
+
+  hits.add(3);
+  requests.add(4);
+  agg.on_tick(2);  // 0.75 >= 0.5: holds
+  EXPECT_EQ(monitor.breaches(), 1u);
+  EXPECT_EQ(monitor.last_value(0), 0.75);
+  EXPECT_EQ(monitor.evaluations(), 3u);
+}
+
+TEST(SloMonitor, ObjectiveValidationThrowsAtConstruction) {
+  MetricsRegistry registry;
+  SloObjective no_column = error_budget_objective();
+  no_column.column.clear();
+  EXPECT_THROW(SloMonitor(&registry, {no_column}), std::invalid_argument);
+
+  MetricsRegistry registry2;
+  SloObjective inverted = error_budget_objective();
+  inverted.fast_windows = 8;
+  inverted.slow_windows = 4;
+  EXPECT_THROW(SloMonitor(&registry2, {inverted}), std::invalid_argument);
+
+  MetricsRegistry registry3;
+  SloObjective zero_fast = error_budget_objective();
+  zero_fast.fast_windows = 0;
+  EXPECT_THROW(SloMonitor(&registry3, {zero_fast}), std::invalid_argument);
+}
+
+TEST(SloMonitor, UnknownColumnThrowsOnFirstFrame) {
+  MetricsRegistry registry;
+  registry.register_counter("errors");
+  SloObjective objective = error_budget_objective();
+  objective.column = "no.such.column";
+  SloMonitor monitor(&registry, {objective});
+
+  WindowAggregator::Config config;
+  config.window_ticks = 1;
+  WindowAggregator agg(registry, config);
+  agg.set_listener(&monitor);
+  agg.begin();
+  EXPECT_THROW(agg.on_tick(0), std::invalid_argument);
+}
+
+TEST(SloMonitor, NullRegistrySkipsCounters) {
+  MetricsRegistry registry;
+  Counter& errors = registry.register_counter("errors");
+  SloMonitor monitor(nullptr, {error_budget_objective()});
+  run_schedule(monitor, registry, errors, {1, 1, 1});
+  EXPECT_EQ(monitor.evaluations(), 3u);
+  EXPECT_EQ(monitor.alerts(), 1u);
+  // The window registry never grew slo.* counters.
+  EXPECT_FALSE(registry.contains("slo.evaluations"));
+}
+
+}  // namespace
+}  // namespace mobi::obs

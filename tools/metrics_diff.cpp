@@ -1,14 +1,16 @@
 // metrics_diff: compare two exported metrics documents (per-tick
-// mobicache.metrics.v1 or windowed mobicache.soak.v1) under per-series
-// tolerances. The CI golden-metrics gate:
+// mobicache.metrics.v1, windowed mobicache.soak.v1, or windowed-frame
+// mobicache.windows.v1) under per-series tolerances. The CI
+// golden-metrics gate:
 //
 //   metrics_diff [options] golden.json candidate.json
 //
 // Options:
 //   --rtol=X            default relative tolerance (default 0 = exact)
 //   --atol=X            default absolute tolerance (default 0)
-//   --tol=PAT=R[,A]     per-series rule, PAT an exact name or prefix glob
-//                       ending in '*' (e.g. --tol='lat.*=1e-9'); first
+//   --tol=PAT=R[,A]     per-series rule, PAT an exact name or a glob with
+//                       '*' wildcards anywhere (e.g. --tol='lat.*=1e-9',
+//                       --tol='prof.phase.*.wall_ns*=1e18,1e18'); first
 //                       matching rule wins, repeatable
 //   --ignore-missing    tolerate series present on one side only
 //   --quiet             no output, exit status only

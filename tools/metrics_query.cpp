@@ -1,0 +1,190 @@
+// metrics_query: slice an exported metrics document — per-tick
+// mobicache.metrics.v1, windowed mobicache.windows.v1, or soak
+// mobicache.soak.v1 — by series glob and axis range, for eyeballing a
+// run or feeding a plot script without writing a JSON parser first:
+//
+//   metrics_query [options] file.json
+//
+// Options:
+//   --series=GLOB   series to keep; '*' matches zero or more characters
+//                   anywhere (same matcher as metrics_diff --tol rules);
+//                   repeatable, a name is kept if ANY glob matches.
+//                   Default: every series.
+//   --from=N        keep axis entries >= N (tick or window ordinal)
+//   --to=N          keep axis entries <= N
+//   --format=F      table (default), csv, or json (a filtered document
+//                   under the same schema, re-parseable by this tool and
+//                   by metrics_diff)
+//   --list          print matching series names only, one per line
+//
+// Exit status: 0 = ok, 1 = no series matched, 2 = usage/IO/parse error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/metrics_diff.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--series=GLOB]... [--from=N] [--to=N]"
+               " [--format=table|csv|json] [--list] file.json\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const char* axis_name_for(const std::string& schema) {
+  if (schema == "mobicache.metrics.v1") return "ticks";
+  if (schema == "mobicache.windows.v1") return "windows";
+  if (schema == "mobicache.soak.v1") return "windows";
+  throw std::runtime_error("unsupported schema '" + schema + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mobi;
+
+  std::vector<obs::ToleranceRule> globs;  // reuse the diff glob matcher
+  double from = -1e300;
+  double to = 1e300;
+  std::string format = "table";
+  bool list_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--series=", 0) == 0) {
+        globs.push_back(obs::ToleranceRule{arg.substr(9), 0.0, 0.0});
+      } else if (arg.rfind("--from=", 0) == 0) {
+        from = std::stod(arg.substr(7));
+      } else if (arg.rfind("--to=", 0) == 0) {
+        to = std::stod(arg.substr(5));
+      } else if (arg.rfind("--format=", 0) == 0) {
+        format = arg.substr(9);
+        if (format != "table" && format != "csv" && format != "json") {
+          std::cerr << "metrics_query: unknown format '" << format << "'\n";
+          return usage(argv[0]);
+        }
+      } else if (arg == "--list") {
+        list_only = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "metrics_query: unknown option '" << arg << "'\n";
+        return usage(argv[0]);
+      } else {
+        paths.push_back(arg);
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "metrics_query: bad argument '" << arg
+                << "': " << error.what() << '\n';
+      return 2;
+    }
+  }
+  if (paths.size() != 1) return usage(argv[0]);
+
+  try {
+    const util::json::Value root = util::json::parse(read_file(paths[0]));
+    if (!root.is_object() || !root.contains("schema")) {
+      throw std::runtime_error("document has no schema field");
+    }
+    const std::string schema = root.at("schema").str();
+    const char* axis_name = axis_name_for(schema);
+    if (!root.contains(axis_name) || !root.contains("series")) {
+      throw std::runtime_error("document is missing its axis or series");
+    }
+    const util::json::Array& axis = root.at(axis_name).arr();
+    const util::json::Object& series = root.at("series").obj();
+
+    const auto keep = [&](const std::string& name) {
+      if (globs.empty()) return true;
+      for (const obs::ToleranceRule& glob : globs) {
+        if (glob.matches(name)) return true;
+      }
+      return false;
+    };
+    std::vector<std::string> names;  // json::Object iterates sorted
+    for (const auto& [name, values] : series) {
+      if (keep(name)) names.push_back(name);
+    }
+    if (names.empty()) {
+      std::cerr << "metrics_query: no series matched\n";
+      return 1;
+    }
+    if (list_only) {
+      for (const std::string& name : names) std::cout << name << '\n';
+      return 0;
+    }
+
+    std::vector<std::size_t> rows;
+    rows.reserve(axis.size());
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      const double x = axis[i].num();
+      if (x >= from && x <= to) rows.push_back(i);
+    }
+
+    if (format == "json") {
+      // A filtered document under the same schema: hand-built like the
+      // exporters, byte-stable, and re-parseable by metrics_diff.
+      std::ostringstream out;
+      out << "{\"schema\":\"" << obs::json::escape(schema) << "\",\""
+          << axis_name << "\":[";
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r) out << ',';
+        out << obs::json::number(axis[rows[r]].num());
+      }
+      out << "],\"series\":{";
+      for (std::size_t s = 0; s < names.size(); ++s) {
+        const util::json::Array& values = series.at(names[s]).arr();
+        if (s) out << ',';
+        out << '"' << obs::json::escape(names[s]) << "\":[";
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          if (r) out << ',';
+          const util::json::Value& v = values.at(rows[r]);
+          out << (v.is_null() ? std::string("null")
+                              : obs::json::number(v.num()));
+        }
+        out << ']';
+      }
+      out << "}}";
+      std::cout << out.str() << '\n';
+      return 0;
+    }
+
+    std::vector<std::string> headers;
+    headers.push_back(axis_name);
+    for (const std::string& name : names) headers.push_back(name);
+    util::Table table(headers, 6);
+    for (const std::size_t r : rows) {
+      std::vector<util::Cell> cells;
+      cells.reserve(headers.size());
+      cells.emplace_back((long long)axis[r].num());
+      for (const std::string& name : names) {
+        const util::json::Value& v = series.at(name).arr().at(r);
+        if (v.is_null()) {
+          cells.emplace_back(std::string("null"));
+        } else {
+          cells.emplace_back(v.num());
+        }
+      }
+      table.add_row(std::move(cells));
+    }
+    std::cout << (format == "csv" ? table.to_csv() : table.to_string());
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "metrics_query: " << error.what() << '\n';
+    return 2;
+  }
+}
